@@ -1,0 +1,88 @@
+// Command sbbench regenerates the paper's evaluation artifacts: every
+// table and figure of §6, plus the compatibility case study, the related
+// scheme comparison, and the ablations called out in DESIGN.md.
+//
+// Usage:
+//
+//	sbbench -experiment=all|table1|table3|table4|figure1|figure2|compat|related
+//	        [-scale=N]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"softbound/internal/experiments"
+)
+
+func main() {
+	exp := flag.String("experiment", "all",
+		"which experiment to run: all, table1, table3, table4, figure1, figure2, compat, related")
+	scale := flag.Int("scale", 0, "benchmark problem size (0 = default)")
+	flag.Parse()
+
+	run := func(name string, fn func() error) {
+		if *exp != "all" && *exp != name {
+			return
+		}
+		if err := fn(); err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", name, err)
+			os.Exit(1)
+		}
+		fmt.Println()
+	}
+
+	run("table1", func() error {
+		fmt.Print(experiments.FormatTable1(experiments.Table1()))
+		return nil
+	})
+	run("table3", func() error {
+		rows, err := experiments.Table3()
+		if err != nil {
+			return err
+		}
+		fmt.Print(experiments.FormatTable3(rows))
+		return nil
+	})
+	run("table4", func() error {
+		rows, err := experiments.Table4()
+		if err != nil {
+			return err
+		}
+		fmt.Print(experiments.FormatTable4(rows))
+		return nil
+	})
+	run("figure1", func() error {
+		rows, err := experiments.Figure1(*scale)
+		if err != nil {
+			return err
+		}
+		fmt.Print(experiments.FormatFigure1(rows))
+		return nil
+	})
+	run("figure2", func() error {
+		rows, err := experiments.Figure2(*scale)
+		if err != nil {
+			return err
+		}
+		fmt.Print(experiments.FormatFigure2(rows))
+		return nil
+	})
+	run("compat", func() error {
+		r, err := experiments.Compat()
+		if err != nil {
+			return err
+		}
+		fmt.Print(experiments.FormatCompat(r))
+		return nil
+	})
+	run("related", func() error {
+		rows, err := experiments.Related(*scale)
+		if err != nil {
+			return err
+		}
+		fmt.Print(experiments.FormatRelated(rows))
+		return nil
+	})
+}

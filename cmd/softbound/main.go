@@ -1,0 +1,75 @@
+// Command softbound compiles and runs a C source file under the
+// SoftBound pipeline.
+//
+// Usage:
+//
+//	softbound [-mode=none|store|full] [-meta=hash|shadow] [-stats] [-dump] file.c...
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"softbound/internal/driver"
+	"softbound/internal/meta"
+)
+
+func main() {
+	mode := flag.String("mode", "full", "checking mode: none, store, full")
+	metaKind := flag.String("meta", "shadow", "metadata facility: hash, shadow")
+	stats := flag.Bool("stats", false, "print execution statistics")
+	dump := flag.Bool("dump", false, "dump the instrumented IR instead of running")
+	noOpt := flag.Bool("no-opt", false, "disable the optimizer")
+	flag.Parse()
+	if flag.NArg() == 0 {
+		fmt.Fprintln(os.Stderr, "usage: softbound [flags] file.c ...")
+		os.Exit(2)
+	}
+
+	cfg := driver.DefaultConfig(driver.ModeFull)
+	switch *mode {
+	case "none":
+		cfg.Mode = driver.ModeNone
+	case "store":
+		cfg.Mode = driver.ModeStoreOnly
+	case "full":
+		cfg.Mode = driver.ModeFull
+	default:
+		fmt.Fprintf(os.Stderr, "unknown mode %q\n", *mode)
+		os.Exit(2)
+	}
+	if *metaKind == "hash" {
+		cfg.Meta = meta.KindHashTable
+	}
+	cfg.Optimize = !*noOpt
+	cfg.Stdout = os.Stdout
+
+	var sources []driver.Source
+	for _, name := range flag.Args() {
+		text, err := os.ReadFile(name)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		sources = append(sources, driver.Source{Name: name, Text: string(text)})
+	}
+
+	mod, err := driver.Compile(sources, cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	if *dump {
+		fmt.Print(mod.String())
+		return
+	}
+	res := driver.Execute(mod, cfg)
+	if res.Err != nil {
+		fmt.Fprintln(os.Stderr, res.Err)
+	}
+	if *stats {
+		fmt.Fprintf(os.Stderr, "stats: %s\n", res.Stats)
+	}
+	os.Exit(int(res.ExitCode))
+}

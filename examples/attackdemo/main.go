@@ -1,0 +1,37 @@
+// Attackdemo runs the full Wilander attack testbed (paper Table 3) three
+// ways: unprotected (the attacks genuinely hijack control flow in the
+// simulated machine), under SoftBound store-only checking, and under
+// full checking (both stop every attack at the out-of-bounds write).
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"softbound"
+	"softbound/internal/attacks"
+)
+
+func main() {
+	fmt.Printf("%-34s %-10s %-10s %-10s\n", "attack", "unchecked", "store-only", "full")
+	for _, a := range attacks.Suite() {
+		row := [3]string{}
+		for i, mode := range []softbound.Mode{
+			softbound.ModeNone, softbound.ModeStoreOnly, softbound.ModeFull,
+		} {
+			res, err := softbound.RunSource(a.Source, softbound.DefaultConfig(mode))
+			if err != nil {
+				log.Fatalf("%s: %v", a.Name, err)
+			}
+			switch {
+			case res.Violation != nil:
+				row[i] = "DETECTED"
+			case res.ExitCode == 66:
+				row[i] = "pwned!"
+			default:
+				row[i] = "?"
+			}
+		}
+		fmt.Printf("%-34s %-10s %-10s %-10s\n", a.Name, row[0], row[1], row[2])
+	}
+}

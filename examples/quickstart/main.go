@@ -1,0 +1,44 @@
+// Quickstart: compile and run a small C program under SoftBound, see a
+// spatial violation detected, and inspect the execution statistics.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"softbound"
+)
+
+const program = `
+int main(void) {
+    int i;
+    int* a = (int*)malloc(10 * sizeof(int));
+    for (i = 0; i < 10; i++)
+        a[i] = i * i;
+    printf("a[9] = %d\n", a[9]);
+
+    /* The bug: classic off-by-one write. */
+    for (i = 0; i <= 10; i++)
+        a[i] = 0;
+    return 0;
+}`
+
+func main() {
+	// First, run unchecked: the overflow silently corrupts the heap.
+	res, err := softbound.RunSource(program, softbound.DefaultConfig(softbound.ModeNone))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("unchecked: exit=%d err=%v\n", res.ExitCode, res.Err)
+
+	// Then under SoftBound full checking: the write to a[10] aborts.
+	res, err = softbound.RunSource(program, softbound.DefaultConfig(softbound.ModeFull))
+	if err != nil {
+		log.Fatal(err)
+	}
+	if res.Violation == nil {
+		log.Fatal("expected a spatial violation")
+	}
+	fmt.Printf("softbound: %v\n", res.Violation)
+	fmt.Printf("stats: %s\n", res.Stats)
+}

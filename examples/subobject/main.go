@@ -1,0 +1,67 @@
+// Subobject demonstrates the paper's §2.1 completeness argument: an
+// overflow of an array *inside* a struct overwrites an adjacent function
+// pointer. Object-granularity tools (the Jones–Kelly object-table
+// baseline) cannot see it — the access stays inside the struct — while
+// SoftBound's bounds shrinking at field-address creation catches it.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"softbound"
+	"softbound/internal/baseline"
+)
+
+// The paper's example, §2.1.
+const program = `
+int pwned;
+void payload(void) { pwned = 1; printf("function pointer hijacked!\n"); exit(66); }
+void greet(void)   { printf("hello\n"); }
+
+struct node { char str[8]; void (*func)(void); };
+
+int main(void) {
+    struct node n;
+    char* ptr = n.str;
+    long target;
+    char* tb;
+    int i;
+    n.func = greet;
+    /* strcpy(ptr, "overflow...") — the overflowing bytes spell the
+       address of payload(), as an attacker would arrange. */
+    target = (long)payload;
+    tb = (char*)&target;
+    for (i = 0; i < 16; i++)
+        ptr[i] = (i < 8) ? 'A' : tb[i - 8];
+    n.func();
+    return 0;
+}`
+
+func main() {
+	// Unprotected: the function pointer is hijacked.
+	res, err := softbound.RunSource(program, softbound.DefaultConfig(softbound.ModeNone))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("unprotected:  exit=%d output=%q\n", res.ExitCode, res.Output)
+
+	// Object-table baseline: the write stays inside struct node, so the
+	// object-granularity check passes and the hijack still happens.
+	cfg := softbound.DefaultConfig(softbound.ModeNone)
+	cfg.Checker = baseline.NewObjectTable()
+	res, err = softbound.RunSource(program, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("object-table: exit=%d detected=%v (sub-object blind spot)\n",
+		res.ExitCode, res.BaselineHit != nil)
+
+	// SoftBound: &n.str shrinks the pointer's bounds to the 8-byte
+	// field; the 9th byte aborts.
+	res, err = softbound.RunSource(program, softbound.DefaultConfig(softbound.ModeFull))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("softbound:    %v\n", res.Violation)
+}

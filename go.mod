@@ -1,0 +1,3 @@
+module softbound
+
+go 1.22

@@ -1,0 +1,416 @@
+// Package attacks reproduces the Wilander & Kamkar testbed of buffer
+// overflow attacks the paper uses for Table 3. The suite covers the full
+// taxonomy: direct overflows ("all the way to the target") and indirect
+// overflows (corrupt a data pointer, then write through it), on the
+// stack, heap, and BSS/data segments, targeting the return address, the
+// old base (frame) pointer, function pointers (local variable and
+// parameter), and longjmp buffers (local variable and parameter).
+//
+// Every attack is a complete C program. Executed unchecked, the attack
+// genuinely succeeds: the payload runs with the simulated machine's
+// control flow redirected, printing ATTACK SUCCESSFUL and exiting with
+// status 66. Executed under SoftBound (either mode), the out-of-bounds
+// write that every one of these attacks requires is detected and the
+// program aborts before control is lost — the paper's Table 3 result.
+package attacks
+
+// Attack is one testbed entry.
+type Attack struct {
+	// Name is a short identifier, e.g. "stack-direct-retaddr".
+	Name string
+	// Technique is "direct" (overflow all the way to the target) or
+	// "indirect" (overflow a pointer, then point it at the target).
+	Technique string
+	// Location of the overflowed buffer: "stack", "heap", "bss".
+	Location string
+	// Target of the attack, as in Table 3.
+	Target string
+	// Source is the complete C program.
+	Source string
+}
+
+// payloadPrelude is shared by all attacks: the payload the attacker wants
+// to run, plus an innocuous function for initializing function pointers.
+const payloadPrelude = `
+int attack_flag;
+void attack_payload(void) {
+    attack_flag = 1;
+    printf("ATTACK SUCCESSFUL\n");
+    exit(66);
+}
+void normal_func(void) {
+    printf("normal\n");
+}
+long target_addr;
+`
+
+// Suite returns the 18 attacks of Table 3 in table order.
+func Suite() []Attack {
+	return []Attack{
+		// ------------------------------------------------------------
+		// Buffer overflow on stack all the way to the target.
+		{
+			Name: "stack-direct-retaddr", Technique: "direct",
+			Location: "stack", Target: "return address",
+			Source: payloadPrelude + `
+void vuln(void) {
+    long buf[2];
+    int i;
+    /* Overflow past buf: saved FP at buf[2], return slot at buf[3]. */
+    for (i = 0; i < 4; i++)
+        buf[i] = (long)attack_payload;
+}
+int main(void) {
+    vuln();
+    printf("returned normally\n");
+    return 0;
+}`,
+		},
+		{
+			Name: "stack-direct-basepointer", Technique: "direct",
+			Location: "stack", Target: "old base pointer",
+			Source: payloadPrelude + `
+void vuln(void) {
+    long buf[2];
+    /* Build a fake frame inside buf: when the caller's epilogue runs
+       with the redirected frame pointer, it reads its return slot from
+       buf[1]. Then overwrite only the saved FP (buf[2]), leaving the
+       return slot intact. */
+    buf[0] = (long)attack_payload;
+    buf[1] = (long)attack_payload;
+    buf[2] = (long)&buf[0];
+}
+int main(void) {
+    vuln();
+    return 0;
+}`,
+		},
+		{
+			Name: "stack-direct-funcptr-local", Technique: "direct",
+			Location: "stack", Target: "function pointer local variable",
+			Source: payloadPrelude + `
+typedef void (*fnptr)(void);
+void vuln(void) {
+    char buf[16];
+    fnptr fp;
+    fnptr* force = &fp;   /* fp lives in memory, just above buf */
+    char* tb;
+    int i;
+    fp = normal_func;
+    target_addr = (long)attack_payload;
+    tb = (char*)&target_addr;
+    /* Byte-wise overflow (strcpy-style) through buf into fp. */
+    for (i = 0; i < 24; i++)
+        buf[i] = (i < 16) ? 'A' : tb[i - 16];
+    fp();
+}
+int main(void) {
+    vuln();
+    return 0;
+}`,
+		},
+		{
+			Name: "stack-direct-funcptr-param", Technique: "direct",
+			Location: "stack", Target: "function pointer parameter",
+			Source: payloadPrelude + `
+typedef void (*fnptr)(void);
+void vuln(fnptr fp) {
+    char buf[16];
+    fnptr* force = &fp;   /* spill the parameter above the locals */
+    char* tb;
+    int i;
+    target_addr = (long)attack_payload;
+    tb = (char*)&target_addr;
+    for (i = 0; i < 24; i++)
+        buf[i] = (i < 16) ? 'A' : tb[i - 16];
+    fp();
+}
+int main(void) {
+    vuln(normal_func);
+    return 0;
+}`,
+		},
+		{
+			Name: "stack-direct-longjmpbuf-local", Technique: "direct",
+			Location: "stack", Target: "longjmp buffer local variable",
+			Source: payloadPrelude + `
+void vuln(void) {
+    char buf[16];
+    long jb[4];           /* directly above buf */
+    char* tb;
+    int i;
+    if (setjmp(jb) == 0) {
+        target_addr = (long)attack_payload;
+        tb = (char*)&target_addr;
+        for (i = 0; i < 24; i++)  /* rewrite jb[0] */
+            buf[i] = (i < 16) ? 'A' : tb[i - 16];
+        longjmp(jb, 1);
+    }
+    printf("longjmp returned normally\n");
+}
+int main(void) {
+    vuln();
+    return 0;
+}`,
+		},
+		{
+			Name: "stack-direct-longjmpbuf-param", Technique: "direct",
+			Location: "stack", Target: "longjmp buffer function parameter",
+			Source: payloadPrelude + `
+void vuln(long* jb) {
+    long buf[2];
+    /* The caller's jmp_buf sits one frame above: vuln's frame is
+       32 bytes (16 locals + FP/ret slots), so jb[0] == buf[4]. */
+    buf[4] = (long)attack_payload;
+}
+int main(void) {
+    long jbuf[4];
+    if (setjmp(jbuf) == 0) {
+        vuln(jbuf);
+        longjmp(jbuf, 1);
+    }
+    return 0;
+}`,
+		},
+
+		// ------------------------------------------------------------
+		// Buffer overflow on heap/BSS/data all the way to the target.
+		{
+			Name: "heap-direct-funcptr", Technique: "direct",
+			Location: "heap", Target: "function pointer",
+			Source: payloadPrelude + `
+typedef void (*fnptr)(void);
+int main(void) {
+    long* buf = (long*)malloc(16);
+    fnptr* fpp = (fnptr*)malloc(sizeof(fnptr));
+    int i;
+    *fpp = normal_func;
+    /* The two blocks are adjacent: buf[2] lands in *fpp. */
+    for (i = 0; i < 3; i++)
+        buf[i] = (long)attack_payload;
+    (*fpp)();
+    return 0;
+}`,
+		},
+		{
+			Name: "bss-direct-longjmpbuf", Technique: "direct",
+			Location: "bss", Target: "longjmp buffer",
+			Source: `
+char gbuf[24];
+long gjbuf[4];   /* adjacent to gbuf in the data segment */
+` + payloadPrelude + `
+int main(void) {
+    char* tb;
+    int i;
+    if (setjmp(gjbuf) == 0) {
+        target_addr = (long)attack_payload;
+        tb = (char*)&target_addr;
+        for (i = 0; i < 32; i++)  /* gbuf[24..31] rewrite gjbuf[0] */
+            gbuf[i] = (i < 24) ? 'A' : tb[i - 24];
+        longjmp(gjbuf, 1);
+    }
+    return 0;
+}`,
+		},
+
+		// ------------------------------------------------------------
+		// Overflow of a pointer on the stack, then pointing at the target.
+		{
+			Name: "stack-indirect-retaddr", Technique: "indirect",
+			Location: "stack", Target: "return address",
+			Source: payloadPrelude + `
+void vuln(void) {
+    long buf[2];
+    long* p;
+    long** force = &p;    /* p lives at buf[2]; return slot at buf[5] */
+    p = &buf[0];
+    buf[2] = (long)&buf[5];      /* overflow corrupts p */
+    *p = (long)attack_payload;   /* attacker-controlled write */
+}
+int main(void) {
+    vuln();
+    return 0;
+}`,
+		},
+		{
+			Name: "stack-indirect-basepointer", Technique: "indirect",
+			Location: "stack", Target: "old base pointer",
+			Source: payloadPrelude + `
+void vuln(void) {
+    long buf[2];
+    long* p;
+    long** force = &p;
+    buf[0] = (long)attack_payload;  /* fake frame's return slot at buf[1] */
+    buf[1] = (long)attack_payload;
+    buf[2] = (long)&buf[4];         /* p := address of saved FP */
+    *p = (long)&buf[0];             /* saved FP := fake frame */
+}
+int main(void) {
+    vuln();
+    return 0;
+}`,
+		},
+		{
+			Name: "stack-indirect-funcptr-local", Technique: "indirect",
+			Location: "stack", Target: "function pointer variable",
+			Source: payloadPrelude + `
+typedef void (*fnptr)(void);
+void vuln(void) {
+    long buf[2];
+    long* p;
+    fnptr fp;
+    long** forcep = &p;
+    fnptr* forcef = &fp;
+    fp = normal_func;
+    buf[2] = (long)&fp;           /* overflow corrupts p */
+    *p = (long)attack_payload;    /* fp := payload */
+    fp();
+}
+int main(void) {
+    vuln();
+    return 0;
+}`,
+		},
+		{
+			Name: "stack-indirect-funcptr-param", Technique: "indirect",
+			Location: "stack", Target: "function pointer parameter",
+			Source: payloadPrelude + `
+typedef void (*fnptr)(void);
+void vuln(fnptr fp) {
+    long buf[2];
+    long* p;
+    long** forcep = &p;
+    fnptr* forcef = &fp;
+    buf[2] = (long)&fp;
+    *p = (long)attack_payload;
+    fp();
+}
+int main(void) {
+    vuln(normal_func);
+    return 0;
+}`,
+		},
+		{
+			Name: "stack-indirect-longjmpbuf-local", Technique: "indirect",
+			Location: "stack", Target: "longjmp buffer variable",
+			Source: payloadPrelude + `
+void vuln(void) {
+    long buf[2];
+    long* p;
+    long jb[4];
+    long** force = &p;
+    if (setjmp(jb) == 0) {
+        buf[2] = (long)&jb[0];
+        *p = (long)attack_payload;
+        longjmp(jb, 1);
+    }
+}
+int main(void) {
+    vuln();
+    return 0;
+}`,
+		},
+		{
+			Name: "stack-indirect-longjmpbuf-param", Technique: "indirect",
+			Location: "stack", Target: "longjmp buffer function parameter",
+			Source: payloadPrelude + `
+void vuln(long* jb) {
+    long buf[2];
+    long* p;
+    long** force = &p;
+    buf[2] = (long)jb;           /* p := the caller's jmp_buf */
+    *p = (long)attack_payload;
+}
+int main(void) {
+    long jbuf[4];
+    if (setjmp(jbuf) == 0) {
+        vuln(jbuf);
+        longjmp(jbuf, 1);
+    }
+    return 0;
+}`,
+		},
+
+		// ------------------------------------------------------------
+		// Overflow of a pointer on heap/BSS, then pointing at the target.
+		{
+			Name: "heap-indirect-retaddr", Technique: "indirect",
+			Location: "heap", Target: "return address",
+			Source: payloadPrelude + `
+void vuln(void) {
+    long anchor[2];     /* return slot at anchor[3] */
+    long* buf = (long*)malloc(16);
+    long** pp = (long**)malloc(sizeof(long*));
+    *pp = &anchor[0];
+    buf[2] = (long)&anchor[3];    /* heap overflow corrupts *pp */
+    **pp = (long)attack_payload;
+}
+int main(void) {
+    vuln();
+    return 0;
+}`,
+		},
+		{
+			Name: "heap-indirect-basepointer", Technique: "indirect",
+			Location: "heap", Target: "old base pointer",
+			Source: payloadPrelude + `
+void vuln(void) {
+    long anchor[2];
+    long* buf = (long*)malloc(16);
+    long** pp = (long**)malloc(sizeof(long*));
+    *pp = &anchor[0];
+    anchor[0] = (long)attack_payload;  /* fake frame */
+    anchor[1] = (long)attack_payload;
+    buf[2] = (long)&anchor[2];         /* *pp := saved FP slot */
+    **pp = (long)&anchor[0];
+}
+int main(void) {
+    vuln();
+    return 0;
+}`,
+		},
+		{
+			Name: "heap-indirect-funcptr", Technique: "indirect",
+			Location: "heap", Target: "function pointer",
+			Source: `
+typedef void (*fnptr)(void);
+fnptr gfp;
+` + payloadPrelude + `
+int main(void) {
+    long* buf = (long*)malloc(16);
+    long** pp = (long**)malloc(sizeof(long*));
+    gfp = normal_func;
+    *pp = (long*)&gfp;
+    buf[2] = (long)&gfp;          /* heap overflow re-aims *pp */
+    **pp = (long)attack_payload;  /* gfp := payload */
+    gfp();
+    return 0;
+}`,
+		},
+		{
+			Name: "bss-indirect-longjmpbuf", Technique: "indirect",
+			Location: "bss", Target: "longjmp buffer",
+			Source: `
+char gbuf[16];
+long* gptr;      /* data-segment pointer directly above gbuf */
+long gjbuf[4];
+` + payloadPrelude + `
+int main(void) {
+    char* tb;
+    long pv;
+    int i;
+    if (setjmp(gjbuf) == 0) {
+        gptr = (long*)&target_addr;
+        pv = (long)&gjbuf[0];
+        tb = (char*)&pv;
+        /* Overflow gbuf into gptr: gbuf[16..23] rewrite the pointer. */
+        for (i = 0; i < 24; i++)
+            gbuf[i] = (i < 16) ? 'A' : tb[i - 16];
+        *gptr = (long)attack_payload;   /* gjbuf[0] := payload */
+        longjmp(gjbuf, 1);
+    }
+    return 0;
+}`,
+		},
+	}
+}

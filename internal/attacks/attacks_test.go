@@ -1,0 +1,91 @@
+package attacks
+
+import (
+	"strings"
+	"testing"
+
+	"softbound/internal/driver"
+)
+
+// run executes one attack under the given mode.
+func run(t *testing.T, a Attack, mode driver.Mode) *driver.Result {
+	t.Helper()
+	res, err := driver.RunSource(a.Source, driver.DefaultConfig(mode))
+	if err != nil {
+		t.Fatalf("%s: compile: %v", a.Name, err)
+	}
+	return res
+}
+
+// succeeded reports whether the attack took control in this run.
+func succeeded(res *driver.Result) bool {
+	return res.ExitCode == 66 || strings.Contains(res.Output, "ATTACK SUCCESSFUL")
+}
+
+func TestSuiteHas18Attacks(t *testing.T) {
+	suite := Suite()
+	if len(suite) != 18 {
+		t.Fatalf("suite has %d attacks, want 18 (Table 3)", len(suite))
+	}
+	seen := make(map[string]bool)
+	for _, a := range suite {
+		if a.Name == "" || a.Source == "" || a.Target == "" {
+			t.Errorf("incomplete attack entry %+v", a.Name)
+		}
+		if seen[a.Name] {
+			t.Errorf("duplicate attack name %s", a.Name)
+		}
+		seen[a.Name] = true
+	}
+}
+
+// TestAttacksSucceedUnprotected verifies each attack genuinely redirects
+// control flow when checking is off — the testbed is real, not a mock.
+func TestAttacksSucceedUnprotected(t *testing.T) {
+	for _, a := range Suite() {
+		a := a
+		t.Run(a.Name, func(t *testing.T) {
+			res := run(t, a, driver.ModeNone)
+			if !succeeded(res) {
+				t.Fatalf("attack did not succeed unprotected: exit=%d err=%v hijacks=%v output=%q",
+					res.ExitCode, res.Err, res.Hijacks, res.Output)
+			}
+		})
+	}
+}
+
+// TestFullCheckingDetectsAll is Table 3, "Full" column: 18/18 detected.
+func TestFullCheckingDetectsAll(t *testing.T) {
+	for _, a := range Suite() {
+		a := a
+		t.Run(a.Name, func(t *testing.T) {
+			res := run(t, a, driver.ModeFull)
+			if res.Violation == nil {
+				t.Fatalf("full checking missed the attack: exit=%d err=%v output=%q",
+					res.ExitCode, res.Err, res.Output)
+			}
+			if succeeded(res) {
+				t.Fatal("attack succeeded despite full checking")
+			}
+		})
+	}
+}
+
+// TestStoreOnlyCheckingDetectsAll is Table 3, "Store" column: every
+// attack requires an out-of-bounds write, so store-only checking detects
+// all of them too (the paper's key observation about store-only mode).
+func TestStoreOnlyCheckingDetectsAll(t *testing.T) {
+	for _, a := range Suite() {
+		a := a
+		t.Run(a.Name, func(t *testing.T) {
+			res := run(t, a, driver.ModeStoreOnly)
+			if res.Violation == nil {
+				t.Fatalf("store-only checking missed the attack: exit=%d err=%v output=%q",
+					res.ExitCode, res.Err, res.Output)
+			}
+			if succeeded(res) {
+				t.Fatal("attack succeeded despite store-only checking")
+			}
+		})
+	}
+}

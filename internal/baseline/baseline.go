@@ -1,0 +1,193 @@
+// Package baseline implements the comparison tools of the paper's
+// evaluation (Table 4 and §2): checkers that watch an *uninstrumented*
+// program at runtime, the way Valgrind, GCC Mudflap, and Jones–Kelly-style
+// object-table systems do. Each deliberately reproduces the blind spots
+// the paper attributes to it:
+//
+//   - ObjectTable (Jones–Kelly lineage): every allocation is tracked in a
+//     splay tree; accesses must land inside *some* object. Sub-object
+//     overflows (paper §2.1's node.str example) are invisible because the
+//     containing object is still valid. Overflows that land inside a
+//     *neighbouring* object are also invisible.
+//   - Valgrind-style: tracks heap allocations with red zones; stack and
+//     global overflows are not tracked at all ("Valgrind does not detect
+//     overflows on the stack", §6.2).
+//   - Mudflap-style: an object database covering heap, globals, and
+//     stack objects, checked at object granularity; like the object
+//     table it misses sub-object overflows, and its heap red zones are
+//     narrow.
+package baseline
+
+import (
+	"fmt"
+
+	"softbound/internal/splay"
+	"softbound/internal/vm"
+)
+
+// ObjectTable is the Jones–Kelly-style object-granularity checker.
+type ObjectTable struct {
+	tree *splay.Tree
+	// Lookups counts checked accesses (benchmarks report splay cost).
+	Lookups uint64
+}
+
+// NewObjectTable returns an empty object table.
+func NewObjectTable() *ObjectTable { return &ObjectTable{tree: splay.New()} }
+
+// Name identifies the tool.
+func (o *ObjectTable) Name() string { return "objecttable" }
+
+// OnAlloc registers an object.
+func (o *ObjectTable) OnAlloc(addr, size uint64, zone string) {
+	if size == 0 {
+		size = 1
+	}
+	o.tree.Remove(addr) // address reuse replaces the old object
+	o.tree.Insert(splay.Range{Start: addr, End: addr + size, Tag: zone})
+}
+
+// OnFree forgets an object.
+func (o *ObjectTable) OnFree(addr uint64) { o.tree.Remove(addr) }
+
+// OnLoad checks that the access stays inside a known object.
+func (o *ObjectTable) OnLoad(addr, size uint64) error { return o.check(addr, size, "read") }
+
+// OnStore checks that the access stays inside a known object.
+func (o *ObjectTable) OnStore(addr, size uint64) error { return o.check(addr, size, "write") }
+
+func (o *ObjectTable) check(addr, size uint64, op string) error {
+	o.Lookups++
+	r, ok := o.tree.Find(addr)
+	if !ok {
+		// Every program memory access flows through a tracked object
+		// (globals, heap blocks, and stack slots are all registered),
+		// so an access outside all of them is an out-of-bounds
+		// dereference landing in padding or control data. An overflow
+		// that lands *inside a neighbouring object* is NOT caught —
+		// the object-table blind spot the paper describes (§2.1).
+		return &vm.BaselineViolation{Tool: o.Name(), Msg: fmt.Sprintf(
+			"%s of %d bytes at 0x%x outside any object", op, size, addr)}
+	}
+	if addr+size > r.End {
+		return &vm.BaselineViolation{Tool: o.Name(), Msg: fmt.Sprintf(
+			"%s of %d bytes at 0x%x crosses object [0x%x,0x%x)", op, size, addr, r.Start, r.End)}
+	}
+	return nil
+}
+
+var _ vm.Checker = (*ObjectTable)(nil)
+
+// Valgrind approximates memcheck: heap blocks get red zones; accesses in
+// a red zone or in freed memory are reported. Stack and global memory is
+// not tracked, so overflows there pass silently (Table 4: go, compress).
+type Valgrind struct {
+	blocks  *splay.Tree
+	redzone uint64
+}
+
+// NewValgrind returns the checker with the standard 16-byte red zone.
+func NewValgrind() *Valgrind {
+	return &Valgrind{blocks: splay.New(), redzone: 16}
+}
+
+// Name identifies the tool.
+func (v *Valgrind) Name() string { return "valgrind" }
+
+// OnAlloc tracks heap blocks only, with surrounding red zones.
+func (v *Valgrind) OnAlloc(addr, size uint64, zone string) {
+	if zone != "heap" {
+		return
+	}
+	v.blocks.Remove(addr) // reuse of a freed block replaces its range
+	v.blocks.Insert(splay.Range{Start: addr, End: addr + size, Tag: "live"})
+}
+
+// OnFree marks the block's range as freed (accesses will be flagged).
+func (v *Valgrind) OnFree(addr uint64) {
+	if r, ok := v.blocks.Remove(addr); ok {
+		v.blocks.Insert(splay.Range{Start: r.Start, End: r.End, Tag: "freed"})
+	}
+}
+
+// OnLoad checks heap accesses.
+func (v *Valgrind) OnLoad(addr, size uint64) error { return v.check(addr, size, "read") }
+
+// OnStore checks heap accesses.
+func (v *Valgrind) OnStore(addr, size uint64) error { return v.check(addr, size, "write") }
+
+func (v *Valgrind) check(addr, size uint64, op string) error {
+	if addr < vm.HeapBase || addr >= vm.StackTop-vm.DefaultStackSize {
+		// Not heap: memcheck has no bounds data for globals/stack.
+		return nil
+	}
+	r, ok := v.blocks.Find(addr)
+	if !ok {
+		// Within the heap segment but not inside any block: red-zone
+		// territory.
+		return &vm.BaselineViolation{Tool: v.Name(), Msg: fmt.Sprintf(
+			"invalid heap %s of %d bytes at 0x%x", op, size, addr)}
+	}
+	if r.Tag == "freed" {
+		return &vm.BaselineViolation{Tool: v.Name(), Msg: fmt.Sprintf(
+			"%s of freed block at 0x%x", op, addr)}
+	}
+	if addr+size > r.End {
+		return &vm.BaselineViolation{Tool: v.Name(), Msg: fmt.Sprintf(
+			"heap %s of %d bytes at 0x%x overruns block [0x%x,0x%x)", op, size, addr, r.Start, r.End)}
+	}
+	return nil
+}
+
+var _ vm.Checker = (*Valgrind)(nil)
+
+// Mudflap approximates GCC's Mudflap: an object database across heap,
+// globals, and registered stack objects, checked at object granularity.
+// Unlike Valgrind it sees global and stack objects; like every
+// object-based scheme it cannot see sub-object overflows.
+type Mudflap struct {
+	objects *splay.Tree
+}
+
+// NewMudflap returns an empty object database.
+func NewMudflap() *Mudflap { return &Mudflap{objects: splay.New()} }
+
+// Name identifies the tool.
+func (m *Mudflap) Name() string { return "mudflap" }
+
+// OnAlloc registers any object (heap, global, stack).
+func (m *Mudflap) OnAlloc(addr, size uint64, zone string) {
+	if size == 0 {
+		size = 1
+	}
+	m.objects.Remove(addr)
+	m.objects.Insert(splay.Range{Start: addr, End: addr + size, Tag: zone})
+}
+
+// OnFree unregisters.
+func (m *Mudflap) OnFree(addr uint64) { m.objects.Remove(addr) }
+
+// OnLoad checks object membership.
+func (m *Mudflap) OnLoad(addr, size uint64) error { return m.check(addr, size, "read") }
+
+// OnStore checks object membership.
+func (m *Mudflap) OnStore(addr, size uint64) error { return m.check(addr, size, "write") }
+
+func (m *Mudflap) check(addr, size uint64, op string) error {
+	r, ok := m.objects.Find(addr)
+	if !ok {
+		// All program traffic lands in registered objects, so an
+		// access outside every object (padding, control data, freed
+		// memory) is flagged. An access landing *inside a neighbouring
+		// object* is the scheme's blind spot.
+		return &vm.BaselineViolation{Tool: m.Name(), Msg: fmt.Sprintf(
+			"unregistered %s at 0x%x", op, addr)}
+	}
+	if addr+size > r.End {
+		return &vm.BaselineViolation{Tool: m.Name(), Msg: fmt.Sprintf(
+			"%s of %d bytes at 0x%x overruns object [0x%x,0x%x)", op, size, addr, r.Start, r.End)}
+	}
+	return nil
+}
+
+var _ vm.Checker = (*Mudflap)(nil)

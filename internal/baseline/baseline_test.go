@@ -1,0 +1,110 @@
+package baseline
+
+import (
+	"testing"
+
+	"softbound/internal/vm"
+)
+
+func TestObjectTableCatchesCrossings(t *testing.T) {
+	o := NewObjectTable()
+	o.OnAlloc(0x1000, 64, "heap")
+	o.OnAlloc(0x1040, 64, "heap")
+
+	if err := o.OnLoad(0x1000, 8); err != nil {
+		t.Errorf("in-bounds load flagged: %v", err)
+	}
+	// A straddling access crosses the object boundary.
+	if err := o.OnStore(0x103c, 8); err == nil {
+		t.Error("straddling store not flagged")
+	}
+	// An access fully inside the *neighbouring* object is the blind
+	// spot: it passes (paper §2.1).
+	if err := o.OnStore(0x1040, 8); err != nil {
+		t.Errorf("neighbour access flagged: %v", err)
+	}
+	// Outside all objects: flagged.
+	if err := o.OnStore(0x2000, 8); err == nil {
+		t.Error("out-of-object store not flagged")
+	}
+	// Freed memory: flagged.
+	o.OnFree(0x1000)
+	if err := o.OnLoad(0x1000, 8); err == nil {
+		t.Error("use-after-free not flagged")
+	}
+}
+
+func TestValgrindHeapOnly(t *testing.T) {
+	v := NewValgrind()
+	v.OnAlloc(vm.HeapBase+0x100, 32, "heap")
+	v.OnAlloc(0x20000, 64, "global") // ignored: not heap
+
+	// In-bounds heap.
+	if err := v.OnLoad(vm.HeapBase+0x100, 8); err != nil {
+		t.Errorf("heap load flagged: %v", err)
+	}
+	// Past the block, into red-zone territory.
+	if err := v.OnStore(vm.HeapBase+0x120, 8); err == nil {
+		t.Error("heap overflow not flagged")
+	}
+	// Straddle.
+	if err := v.OnStore(vm.HeapBase+0x11c, 8); err == nil {
+		t.Error("straddling heap store not flagged")
+	}
+	// Globals and stack: invisible to a heap-only tool.
+	if err := v.OnStore(0x20040, 8); err != nil {
+		t.Errorf("global overflow flagged by heap-only tool: %v", err)
+	}
+	if err := v.OnStore(vm.StackTop-64, 8); err != nil {
+		t.Errorf("stack access flagged by heap-only tool: %v", err)
+	}
+	// Freed heap block.
+	v.OnFree(vm.HeapBase + 0x100)
+	if err := v.OnLoad(vm.HeapBase+0x100, 4); err == nil {
+		t.Error("use-after-free not flagged")
+	}
+	// Reuse after free re-registers cleanly.
+	v.OnAlloc(vm.HeapBase+0x100, 32, "heap")
+	if err := v.OnLoad(vm.HeapBase+0x100, 4); err != nil {
+		t.Errorf("reused block flagged: %v", err)
+	}
+}
+
+func TestMudflapSeesAllSegmentsAtObjectGranularity(t *testing.T) {
+	m := NewMudflap()
+	m.OnAlloc(0x20000, 16, "global")
+	m.OnAlloc(vm.HeapBase, 32, "heap")
+	m.OnAlloc(vm.StackTop-128, 24, "stack")
+
+	// In-bounds everywhere.
+	for _, a := range []uint64{0x20000, vm.HeapBase + 8, vm.StackTop - 128} {
+		if err := m.OnLoad(a, 8); err != nil {
+			t.Errorf("in-bounds access at %x flagged: %v", a, err)
+		}
+	}
+	// Straddles are caught in every segment.
+	if err := m.OnStore(0x2000c, 8); err == nil {
+		t.Error("global straddle missed")
+	}
+	// Outside any object: caught.
+	if err := m.OnStore(0x30000, 4); err == nil {
+		t.Error("unregistered access missed")
+	}
+	// The object-granularity blind spot: an access inside a
+	// neighbouring registered object passes.
+	m.OnAlloc(0x20010, 16, "global")
+	if err := m.OnStore(0x20010, 4); err != nil {
+		t.Errorf("neighbour-object access flagged: %v", err)
+	}
+}
+
+func TestCheckersImplementVMInterface(t *testing.T) {
+	var _ vm.Checker = NewObjectTable()
+	var _ vm.Checker = NewValgrind()
+	var _ vm.Checker = NewMudflap()
+	for _, c := range []vm.Checker{NewObjectTable(), NewValgrind(), NewMudflap()} {
+		if c.Name() == "" {
+			t.Error("empty checker name")
+		}
+	}
+}

@@ -1,0 +1,182 @@
+// Package bugbench reproduces the BugBench programs of the paper's
+// Table 4: four workloads (go, compress, polymorph, gzip) containing the
+// documented classes of real overflow bugs, used to compare SoftBound
+// against Valgrind- and Mudflap-style tools.
+//
+// Each program performs its characteristic computation and then triggers
+// the documented overflow. The bug *classes* match what drives the
+// paper's detection matrix:
+//
+//   - go: a read overflow of a global array that lands inside the
+//     adjacent global — invisible to object-granularity tools and to
+//     heap-only tools, and unchecked by store-only mode.
+//   - compress: a write overflow of a global array that straddles the
+//     object's end — visible at object granularity (Mudflap) but not to
+//     a heap-only tool (Valgrind).
+//   - polymorph: a heap write overflow into allocator padding while
+//     converting a too-long filename.
+//   - gzip: a strcpy-driven heap write overflow of a fixed-size name
+//     buffer.
+package bugbench
+
+// Program is one BugBench entry with its expected detection matrix
+// (Table 4 of the paper).
+type Program struct {
+	Name   string
+	Source string
+	// Expected detections, per tool.
+	Valgrind  bool
+	Mudflap   bool
+	StoreOnly bool
+	Full      bool
+}
+
+// Suite returns the four BugBench programs in Table 4 order.
+func Suite() []Program {
+	return []Program{
+		{
+			Name:     "go",
+			Valgrind: false, Mudflap: false, StoreOnly: false, Full: true,
+			Source: goSource,
+		},
+		{
+			Name:     "compress",
+			Valgrind: false, Mudflap: true, StoreOnly: true, Full: true,
+			Source: compressSource,
+		},
+		{
+			Name:     "polymorph",
+			Valgrind: true, Mudflap: true, StoreOnly: true, Full: true,
+			Source: polymorphSource,
+		},
+		{
+			Name:     "gzip",
+			Valgrind: true, Mudflap: true, StoreOnly: true, Full: true,
+			Source: gzipSource,
+		},
+	}
+}
+
+// goSource models SPEC go's board evaluator: liberty counting over a
+// 19x19 board with a distance table. The documented bug class is an
+// out-of-bounds *read* of a global array with an unvalidated index; the
+// read lands in the adjacent global table.
+const goSource = `
+int board[361];        /* 19x19 */
+int dist[361];         /* distance table; read overflowed */
+int libs[361];         /* adjacent global absorbs the overflow */
+
+int wrap_index(int x, int y) {
+    /* BUG: no bounds validation; y can reach 19 making idx 361+. */
+    return y * 19 + x;
+}
+
+int count_region(int x, int y) {
+    int idx = wrap_index(x, y);
+    return dist[idx] + board[idx % 361];
+}
+
+int main(void) {
+    int x, y, i;
+    int total = 0;
+    for (i = 0; i < 361; i++) {
+        board[i] = (i * 7) % 3;
+        dist[i] = (i * 13) % 5;
+        libs[i] = i;
+    }
+    for (y = 0; y < 19; y++)
+        for (x = 0; x < 19; x++)
+            total += count_region(x, y);
+    /* The buggy evaluation: a ko-threat scan walks one row too far,
+       reading dist[361..379] which is inside libs[]. */
+    for (x = 0; x < 19; x++)
+        total += count_region(x, 19);
+    printf("go total %d\n", total);
+    return 0;
+}`
+
+// compressSource models SPEC compress's hash-table coder. The documented
+// bug class is a write overflow of a global table; the overflowing write
+// straddles the end of the object.
+const compressSource = `
+char htab_tail[6];     /* documented short buffer */
+long codetab[64];
+
+int hash_step(int code, int c) {
+    return ((code << 3) ^ c) & 63;
+}
+
+int main(void) {
+    int i, c;
+    int code = 1;
+    long checksum = 0;
+    char input[256];
+    for (i = 0; i < 255; i++)
+        input[i] = (char)('a' + (i * 17) % 26);
+    input[255] = 0;
+    for (i = 0; input[i]; i++) {
+        c = input[i];
+        code = hash_step(code, c);
+        codetab[code] = codetab[code] + c;
+        checksum += codetab[code];
+    }
+    /* BUG: the tail marker is written with a 4-byte store at offset 4,
+       straddling the 6-byte object's end. */
+    *(int*)(htab_tail + 4) = code;
+    printf("compress checksum %ld\n", checksum);
+    return 0;
+}`
+
+// polymorphSource models polymorph's filename converter: it normalizes
+// DOS-style names into a fixed heap buffer. The documented bug is the
+// unchecked copy of a long name.
+const polymorphSource = `
+int main(void) {
+    char* clean = (char*)malloc(20);
+    char* orig = (char*)malloc(64);
+    int i, n;
+    long hash = 0;
+    /* Build a 40-char filename. */
+    for (i = 0; i < 40; i++)
+        orig[i] = (char)('A' + (i % 26));
+    orig[40] = 0;
+    n = (int)strlen(orig);
+    /* BUG: convert_filename copies without checking the 20-byte clean
+       buffer. The write overflows into allocator padding (Valgrind's
+       red-zone territory). */
+    for (i = 0; i <= n; i++) {
+        char c = orig[i];
+        if (c >= 'A' && c <= 'Z')
+            c = c - 'A' + 'a';
+        clean[i] = c;
+    }
+    for (i = 0; clean[i]; i++)
+        hash = hash * 31 + clean[i];
+    printf("polymorph %ld\n", hash);
+    return 0;
+}`
+
+// gzipSource models gzip's file-name handling: the input name is copied
+// into a fixed-size buffer with strcpy (the documented 1024-byte ifname
+// overflow, scaled down).
+const gzipSource = `
+int main(void) {
+    char* ifname = (char*)malloc(40);
+    char* window = (char*)malloc(256);
+    char name[80];
+    int i;
+    long crc = 0;
+    /* Deflate-ish work over the window. */
+    for (i = 0; i < 256; i++)
+        window[i] = (char)((i * 31) % 251);
+    for (i = 0; i < 256; i++)
+        crc = (crc << 1) ^ window[i];
+    /* A 60-character command-line name. */
+    for (i = 0; i < 60; i++)
+        name[i] = (char)('a' + (i % 26));
+    name[60] = 0;
+    /* BUG: get_istat() does strcpy(ifname, name) with no length check. */
+    strcpy(ifname, name);
+    printf("gzip crc %ld %s\n", crc, ifname);
+    return 0;
+}`

@@ -1,0 +1,69 @@
+package bugbench
+
+import (
+	"testing"
+
+	"softbound/internal/baseline"
+	"softbound/internal/driver"
+	"softbound/internal/vm"
+)
+
+// runWith executes a program with an optional baseline checker and mode.
+func runWith(t *testing.T, src string, mode driver.Mode, checker vm.Checker) *driver.Result {
+	t.Helper()
+	cfg := driver.DefaultConfig(mode)
+	cfg.Checker = checker
+	res, err := driver.RunSource(src, cfg)
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	return res
+}
+
+// TestTable4DetectionMatrix reproduces the paper's Table 4: which tools
+// detect each BugBench overflow.
+func TestTable4DetectionMatrix(t *testing.T) {
+	for _, p := range Suite() {
+		p := p
+		t.Run(p.Name, func(t *testing.T) {
+			// Valgrind-style (uninstrumented + heap checker).
+			res := runWith(t, p.Source, driver.ModeNone, baseline.NewValgrind())
+			if got := res.BaselineHit != nil; got != p.Valgrind {
+				t.Errorf("valgrind detection = %v, want %v (err=%v)", got, p.Valgrind, res.Err)
+			}
+			// Mudflap-style (uninstrumented + object DB checker).
+			res = runWith(t, p.Source, driver.ModeNone, baseline.NewMudflap())
+			if got := res.BaselineHit != nil; got != p.Mudflap {
+				t.Errorf("mudflap detection = %v, want %v (err=%v)", got, p.Mudflap, res.Err)
+			}
+			// SoftBound store-only.
+			res = runWith(t, p.Source, driver.ModeStoreOnly, nil)
+			if got := res.Violation != nil; got != p.StoreOnly {
+				t.Errorf("store-only detection = %v, want %v (err=%v)", got, p.StoreOnly, res.Err)
+			}
+			// SoftBound full.
+			res = runWith(t, p.Source, driver.ModeFull, nil)
+			if got := res.Violation != nil; got != p.Full {
+				t.Errorf("full detection = %v, want %v (err=%v)", got, p.Full, res.Err)
+			}
+		})
+	}
+}
+
+// TestProgramsRunCleanWithoutChecking confirms the bugs are silent
+// corruption, not crashes, when unchecked (that is what makes them
+// dangerous).
+func TestProgramsRunCleanWithoutChecking(t *testing.T) {
+	for _, p := range Suite() {
+		p := p
+		t.Run(p.Name, func(t *testing.T) {
+			res := runWith(t, p.Source, driver.ModeNone, nil)
+			if res.Err != nil {
+				t.Fatalf("unchecked run crashed: %v (output %q)", res.Err, res.Output)
+			}
+			if res.Output == "" {
+				t.Fatal("program produced no output")
+			}
+		})
+	}
+}

@@ -1,0 +1,334 @@
+// Package cast defines the abstract syntax tree for the C subset. Nodes
+// carry positions for diagnostics and, after semantic analysis, resolved
+// types (see internal/sema).
+package cast
+
+import (
+	"softbound/internal/ctoken"
+	"softbound/internal/ctypes"
+)
+
+// Node is implemented by every AST node.
+type Node interface {
+	Pos() ctoken.Pos
+}
+
+// Expr is an expression node. After sema, Type() reports the expression's
+// (decayed where applicable) C type.
+type Expr interface {
+	Node
+	Type() *ctypes.Type
+	exprNode()
+}
+
+// Stmt is a statement node.
+type Stmt interface {
+	Node
+	stmtNode()
+}
+
+// exprBase supplies shared expression plumbing.
+type exprBase struct {
+	P ctoken.Pos
+	T *ctypes.Type // filled by sema
+}
+
+func (e *exprBase) Pos() ctoken.Pos    { return e.P }
+func (e *exprBase) Type() *ctypes.Type { return e.T }
+func (e *exprBase) SetType(t *ctypes.Type) {
+	e.T = t
+}
+func (e *exprBase) exprNode() {}
+
+// ---------------------------------------------------------------- literals
+
+// IntLit is an integer or character constant.
+type IntLit struct {
+	exprBase
+	Value uint64
+}
+
+// FloatLit is a floating constant.
+type FloatLit struct {
+	exprBase
+	Value float64
+}
+
+// StringLit is a string constant; it denotes a char array in static storage.
+type StringLit struct {
+	exprBase
+	Value string // decoded bytes, no trailing NUL
+}
+
+// ------------------------------------------------------------- identifiers
+
+// VarKind classifies what an identifier resolved to.
+type VarKind int
+
+// Identifier resolution classes.
+const (
+	VarUnresolved VarKind = iota
+	VarLocal              // stack slot in current function
+	VarParam              // function parameter
+	VarGlobal             // global variable
+	VarFunc               // function designator
+	VarEnumConst          // enumeration constant
+)
+
+// Ident is a name use.
+type Ident struct {
+	exprBase
+	Name string
+	Kind VarKind
+	// EnumVal is the value when Kind == VarEnumConst.
+	EnumVal int64
+}
+
+// --------------------------------------------------------------- operators
+
+// Unary is a prefix unary operation: - ! ~ * & ++ -- (prefix).
+type Unary struct {
+	exprBase
+	Op ctoken.Kind // Minus, Not, Tilde, Star (deref), Amp (addr), Inc, Dec, Plus
+	X  Expr
+}
+
+// Postfix is x++ or x--.
+type Postfix struct {
+	exprBase
+	Op ctoken.Kind // Inc or Dec
+	X  Expr
+}
+
+// Binary is a binary operation (arithmetic, relational, logical, shifts).
+type Binary struct {
+	exprBase
+	Op   ctoken.Kind
+	X, Y Expr
+}
+
+// Assign is an assignment, possibly compound (+=, <<=, ...).
+type Assign struct {
+	exprBase
+	Op   ctoken.Kind // Assign or the compound-assign kinds
+	L, R Expr
+}
+
+// Cond is the ternary operator c ? t : f.
+type Cond struct {
+	exprBase
+	C, Then, Else Expr
+}
+
+// Comma is the comma operator.
+type Comma struct {
+	exprBase
+	X, Y Expr
+}
+
+// Cast is an explicit type conversion.
+type Cast struct {
+	exprBase
+	To *ctypes.Type
+	X  Expr
+}
+
+// SizeofType is sizeof(type-name); sizeof expr is folded by the parser into
+// SizeofType using the expression's type after sema.
+type SizeofType struct {
+	exprBase
+	Of   *ctypes.Type
+	OfEx Expr // non-nil when written as sizeof expr
+}
+
+// ------------------------------------------------------------ memory forms
+
+// Index is x[i] (desugared by sema into *(x+i) semantics but kept distinct
+// for better diagnostics and IR lowering).
+type Index struct {
+	exprBase
+	X, I Expr
+}
+
+// Member is x.f (Arrow false) or x->f (Arrow true).
+type Member struct {
+	exprBase
+	X     Expr
+	Name  string
+	Arrow bool
+	// Field is resolved by sema.
+	Field *ctypes.Field
+	// Struct is the struct type the field belongs to.
+	Struct *ctypes.Type
+}
+
+// Call is a function call. After sema, Func names the callee when it is a
+// direct call; otherwise Target is an expression evaluating to a function
+// pointer.
+type Call struct {
+	exprBase
+	Target Expr
+	Args   []Expr
+	// Direct is the resolved direct-callee name, or "".
+	Direct string
+}
+
+// --------------------------------------------------------------- statements
+
+type stmtBase struct{ P ctoken.Pos }
+
+func (s *stmtBase) Pos() ctoken.Pos { return s.P }
+func (s *stmtBase) stmtNode()       {}
+
+// ExprStmt is an expression statement.
+type ExprStmt struct {
+	stmtBase
+	X Expr
+}
+
+// Block is { ... }.
+type Block struct {
+	stmtBase
+	Stmts []Stmt
+}
+
+// If statement.
+type If struct {
+	stmtBase
+	Cond Expr
+	Then Stmt
+	Else Stmt // may be nil
+}
+
+// While statement.
+type While struct {
+	stmtBase
+	Cond Expr
+	Body Stmt
+}
+
+// DoWhile statement.
+type DoWhile struct {
+	stmtBase
+	Body Stmt
+	Cond Expr
+}
+
+// For statement.
+type For struct {
+	stmtBase
+	Init Stmt // may be nil (ExprStmt or DeclStmt)
+	Cond Expr // may be nil
+	Post Expr // may be nil
+	Body Stmt
+}
+
+// Return statement.
+type Return struct {
+	stmtBase
+	X Expr // may be nil
+}
+
+// Break statement.
+type Break struct{ stmtBase }
+
+// Continue statement.
+type Continue struct{ stmtBase }
+
+// Goto statement.
+type Goto struct {
+	stmtBase
+	Label string
+}
+
+// Labeled statement.
+type Labeled struct {
+	stmtBase
+	Label string
+	Stmt  Stmt
+}
+
+// SwitchCase is one case (or default, when IsDefault) of a switch.
+type SwitchCase struct {
+	Pos       ctoken.Pos
+	IsDefault bool
+	Value     int64 // constant case value
+	Body      []Stmt
+}
+
+// Switch statement.
+type Switch struct {
+	stmtBase
+	Tag   Expr
+	Cases []SwitchCase
+}
+
+// DeclStmt declares one or more local variables.
+type DeclStmt struct {
+	stmtBase
+	Decls []*VarDecl
+}
+
+// ------------------------------------------------------------- declarations
+
+// Init is an initializer: either a single expression or a brace list.
+type Init struct {
+	Pos  ctoken.Pos
+	Expr Expr    // non-nil for scalar initializers
+	List []*Init // non-nil for brace lists
+}
+
+// VarDecl declares a variable (local or global).
+type VarDecl struct {
+	NamePos ctoken.Pos
+	Name    string
+	Type    *ctypes.Type
+	Init    *Init // may be nil
+	Static  bool  // static storage duration at file or block scope
+	Extern  bool
+}
+
+// Pos returns the declaration position.
+func (d *VarDecl) Pos() ctoken.Pos { return d.NamePos }
+
+// ParamDecl is a function parameter.
+type ParamDecl struct {
+	Name string // may be "" in prototypes
+	Type *ctypes.Type
+}
+
+// FuncDecl is a function definition or prototype (Body nil).
+type FuncDecl struct {
+	NamePos  ctoken.Pos
+	Name     string
+	Ret      *ctypes.Type
+	Params   []ParamDecl
+	Variadic bool
+	Body     *Block // nil for prototypes
+	Static   bool
+}
+
+// Pos returns the function's declaration position.
+func (d *FuncDecl) Pos() ctoken.Pos { return d.NamePos }
+
+// FuncType builds the ctypes function type of the declaration.
+func (d *FuncDecl) FuncType() *ctypes.Type {
+	params := make([]*ctypes.Type, len(d.Params))
+	for i, p := range d.Params {
+		params[i] = p.Type.Decay()
+	}
+	return ctypes.FuncOf(d.Ret, params, d.Variadic)
+}
+
+// TranslationUnit is a parsed source file.
+type TranslationUnit struct {
+	File    string
+	Funcs   []*FuncDecl
+	Globals []*VarDecl
+	// Structs holds the interned named struct/union types of the unit.
+	Structs map[string]*ctypes.Type
+	// Enums maps enumeration constant names to values.
+	Enums map[string]int64
+	// Typedefs maps names to types.
+	Typedefs map[string]*ctypes.Type
+}

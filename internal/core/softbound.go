@@ -1,0 +1,385 @@
+// Package core implements the SoftBound transformation — the paper's
+// primary contribution (§3). It rewrites each function of an IR module to:
+//
+//  1. give every pointer-holding virtual register companion base and bound
+//     registers and propagate them through pointer creation, assignment,
+//     casts, and address arithmetic (§3.1);
+//  2. insert a spatial check before every load and store through a
+//     pointer (full mode) or before stores only (store-only mode);
+//  3. insert disjoint-metadata accesses (metaload/metastore) at every load
+//     and store OF a pointer value (§3.2) — the only places metadata
+//     touches memory;
+//  4. extend function signatures with base/bound parameters for pointer
+//     arguments and metadata for pointer returns, renaming the function
+//     with an _sb_ prefix marker (§3.3);
+//  5. shrink bounds when a pointer to a struct field is created (§3.1),
+//     which is what catches the sub-object overflows that object-table
+//     approaches miss (§2.1);
+//  6. clear the metadata of pointer-bearing stack slots in the function
+//     epilogue, and seed global metadata, per §5.2.
+//
+// The transformation is strictly intra-procedural: each function is
+// rewritten using only its own body plus the sizes of named globals,
+// which is what gives SoftBound separate compilation (§5.2). Callers and
+// callees agree purely through the name-based calling convention.
+package core
+
+import (
+	"softbound/internal/ir"
+)
+
+// Mode selects the checking mode.
+type Mode int
+
+// Checking modes (paper §1).
+const (
+	// ModeFull checks every dereference: complete spatial safety.
+	ModeFull Mode = iota
+	// ModeStoreOnly propagates all metadata but checks only writes:
+	// the low-overhead mode that still stops security vulnerabilities.
+	ModeStoreOnly
+)
+
+func (m Mode) String() string {
+	if m == ModeFull {
+		return "full"
+	}
+	return "store-only"
+}
+
+// GlobalSizer resolves a global's object size (for bounds of address-of-
+// global constants). With separate compilation this is satisfied by the
+// extern declaration's type, so the pass never needs other units' code.
+type GlobalSizer func(name string) (int64, bool)
+
+// Options configures the transformation.
+type Options struct {
+	Mode Mode
+	// ShrinkBounds enables sub-object bounds narrowing at field-address
+	// creation (on by default in the paper; exposed for the ablation).
+	ShrinkBounds bool
+	// ClearOnReturn emits metadata clearing for pointer-bearing stack
+	// slots in function epilogues (paper §5.2).
+	ClearOnReturn bool
+	// CheckFuncPtrCalls inserts the base==ptr==bound encoding check at
+	// indirect call sites (paper §5.2 "function pointers").
+	CheckFuncPtrCalls bool
+	// CheckArith additionally checks pointers at *arithmetic* time (the
+	// design SoftBound §3.1 argues against: C legally creates
+	// out-of-bounds pointers, e.g. the one-past-the-end idiom, and an
+	// arithmetic-time check both costs more and raises false positives
+	// on downward iteration). Exposed only for the ablation benchmark.
+	CheckArith bool
+}
+
+// DefaultOptions returns the paper's default configuration for a mode.
+func DefaultOptions(m Mode) Options {
+	return Options{
+		Mode:              m,
+		ShrinkBounds:      true,
+		ClearOnReturn:     true,
+		CheckFuncPtrCalls: m == ModeFull,
+	}
+}
+
+// Transform instruments every function in the module in place. sizes must
+// resolve at least every global the module references; the module's own
+// globals are consulted first.
+func Transform(m *ir.Module, sizes GlobalSizer, opts Options) {
+	resolver := func(name string) (int64, bool) {
+		if g := m.GlobalByName(name); g != nil {
+			return g.Size, true
+		}
+		if sizes != nil {
+			return sizes(name)
+		}
+		return 0, false
+	}
+	for _, f := range m.Funcs {
+		if !f.Transformed {
+			transformFunc(f, resolver, opts)
+		}
+	}
+}
+
+// xform carries per-function instrumentation state.
+type xform struct {
+	f     *ir.Func
+	opts  Options
+	sizes GlobalSizer
+
+	// base/bound shadow registers for each pointer register.
+	base  map[ir.Reg]ir.Reg
+	bound map[ir.Reg]ir.Reg
+
+	// allocaRegs maps frame offsets to the register holding the slot
+	// address (for epilogue metadata clearing).
+	allocaRegs map[int64]ir.Reg
+
+	out []ir.Inst
+}
+
+func transformFunc(f *ir.Func, sizes GlobalSizer, opts Options) {
+	x := &xform{
+		f:          f,
+		opts:       opts,
+		sizes:      sizes,
+		base:       make(map[ir.Reg]ir.Reg),
+		bound:      make(map[ir.Reg]ir.Reg),
+		allocaRegs: make(map[int64]ir.Reg),
+	}
+
+	// Extend the signature: metadata parameters for pointer parameters
+	// (paper §3.3). The function is renamed with the _sb_ marker.
+	for i := 0; i < f.OrigParams; i++ {
+		if !f.Params[i].IsPtr {
+			continue
+		}
+		pr := f.ParamRegs[i]
+		br := f.NewReg(ir.ClassPtr)
+		er := f.NewReg(ir.ClassPtr)
+		f.Params = append(f.Params,
+			ir.Param{Name: f.Params[i].Name + ".base", Class: ir.ClassPtr},
+			ir.Param{Name: f.Params[i].Name + ".bound", Class: ir.ClassPtr},
+		)
+		f.ParamRegs = append(f.ParamRegs, br, er)
+		x.base[pr] = br
+		x.bound[pr] = er
+	}
+	f.Transformed = true
+	f.SBName = "_sb_" + f.Name
+
+	// Pre-scan for alloca address registers (needed by epilogue clears
+	// that may precede the textual alloca in block order — allocas all
+	// live in the entry block in practice).
+	for _, b := range f.Blocks {
+		for i := range b.Insts {
+			in := &b.Insts[i]
+			if in.Kind == ir.KAlloca {
+				x.allocaRegs[in.C.Int] = in.Dst
+			}
+		}
+	}
+
+	for _, b := range f.Blocks {
+		x.out = x.out[:0]
+		for i := range b.Insts {
+			x.rewrite(&b.Insts[i])
+		}
+		b.Insts = append([]ir.Inst(nil), x.out...)
+	}
+}
+
+// ensure returns the shadow base/bound registers for a pointer register.
+func (x *xform) ensure(r ir.Reg) (ir.Reg, ir.Reg) {
+	b, ok := x.base[r]
+	if !ok {
+		b = x.f.NewReg(ir.ClassPtr)
+		x.base[r] = b
+	}
+	e, ok := x.bound[r]
+	if !ok {
+		e = x.f.NewReg(ir.ClassPtr)
+		x.bound[r] = e
+	}
+	return b, e
+}
+
+// metaOf returns base/bound values describing the metadata of a pointer
+// operand (paper §3.1 "creating pointers"):
+//
+//   - a register: its shadow registers;
+//   - a global address: [global, global+size) — compile-time constants;
+//   - a function address: base == bound == ptr (the function-pointer
+//     encoding of §5.2);
+//   - an integer constant (e.g. NULL or a cast integer): NULL bounds.
+func (x *xform) metaOf(v ir.Value) (ir.Value, ir.Value) {
+	switch v.Kind {
+	case ir.VReg:
+		b, e := x.ensure(v.Reg)
+		return ir.R(b), ir.R(e)
+	case ir.VGlobal:
+		if size, ok := x.sizes(v.Sym); ok {
+			return ir.GV(v.Sym, 0), ir.GV(v.Sym, size)
+		}
+		return ir.CI(0), ir.CI(0)
+	case ir.VFunc:
+		return v, v
+	default:
+		return ir.CI(0), ir.CI(0)
+	}
+}
+
+func (x *xform) emit(in ir.Inst) { x.out = append(x.out, in) }
+
+// setMeta emits assignments of the shadow registers for dst.
+func (x *xform) setMeta(dst ir.Reg, base, bound ir.Value) {
+	b, e := x.ensure(dst)
+	x.emit(ir.Inst{Kind: ir.KMov, Dst: b, A: base})
+	x.emit(ir.Inst{Kind: ir.KMov, Dst: e, A: bound})
+}
+
+// isPtrReg reports whether r holds pointers.
+func (x *xform) isPtrReg(r ir.Reg) bool {
+	return int(r) < len(x.f.RegClass) && x.f.RegClass[r] == ir.ClassPtr
+}
+
+// emitCheck inserts a spatial dereference check for an access of size
+// bytes through addr (paper §3.1 check()). Accesses through compile-time
+// global addresses are checked *statically*: an in-bounds constant access
+// carries no runtime check (matching the paper's treatment of scalar
+// locals and globals), while a constant out-of-bounds access gets a check
+// that is guaranteed to fire.
+func (x *xform) emitCheck(addr ir.Value, size int64, kind ir.CheckKind) {
+	if x.opts.Mode == ModeStoreOnly && kind == ir.CheckLoad {
+		return
+	}
+	switch addr.Kind {
+	case ir.VReg:
+		b, e := x.metaOf(addr)
+		x.emit(ir.Inst{Kind: ir.KCheck, A: addr, Base: b, Bound: e,
+			AccessSize: size, CheckK: kind})
+	case ir.VGlobal:
+		objSize, ok := x.sizes(addr.Sym)
+		if ok && addr.Off >= 0 && addr.Off+size <= objSize {
+			return // statically in bounds
+		}
+		x.emit(ir.Inst{Kind: ir.KCheck, A: addr,
+			Base: ir.GV(addr.Sym, 0), Bound: ir.GV(addr.Sym, objSize),
+			AccessSize: size, CheckK: kind})
+	}
+}
+
+// rewrite instruments one instruction.
+func (x *xform) rewrite(in *ir.Inst) {
+	switch in.Kind {
+	case ir.KConst, ir.KMov:
+		x.emit(*in)
+		if x.isPtrReg(in.Dst) {
+			b, e := x.metaOf(in.A)
+			x.setMeta(in.Dst, b, e)
+		}
+
+	case ir.KConv:
+		x.emit(*in)
+		if in.Mem == ir.MemPtr && x.isPtrReg(in.Dst) {
+			// Pointer manufactured from an integer: NULL bounds
+			// (safe default, paper §5.2). setbound() can widen later.
+			x.setMeta(in.Dst, ir.CI(0), ir.CI(0))
+		}
+
+	case ir.KAlloca:
+		x.emit(*in)
+		// base = ptr; bound = ptr + size (paper §3.1).
+		b, e := x.ensure(in.Dst)
+		x.emit(ir.Inst{Kind: ir.KMov, Dst: b, A: ir.R(in.Dst)})
+		x.emit(ir.Inst{Kind: ir.KGEP, Dst: e, A: ir.R(in.Dst), B: ir.CI(0),
+			Size: 1, C: ir.CI(in.Size)})
+
+	case ir.KGEP:
+		x.emit(*in)
+		if !x.isPtrReg(in.Dst) {
+			break
+		}
+		if in.Shrink && x.opts.ShrinkBounds {
+			// Creating a pointer to a struct field narrows the
+			// metadata to the field (paper §3.1).
+			b, e := x.ensure(in.Dst)
+			x.emit(ir.Inst{Kind: ir.KMov, Dst: b, A: ir.R(in.Dst)})
+			x.emit(ir.Inst{Kind: ir.KGEP, Dst: e, A: ir.R(in.Dst),
+				B: ir.CI(0), Size: 1, C: ir.CI(in.ShrinkLen)})
+			break
+		}
+		// Pointer arithmetic: result inherits the source bounds; no
+		// check happens until dereference (§3.1).
+		b, e := x.metaOf(in.A)
+		x.setMeta(in.Dst, b, e)
+		if x.opts.CheckArith && x.opts.Mode == ModeFull {
+			// Ablation: arithmetic-time check, permitting only
+			// [base, bound] (one-past-the-end allowed, size 0).
+			x.emit(ir.Inst{Kind: ir.KCheck, A: ir.R(in.Dst), Base: b,
+				Bound: e, AccessSize: 0, CheckK: ir.CheckLoad})
+		}
+
+	case ir.KLoad:
+		x.emitCheck(in.A, in.Mem.Size(), ir.CheckLoad)
+		x.emit(*in)
+		if in.Mem == ir.MemPtr && x.isPtrReg(in.Dst) {
+			// Loading a pointer pulls its metadata from the disjoint
+			// table (paper §3.2).
+			b, e := x.ensure(in.Dst)
+			x.emit(ir.Inst{Kind: ir.KMetaLoad, A: in.A, DstBaseR: b, DstBndR: e})
+		}
+
+	case ir.KStore:
+		x.emitCheck(in.A, in.Mem.Size(), ir.CheckStore)
+		x.emit(*in)
+		if in.Mem == ir.MemPtr {
+			// Storing a pointer records its metadata (paper §3.2).
+			b, e := x.metaOf(in.B)
+			x.emit(ir.Inst{Kind: ir.KMetaStore, A: in.A, SrcBase: b, SrcBound: e})
+		}
+
+	case ir.KCall:
+		x.rewriteCall(in)
+
+	case ir.KRet:
+		if x.opts.ClearOnReturn {
+			// Paper §5.2 "memory reuse and stale metadata": zero the
+			// metadata of pointer-bearing stack slots before return.
+			for _, slot := range x.f.ClearSlots {
+				if r, ok := x.allocaRegs[slot.Offset]; ok {
+					x.emit(ir.Inst{Kind: ir.KMetaClear, A: ir.R(r),
+						MemSize: ir.CI(slot.Size)})
+				}
+			}
+		}
+		out := *in
+		if out.HasVal && x.f.RetIsPtr {
+			b, e := x.metaOf(out.A)
+			out.RetBase, out.RetBound = b, e
+			out.RetMetaValid = true
+		}
+		x.emit(out)
+
+	default:
+		x.emit(*in)
+	}
+}
+
+// rewriteCall attaches metadata arguments for pointer arguments, inserts
+// the function-pointer check for indirect calls, and receives metadata
+// for pointer-returning calls (paper §3.3).
+func (x *xform) rewriteCall(in *ir.Inst) {
+	out := *in
+	if out.Callee.Kind == ir.VReg && x.opts.CheckFuncPtrCalls {
+		b, e := x.metaOf(out.Callee)
+		x.emit(ir.Inst{Kind: ir.KCheck, A: out.Callee, Base: b, Bound: e,
+			AccessSize: 0, CheckK: ir.CheckCall})
+	}
+	out.MetaArgs = make([]ir.Meta, len(out.Args))
+	for i, a := range out.Args {
+		if x.valueIsPtr(a) {
+			b, e := x.metaOf(a)
+			out.MetaArgs[i] = ir.Meta{Base: b, Bound: e, Valid: true}
+		}
+	}
+	if out.Dst != ir.NoReg && x.isPtrReg(out.Dst) {
+		b, e := x.ensure(out.Dst)
+		out.DstBase, out.DstBound = b, e
+	} else {
+		out.DstBase, out.DstBound = ir.NoReg, ir.NoReg
+	}
+	x.emit(out)
+}
+
+// valueIsPtr reports whether the operand denotes a pointer value.
+func (x *xform) valueIsPtr(v ir.Value) bool {
+	switch v.Kind {
+	case ir.VReg:
+		return x.isPtrReg(v.Reg)
+	case ir.VGlobal, ir.VFunc:
+		return true
+	}
+	return false
+}

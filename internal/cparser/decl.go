@@ -1,0 +1,476 @@
+package cparser
+
+import (
+	"softbound/internal/cast"
+	"softbound/internal/ctoken"
+	"softbound/internal/ctypes"
+)
+
+// parseUnit parses all top-level declarations.
+func (p *parser) parseUnit() error {
+	for !p.at(ctoken.EOF) {
+		if p.accept(ctoken.Semi) {
+			continue
+		}
+		if err := p.parseTopLevel(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (p *parser) parseTopLevel() error {
+	startPos := p.cur().Pos
+	ds, err := p.parseDeclSpecs()
+	if err != nil {
+		return err
+	}
+	// Bare struct/union/enum declaration: "struct foo { ... };"
+	if p.accept(ctoken.Semi) {
+		return nil
+	}
+	name, typ, err := p.parseDeclarator(ds.base)
+	if err != nil {
+		return err
+	}
+	if ds.typedef {
+		if name == "" {
+			return p.errorf("typedef missing name")
+		}
+		p.typedefs[name] = typ
+		for p.accept(ctoken.Comma) {
+			n2, t2, err := p.parseDeclarator(ds.base)
+			if err != nil {
+				return err
+			}
+			p.typedefs[n2] = t2
+		}
+		_, err := p.expect(ctoken.Semi)
+		return err
+	}
+	if typ.Kind == ctypes.Func {
+		return p.parseFuncRest(startPos, name, typ, ds)
+	}
+	return p.parseGlobalRest(startPos, name, typ, ds)
+}
+
+// parseFuncRest handles a function prototype or definition whose declarator
+// has already been parsed. Because parseDeclarator used parseParamTypes we
+// re-derive parameter names by reparsing is unnecessary: parseDeclarator
+// loses names, so for functions we instead detect the '(' early. To keep
+// the grammar simple we reconstruct parameters from the recorded
+// lastParams.
+func (p *parser) parseFuncRest(pos ctoken.Pos, name string, typ *ctypes.Type, ds declSpecs) error {
+	params := p.lastParams
+	variadic := typ.Variadic
+	fd := &cast.FuncDecl{
+		NamePos:  pos,
+		Name:     name,
+		Ret:      typ.Elem,
+		Params:   params,
+		Variadic: variadic,
+		Static:   ds.static,
+	}
+	if p.accept(ctoken.Semi) {
+		p.unit.Funcs = append(p.unit.Funcs, fd)
+		return nil
+	}
+	if !p.at(ctoken.LBrace) {
+		return p.errorf("expected ; or { after function declarator")
+	}
+	body, err := p.parseBlock()
+	if err != nil {
+		return err
+	}
+	fd.Body = body
+	p.unit.Funcs = append(p.unit.Funcs, fd)
+	return nil
+}
+
+func (p *parser) parseGlobalRest(pos ctoken.Pos, name string, typ *ctypes.Type, ds declSpecs) error {
+	for {
+		if name == "" {
+			return p.errorf("declaration missing name")
+		}
+		vd := &cast.VarDecl{
+			NamePos: pos,
+			Name:    name,
+			Type:    typ,
+			Static:  ds.static,
+			Extern:  ds.extern,
+		}
+		if p.accept(ctoken.Assign) {
+			init, err := p.parseInit()
+			if err != nil {
+				return err
+			}
+			vd.Init = init
+		}
+		p.unit.Globals = append(p.unit.Globals, vd)
+		if !p.accept(ctoken.Comma) {
+			break
+		}
+		var err error
+		name, typ, err = p.parseDeclarator(ds.base)
+		if err != nil {
+			return err
+		}
+	}
+	_, err := p.expect(ctoken.Semi)
+	return err
+}
+
+// parseInit parses an initializer (scalar expression or brace list).
+func (p *parser) parseInit() (*cast.Init, error) {
+	pos := p.cur().Pos
+	if p.accept(ctoken.LBrace) {
+		var list []*cast.Init
+		for !p.at(ctoken.RBrace) {
+			item, err := p.parseInit()
+			if err != nil {
+				return nil, err
+			}
+			list = append(list, item)
+			if !p.accept(ctoken.Comma) {
+				break
+			}
+		}
+		if _, err := p.expect(ctoken.RBrace); err != nil {
+			return nil, err
+		}
+		return &cast.Init{Pos: pos, List: list}, nil
+	}
+	e, err := p.parseAssignExpr()
+	if err != nil {
+		return nil, err
+	}
+	return &cast.Init{Pos: pos, Expr: e}, nil
+}
+
+// ---------------------------------------------------------------- statements
+
+func (p *parser) parseBlock() (*cast.Block, error) {
+	tok, err := p.expect(ctoken.LBrace)
+	if err != nil {
+		return nil, err
+	}
+	b := &cast.Block{}
+	b.P = tok.Pos
+	for !p.at(ctoken.RBrace) {
+		if p.at(ctoken.EOF) {
+			return nil, p.errorf("unexpected EOF in block")
+		}
+		s, err := p.parseStmt()
+		if err != nil {
+			return nil, err
+		}
+		b.Stmts = append(b.Stmts, s)
+	}
+	p.next() // }
+	return b, nil
+}
+
+func (p *parser) parseStmt() (cast.Stmt, error) {
+	t := p.cur()
+	switch t.Kind {
+	case ctoken.LBrace:
+		return p.parseBlock()
+	case ctoken.KwIf:
+		return p.parseIf()
+	case ctoken.KwWhile:
+		return p.parseWhile()
+	case ctoken.KwDo:
+		return p.parseDoWhile()
+	case ctoken.KwFor:
+		return p.parseFor()
+	case ctoken.KwSwitch:
+		return p.parseSwitch()
+	case ctoken.KwReturn:
+		p.next()
+		r := &cast.Return{}
+		r.P = t.Pos
+		if !p.at(ctoken.Semi) {
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			r.X = e
+		}
+		_, err := p.expect(ctoken.Semi)
+		return r, err
+	case ctoken.KwBreak:
+		p.next()
+		s := &cast.Break{}
+		s.P = t.Pos
+		_, err := p.expect(ctoken.Semi)
+		return s, err
+	case ctoken.KwContinue:
+		p.next()
+		s := &cast.Continue{}
+		s.P = t.Pos
+		_, err := p.expect(ctoken.Semi)
+		return s, err
+	case ctoken.KwGoto:
+		p.next()
+		lbl, err := p.expect(ctoken.Ident)
+		if err != nil {
+			return nil, err
+		}
+		s := &cast.Goto{Label: lbl.Text}
+		s.P = t.Pos
+		_, err = p.expect(ctoken.Semi)
+		return s, err
+	case ctoken.Semi:
+		p.next()
+		s := &cast.Block{}
+		s.P = t.Pos
+		return s, nil
+	case ctoken.Ident:
+		// Label?
+		if p.peek().Kind == ctoken.Colon {
+			p.next()
+			p.next()
+			inner, err := p.parseStmt()
+			if err != nil {
+				return nil, err
+			}
+			s := &cast.Labeled{Label: t.Text, Stmt: inner}
+			s.P = t.Pos
+			return s, nil
+		}
+	}
+	if p.isTypeStart() {
+		return p.parseDeclStmt()
+	}
+	e, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(ctoken.Semi); err != nil {
+		return nil, err
+	}
+	s := &cast.ExprStmt{X: e}
+	s.P = t.Pos
+	return s, nil
+}
+
+func (p *parser) parseDeclStmt() (cast.Stmt, error) {
+	pos := p.cur().Pos
+	ds, err := p.parseDeclSpecs()
+	if err != nil {
+		return nil, err
+	}
+	st := &cast.DeclStmt{}
+	st.P = pos
+	if p.accept(ctoken.Semi) {
+		return st, nil // bare struct declaration inside a function
+	}
+	for {
+		name, typ, err := p.parseDeclarator(ds.base)
+		if err != nil {
+			return nil, err
+		}
+		if name == "" {
+			return nil, p.errorf("declaration missing name")
+		}
+		vd := &cast.VarDecl{NamePos: pos, Name: name, Type: typ, Static: ds.static}
+		if p.accept(ctoken.Assign) {
+			init, err := p.parseInit()
+			if err != nil {
+				return nil, err
+			}
+			vd.Init = init
+		}
+		st.Decls = append(st.Decls, vd)
+		if !p.accept(ctoken.Comma) {
+			break
+		}
+	}
+	if _, err := p.expect(ctoken.Semi); err != nil {
+		return nil, err
+	}
+	return st, nil
+}
+
+func (p *parser) parseIf() (cast.Stmt, error) {
+	pos := p.next().Pos // if
+	if _, err := p.expect(ctoken.LParen); err != nil {
+		return nil, err
+	}
+	cond, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(ctoken.RParen); err != nil {
+		return nil, err
+	}
+	thenS, err := p.parseStmt()
+	if err != nil {
+		return nil, err
+	}
+	s := &cast.If{Cond: cond, Then: thenS}
+	s.P = pos
+	if p.accept(ctoken.KwElse) {
+		elseS, err := p.parseStmt()
+		if err != nil {
+			return nil, err
+		}
+		s.Else = elseS
+	}
+	return s, nil
+}
+
+func (p *parser) parseWhile() (cast.Stmt, error) {
+	pos := p.next().Pos
+	if _, err := p.expect(ctoken.LParen); err != nil {
+		return nil, err
+	}
+	cond, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(ctoken.RParen); err != nil {
+		return nil, err
+	}
+	body, err := p.parseStmt()
+	if err != nil {
+		return nil, err
+	}
+	s := &cast.While{Cond: cond, Body: body}
+	s.P = pos
+	return s, nil
+}
+
+func (p *parser) parseDoWhile() (cast.Stmt, error) {
+	pos := p.next().Pos
+	body, err := p.parseStmt()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(ctoken.KwWhile); err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(ctoken.LParen); err != nil {
+		return nil, err
+	}
+	cond, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(ctoken.RParen); err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(ctoken.Semi); err != nil {
+		return nil, err
+	}
+	s := &cast.DoWhile{Body: body, Cond: cond}
+	s.P = pos
+	return s, nil
+}
+
+func (p *parser) parseFor() (cast.Stmt, error) {
+	pos := p.next().Pos
+	if _, err := p.expect(ctoken.LParen); err != nil {
+		return nil, err
+	}
+	s := &cast.For{}
+	s.P = pos
+	if !p.at(ctoken.Semi) {
+		if p.isTypeStart() {
+			d, err := p.parseDeclStmt()
+			if err != nil {
+				return nil, err
+			}
+			s.Init = d
+		} else {
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			es := &cast.ExprStmt{X: e}
+			es.P = e.Pos()
+			s.Init = es
+			if _, err := p.expect(ctoken.Semi); err != nil {
+				return nil, err
+			}
+		}
+	} else {
+		p.next()
+	}
+	if !p.at(ctoken.Semi) {
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		s.Cond = e
+	}
+	if _, err := p.expect(ctoken.Semi); err != nil {
+		return nil, err
+	}
+	if !p.at(ctoken.RParen) {
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		s.Post = e
+	}
+	if _, err := p.expect(ctoken.RParen); err != nil {
+		return nil, err
+	}
+	body, err := p.parseStmt()
+	if err != nil {
+		return nil, err
+	}
+	s.Body = body
+	return s, nil
+}
+
+func (p *parser) parseSwitch() (cast.Stmt, error) {
+	pos := p.next().Pos
+	if _, err := p.expect(ctoken.LParen); err != nil {
+		return nil, err
+	}
+	tag, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(ctoken.RParen); err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(ctoken.LBrace); err != nil {
+		return nil, err
+	}
+	s := &cast.Switch{Tag: tag}
+	s.P = pos
+	for !p.at(ctoken.RBrace) {
+		var sc cast.SwitchCase
+		sc.Pos = p.cur().Pos
+		switch p.cur().Kind {
+		case ctoken.KwCase:
+			p.next()
+			v, err := p.parseConstExpr()
+			if err != nil {
+				return nil, err
+			}
+			sc.Value = v
+		case ctoken.KwDefault:
+			p.next()
+			sc.IsDefault = true
+		default:
+			return nil, p.errorf("expected case or default in switch, found %s", p.cur())
+		}
+		if _, err := p.expect(ctoken.Colon); err != nil {
+			return nil, err
+		}
+		for !p.at(ctoken.KwCase) && !p.at(ctoken.KwDefault) && !p.at(ctoken.RBrace) {
+			st, err := p.parseStmt()
+			if err != nil {
+				return nil, err
+			}
+			sc.Body = append(sc.Body, st)
+		}
+		s.Cases = append(s.Cases, sc)
+	}
+	p.next() // }
+	return s, nil
+}

@@ -1,0 +1,335 @@
+package cparser
+
+import (
+	"softbound/internal/cast"
+	"softbound/internal/ctoken"
+	"softbound/internal/ctypes"
+)
+
+// Expression parsing: precedence climbing over the full C operator set
+// (except GNU extensions). Assignment and the conditional operator are
+// right-associative; everything else is left-associative.
+
+// binary precedence levels, higher binds tighter.
+var binPrec = map[ctoken.Kind]int{
+	ctoken.OrOr:   1,
+	ctoken.AndAnd: 2,
+	ctoken.Pipe:   3,
+	ctoken.Caret:  4,
+	ctoken.Amp:    5,
+	ctoken.Eq:     6, ctoken.Ne: 6,
+	ctoken.Lt: 7, ctoken.Gt: 7, ctoken.Le: 7, ctoken.Ge: 7,
+	ctoken.Shl: 8, ctoken.Shr: 8,
+	ctoken.Plus: 9, ctoken.Minus: 9,
+	ctoken.Star: 10, ctoken.Slash: 10, ctoken.Percent: 10,
+}
+
+var compoundOps = map[ctoken.Kind]ctoken.Kind{
+	ctoken.PlusAssign:    ctoken.Plus,
+	ctoken.MinusAssign:   ctoken.Minus,
+	ctoken.StarAssign:    ctoken.Star,
+	ctoken.SlashAssign:   ctoken.Slash,
+	ctoken.PercentAssign: ctoken.Percent,
+	ctoken.AmpAssign:     ctoken.Amp,
+	ctoken.PipeAssign:    ctoken.Pipe,
+	ctoken.CaretAssign:   ctoken.Caret,
+	ctoken.ShlAssign:     ctoken.Shl,
+	ctoken.ShrAssign:     ctoken.Shr,
+}
+
+// parseExpr parses a full expression including the comma operator.
+func (p *parser) parseExpr() (cast.Expr, error) {
+	e, err := p.parseAssignExpr()
+	if err != nil {
+		return nil, err
+	}
+	for p.at(ctoken.Comma) {
+		pos := p.next().Pos
+		rhs, err := p.parseAssignExpr()
+		if err != nil {
+			return nil, err
+		}
+		c := &cast.Comma{X: e, Y: rhs}
+		c.P = pos
+		e = c
+	}
+	return e, nil
+}
+
+// parseAssignExpr parses an assignment-expression.
+func (p *parser) parseAssignExpr() (cast.Expr, error) {
+	lhs, err := p.parseCondExpr()
+	if err != nil {
+		return nil, err
+	}
+	k := p.cur().Kind
+	if k == ctoken.Assign {
+		pos := p.next().Pos
+		rhs, err := p.parseAssignExpr()
+		if err != nil {
+			return nil, err
+		}
+		a := &cast.Assign{Op: ctoken.Assign, L: lhs, R: rhs}
+		a.P = pos
+		return a, nil
+	}
+	if _, ok := compoundOps[k]; ok {
+		pos := p.next().Pos
+		rhs, err := p.parseAssignExpr()
+		if err != nil {
+			return nil, err
+		}
+		a := &cast.Assign{Op: k, L: lhs, R: rhs}
+		a.P = pos
+		return a, nil
+	}
+	return lhs, nil
+}
+
+// parseCondExpr parses a conditional-expression (?:).
+func (p *parser) parseCondExpr() (cast.Expr, error) {
+	c, err := p.parseBinaryExpr(1)
+	if err != nil {
+		return nil, err
+	}
+	if !p.at(ctoken.Question) {
+		return c, nil
+	}
+	pos := p.next().Pos
+	thenE, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(ctoken.Colon); err != nil {
+		return nil, err
+	}
+	elseE, err := p.parseCondExpr()
+	if err != nil {
+		return nil, err
+	}
+	e := &cast.Cond{C: c, Then: thenE, Else: elseE}
+	e.P = pos
+	return e, nil
+}
+
+// parseBinaryExpr climbs precedence from minPrec.
+func (p *parser) parseBinaryExpr(minPrec int) (cast.Expr, error) {
+	lhs, err := p.parseUnaryExpr()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		k := p.cur().Kind
+		prec, ok := binPrec[k]
+		if !ok || prec < minPrec {
+			return lhs, nil
+		}
+		pos := p.next().Pos
+		rhs, err := p.parseBinaryExpr(prec + 1)
+		if err != nil {
+			return nil, err
+		}
+		b := &cast.Binary{Op: k, X: lhs, Y: rhs}
+		b.P = pos
+		lhs = b
+	}
+}
+
+// parseUnaryExpr parses prefix operators, casts, and sizeof.
+func (p *parser) parseUnaryExpr() (cast.Expr, error) {
+	t := p.cur()
+	switch t.Kind {
+	case ctoken.Plus, ctoken.Minus, ctoken.Not, ctoken.Tilde,
+		ctoken.Star, ctoken.Amp, ctoken.Inc, ctoken.Dec:
+		p.next()
+		x, err := p.parseUnaryExpr()
+		if err != nil {
+			return nil, err
+		}
+		u := &cast.Unary{Op: t.Kind, X: x}
+		u.P = t.Pos
+		return u, nil
+	case ctoken.KwSizeof:
+		p.next()
+		if p.at(ctoken.LParen) && p.startsTypeName(p.peek()) {
+			return p.parseSizeofType(t.Pos)
+		}
+		x, err := p.parseUnaryExpr()
+		if err != nil {
+			return nil, err
+		}
+		s := &cast.SizeofType{OfEx: x}
+		s.P = t.Pos
+		return s, nil
+	case ctoken.LParen:
+		// A cast iff the token after '(' begins a type name.
+		if p.startsTypeName(p.peek()) {
+			return p.parseCast(t.Pos)
+		}
+	}
+	return p.parsePostfixExpr()
+}
+
+// startsTypeName reports whether tok begins a type name (used to
+// disambiguate casts from parenthesized expressions).
+func (p *parser) startsTypeName(tok ctoken.Token) bool {
+	switch tok.Kind {
+	case ctoken.KwVoid, ctoken.KwChar, ctoken.KwShort, ctoken.KwInt,
+		ctoken.KwLong, ctoken.KwFloat, ctoken.KwDouble, ctoken.KwSigned,
+		ctoken.KwUnsigned, ctoken.KwStruct, ctoken.KwUnion, ctoken.KwEnum,
+		ctoken.KwConst, ctoken.KwVolatile:
+		return true
+	case ctoken.Ident:
+		_, ok := p.typedefs[tok.Text]
+		return ok
+	}
+	return false
+}
+
+func (p *parser) parseTypeName() (*ctypes.Type, error) {
+	ds, err := p.parseDeclSpecs()
+	if err != nil {
+		return nil, err
+	}
+	name, typ, err := p.parseDeclarator(ds.base)
+	if err != nil {
+		return nil, err
+	}
+	if name != "" {
+		return nil, p.errorf("unexpected name %q in type name", name)
+	}
+	return typ, nil
+}
+
+func (p *parser) parseSizeofType(pos ctoken.Pos) (cast.Expr, error) {
+	p.next() // (
+	typ, err := p.parseTypeName()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(ctoken.RParen); err != nil {
+		return nil, err
+	}
+	s := &cast.SizeofType{Of: typ}
+	s.P = pos
+	return s, nil
+}
+
+func (p *parser) parseCast(pos ctoken.Pos) (cast.Expr, error) {
+	p.next() // (
+	typ, err := p.parseTypeName()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(ctoken.RParen); err != nil {
+		return nil, err
+	}
+	x, err := p.parseUnaryExpr()
+	if err != nil {
+		return nil, err
+	}
+	c := &cast.Cast{To: typ, X: x}
+	c.P = pos
+	return c, nil
+}
+
+// parsePostfixExpr parses primary expressions followed by call, index,
+// member, and postfix ++/-- suffixes.
+func (p *parser) parsePostfixExpr() (cast.Expr, error) {
+	e, err := p.parsePrimaryExpr()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		t := p.cur()
+		switch t.Kind {
+		case ctoken.LParen:
+			p.next()
+			var args []cast.Expr
+			if !p.at(ctoken.RParen) {
+				for {
+					a, err := p.parseAssignExpr()
+					if err != nil {
+						return nil, err
+					}
+					args = append(args, a)
+					if !p.accept(ctoken.Comma) {
+						break
+					}
+				}
+			}
+			if _, err := p.expect(ctoken.RParen); err != nil {
+				return nil, err
+			}
+			c := &cast.Call{Target: e, Args: args}
+			c.P = t.Pos
+			e = c
+		case ctoken.LBracket:
+			p.next()
+			idx, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(ctoken.RBracket); err != nil {
+				return nil, err
+			}
+			ix := &cast.Index{X: e, I: idx}
+			ix.P = t.Pos
+			e = ix
+		case ctoken.Dot, ctoken.Arrow:
+			p.next()
+			nameTok, err := p.expect(ctoken.Ident)
+			if err != nil {
+				return nil, err
+			}
+			m := &cast.Member{X: e, Name: nameTok.Text, Arrow: t.Kind == ctoken.Arrow}
+			m.P = t.Pos
+			e = m
+		case ctoken.Inc, ctoken.Dec:
+			p.next()
+			pf := &cast.Postfix{Op: t.Kind, X: e}
+			pf.P = t.Pos
+			e = pf
+		default:
+			return e, nil
+		}
+	}
+}
+
+// parsePrimaryExpr parses identifiers, literals, and parens.
+func (p *parser) parsePrimaryExpr() (cast.Expr, error) {
+	t := p.cur()
+	switch t.Kind {
+	case ctoken.Ident:
+		p.next()
+		id := &cast.Ident{Name: t.Text}
+		id.P = t.Pos
+		return id, nil
+	case ctoken.IntLit, ctoken.CharLit:
+		p.next()
+		l := &cast.IntLit{Value: t.IntVal}
+		l.P = t.Pos
+		return l, nil
+	case ctoken.FloatLit:
+		p.next()
+		l := &cast.FloatLit{Value: t.FloatVal}
+		l.P = t.Pos
+		return l, nil
+	case ctoken.StringLit:
+		p.next()
+		l := &cast.StringLit{Value: t.StrVal}
+		l.P = t.Pos
+		return l, nil
+	case ctoken.LParen:
+		p.next()
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(ctoken.RParen); err != nil {
+			return nil, err
+		}
+		return e, nil
+	}
+	return nil, p.errorf("expected expression, found %s", t)
+}

@@ -1,0 +1,582 @@
+// Package cparser implements a recursive-descent parser for the C subset.
+//
+// The parser is responsible for declaration syntax (including the full
+// declarator grammar: pointers, arrays, function parameter lists), typedef
+// and struct/union/enum scoping, and the complete C expression grammar via
+// precedence climbing. It produces an untyped AST; internal/sema resolves
+// names and types.
+package cparser
+
+import (
+	"fmt"
+
+	"softbound/internal/cast"
+	"softbound/internal/ctoken"
+	"softbound/internal/ctypes"
+)
+
+// ParseError is a syntax error with position.
+type ParseError struct {
+	Pos ctoken.Pos
+	Msg string
+}
+
+func (e *ParseError) Error() string { return fmt.Sprintf("%s: %s", e.Pos, e.Msg) }
+
+type parser struct {
+	toks []ctoken.Token
+	pos  int
+	unit *cast.TranslationUnit
+
+	// typedefs in scope (file scope only in this subset).
+	typedefs map[string]*ctypes.Type
+	structs  map[string]*ctypes.Type
+	enums    map[string]int64
+
+	// lastParams records the named parameter list of the most recently
+	// parsed function declarator suffix, so function definitions can
+	// recover parameter names (the type alone stores only param types).
+	lastParams []cast.ParamDecl
+}
+
+// Parse parses a translation unit.
+func Parse(file, src string) (*cast.TranslationUnit, error) {
+	toks, err := ctoken.ScanAll(file, src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{
+		toks: toks,
+		unit: &cast.TranslationUnit{
+			File:     file,
+			Structs:  make(map[string]*ctypes.Type),
+			Enums:    make(map[string]int64),
+			Typedefs: make(map[string]*ctypes.Type),
+		},
+	}
+	p.typedefs = p.unit.Typedefs
+	p.structs = p.unit.Structs
+	p.enums = p.unit.Enums
+	if err := p.parseUnit(); err != nil {
+		return nil, err
+	}
+	return p.unit, nil
+}
+
+// ---------------------------------------------------------------- plumbing
+
+func (p *parser) cur() ctoken.Token  { return p.toks[p.pos] }
+func (p *parser) peek() ctoken.Token { return p.toks[min(p.pos+1, len(p.toks)-1)] }
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func (p *parser) next() ctoken.Token {
+	t := p.toks[p.pos]
+	if p.pos < len(p.toks)-1 {
+		p.pos++
+	}
+	return t
+}
+
+func (p *parser) at(k ctoken.Kind) bool { return p.cur().Kind == k }
+
+func (p *parser) accept(k ctoken.Kind) bool {
+	if p.at(k) {
+		p.next()
+		return true
+	}
+	return false
+}
+
+func (p *parser) expect(k ctoken.Kind) (ctoken.Token, error) {
+	if !p.at(k) {
+		return ctoken.Token{}, p.errorf("expected %s, found %s", k, p.cur())
+	}
+	return p.next(), nil
+}
+
+func (p *parser) errorf(format string, args ...interface{}) error {
+	return &ParseError{Pos: p.cur().Pos, Msg: fmt.Sprintf(format, args...)}
+}
+
+// ------------------------------------------------------------ type parsing
+
+// isTypeStart reports whether the current token begins a type specifier.
+func (p *parser) isTypeStart() bool {
+	switch p.cur().Kind {
+	case ctoken.KwVoid, ctoken.KwChar, ctoken.KwShort, ctoken.KwInt,
+		ctoken.KwLong, ctoken.KwFloat, ctoken.KwDouble, ctoken.KwSigned,
+		ctoken.KwUnsigned, ctoken.KwStruct, ctoken.KwUnion, ctoken.KwEnum,
+		ctoken.KwConst, ctoken.KwVolatile, ctoken.KwStatic, ctoken.KwExtern,
+		ctoken.KwTypedef, ctoken.KwRegister, ctoken.KwAuto:
+		return true
+	case ctoken.Ident:
+		_, ok := p.typedefs[p.cur().Text]
+		return ok
+	}
+	return false
+}
+
+type declSpecs struct {
+	base    *ctypes.Type
+	typedef bool
+	static  bool
+	extern  bool
+}
+
+// parseDeclSpecs parses storage-class specifiers, qualifiers, and a type
+// specifier sequence, returning the base type.
+func (p *parser) parseDeclSpecs() (declSpecs, error) {
+	var ds declSpecs
+	var sawSigned, sawUnsigned bool
+	var kind ctypes.Kind = -1
+	longCount := 0
+	for {
+		t := p.cur()
+		switch t.Kind {
+		case ctoken.KwConst, ctoken.KwVolatile, ctoken.KwRegister, ctoken.KwAuto:
+			p.next() // qualifiers are accepted and ignored
+		case ctoken.KwStatic:
+			ds.static = true
+			p.next()
+		case ctoken.KwExtern:
+			ds.extern = true
+			p.next()
+		case ctoken.KwTypedef:
+			ds.typedef = true
+			p.next()
+		case ctoken.KwVoid:
+			kind = ctypes.Void
+			p.next()
+		case ctoken.KwChar:
+			kind = ctypes.Char
+			p.next()
+		case ctoken.KwShort:
+			kind = ctypes.Short
+			p.next()
+			if p.at(ctoken.KwInt) {
+				p.next()
+			}
+		case ctoken.KwInt:
+			if kind == -1 {
+				kind = ctypes.Int
+			}
+			p.next()
+		case ctoken.KwLong:
+			longCount++
+			kind = ctypes.Long
+			p.next()
+			if p.at(ctoken.KwInt) {
+				p.next()
+			}
+		case ctoken.KwFloat:
+			kind = ctypes.Float
+			p.next()
+		case ctoken.KwDouble:
+			kind = ctypes.Double
+			p.next()
+		case ctoken.KwSigned:
+			sawSigned = true
+			p.next()
+		case ctoken.KwUnsigned:
+			sawUnsigned = true
+			p.next()
+		case ctoken.KwStruct, ctoken.KwUnion:
+			st, err := p.parseStructSpec(t.Kind == ctoken.KwUnion)
+			if err != nil {
+				return ds, err
+			}
+			ds.base = st
+		case ctoken.KwEnum:
+			et, err := p.parseEnumSpec()
+			if err != nil {
+				return ds, err
+			}
+			ds.base = et
+		case ctoken.Ident:
+			if td, ok := p.typedefs[t.Text]; ok && ds.base == nil && kind == -1 && !sawSigned && !sawUnsigned {
+				ds.base = td
+				p.next()
+			} else {
+				goto done
+			}
+		default:
+			goto done
+		}
+	}
+done:
+	if ds.base == nil {
+		if kind == -1 {
+			if sawSigned || sawUnsigned {
+				kind = ctypes.Int
+			} else {
+				return ds, p.errorf("expected type specifier, found %s", p.cur())
+			}
+		}
+		switch kind {
+		case ctypes.Void:
+			ds.base = ctypes.VoidType
+		case ctypes.Float:
+			ds.base = ctypes.FloatType
+		case ctypes.Double:
+			ds.base = ctypes.DoubleType
+		default:
+			ds.base = &ctypes.Type{Kind: kind, Unsigned: sawUnsigned}
+		}
+		_ = longCount
+	}
+	return ds, nil
+}
+
+// parseStructSpec parses struct/union specifiers including bodies.
+func (p *parser) parseStructSpec(isUnion bool) (*ctypes.Type, error) {
+	p.next() // struct / union
+	tag := ""
+	if p.at(ctoken.Ident) {
+		tag = p.next().Text
+	}
+	var st *ctypes.Type
+	if tag != "" {
+		key := tag
+		if isUnion {
+			key = "union " + tag
+		}
+		if existing, ok := p.structs[key]; ok {
+			st = existing
+		} else {
+			st = ctypes.NewStruct(tag, isUnion)
+			p.structs[key] = st
+		}
+	} else {
+		st = ctypes.NewStruct("", isUnion)
+	}
+	if !p.at(ctoken.LBrace) {
+		return st, nil
+	}
+	p.next() // {
+	var fields []ctypes.Field
+	for !p.at(ctoken.RBrace) {
+		ds, err := p.parseDeclSpecs()
+		if err != nil {
+			return nil, err
+		}
+		for {
+			name, typ, err := p.parseDeclarator(ds.base)
+			if err != nil {
+				return nil, err
+			}
+			if name == "" {
+				return nil, p.errorf("struct field missing name")
+			}
+			fields = append(fields, ctypes.Field{Name: name, Type: typ})
+			if !p.accept(ctoken.Comma) {
+				break
+			}
+		}
+		if _, err := p.expect(ctoken.Semi); err != nil {
+			return nil, err
+		}
+	}
+	p.next() // }
+	if err := st.Complete(fields); err != nil {
+		return nil, p.errorf("%v", err)
+	}
+	return st, nil
+}
+
+// parseEnumSpec parses enum specifiers; enum types are int.
+func (p *parser) parseEnumSpec() (*ctypes.Type, error) {
+	p.next() // enum
+	if p.at(ctoken.Ident) {
+		p.next() // tag, ignored: enums are just ints here
+	}
+	if p.accept(ctoken.LBrace) {
+		next := int64(0)
+		for !p.at(ctoken.RBrace) {
+			nameTok, err := p.expect(ctoken.Ident)
+			if err != nil {
+				return nil, err
+			}
+			if p.accept(ctoken.Assign) {
+				v, err := p.parseConstExpr()
+				if err != nil {
+					return nil, err
+				}
+				next = v
+			}
+			p.enums[nameTok.Text] = next
+			next++
+			if !p.accept(ctoken.Comma) {
+				break
+			}
+		}
+		if _, err := p.expect(ctoken.RBrace); err != nil {
+			return nil, err
+		}
+	}
+	return ctypes.IntType, nil
+}
+
+// parseDeclarator parses a (possibly abstract) declarator given the base
+// type: pointer stars, the direct declarator name, array suffixes, and
+// function parameter lists.
+func (p *parser) parseDeclarator(base *ctypes.Type) (string, *ctypes.Type, error) {
+	for p.accept(ctoken.Star) {
+		base = ctypes.PointerTo(base)
+		for p.at(ctoken.KwConst) || p.at(ctoken.KwVolatile) {
+			p.next()
+		}
+	}
+	// Parenthesized declarator, e.g. int (*fp)(int).
+	if p.at(ctoken.LParen) && (p.peek().Kind == ctoken.Star || p.peek().Kind == ctoken.Ident && !p.isTypeTok(p.peek())) {
+		p.next() // (
+		// Parse the inner declarator against a placeholder, then wrap.
+		name, inner, err := p.parseDeclarator(nil)
+		if err != nil {
+			return "", nil, err
+		}
+		if _, err := p.expect(ctoken.RParen); err != nil {
+			return "", nil, err
+		}
+		outer, err := p.parseDeclSuffix(base)
+		if err != nil {
+			return "", nil, err
+		}
+		return name, substituteHole(inner, outer), nil
+	}
+	name := ""
+	if p.at(ctoken.Ident) {
+		name = p.next().Text
+	}
+	t, err := p.parseDeclSuffix(base)
+	if err != nil {
+		return "", nil, err
+	}
+	return name, t, nil
+}
+
+func (p *parser) isTypeTok(t ctoken.Token) bool {
+	if t.Kind != ctoken.Ident {
+		return true
+	}
+	_, ok := p.typedefs[t.Text]
+	return ok
+}
+
+// substituteHole replaces the nil "hole" left by a parenthesized inner
+// declarator with the outer type.
+func substituteHole(inner, outer *ctypes.Type) *ctypes.Type {
+	if inner == nil {
+		return outer
+	}
+	cp := *inner
+	switch inner.Kind {
+	case ctypes.Pointer, ctypes.Array:
+		cp.Elem = substituteHole(inner.Elem, outer)
+	case ctypes.Func:
+		cp.Elem = substituteHole(inner.Elem, outer)
+	}
+	return &cp
+}
+
+// parseDeclSuffix parses array and function suffixes.
+func (p *parser) parseDeclSuffix(base *ctypes.Type) (*ctypes.Type, error) {
+	switch {
+	case p.at(ctoken.LBracket):
+		p.next()
+		if p.accept(ctoken.RBracket) {
+			rest, err := p.parseDeclSuffix(base)
+			if err != nil {
+				return nil, err
+			}
+			return ctypes.IncompleteArrayOf(rest), nil
+		}
+		n, err := p.parseConstExpr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(ctoken.RBracket); err != nil {
+			return nil, err
+		}
+		rest, err := p.parseDeclSuffix(base)
+		if err != nil {
+			return nil, err
+		}
+		if n < 0 {
+			return nil, p.errorf("negative array size %d", n)
+		}
+		return ctypes.ArrayOf(rest, n), nil
+	case p.at(ctoken.LParen):
+		p.next()
+		params, variadic, err := p.parseParamTypes()
+		if err != nil {
+			return nil, err
+		}
+		p.lastParams = params
+		types := make([]*ctypes.Type, len(params))
+		for i := range params {
+			types[i] = params[i].Type.Decay()
+		}
+		return ctypes.FuncOf(base, types, variadic), nil
+	}
+	return base, nil
+}
+
+// parseParamTypes parses a parameter list after '(' up to and including ')'.
+func (p *parser) parseParamTypes() ([]cast.ParamDecl, bool, error) {
+	var params []cast.ParamDecl
+	variadic := false
+	if p.accept(ctoken.RParen) {
+		return params, false, nil
+	}
+	// (void)
+	if p.at(ctoken.KwVoid) && p.peek().Kind == ctoken.RParen {
+		p.next()
+		p.next()
+		return params, false, nil
+	}
+	for {
+		if p.accept(ctoken.Ellipsis) {
+			variadic = true
+			break
+		}
+		ds, err := p.parseDeclSpecs()
+		if err != nil {
+			return nil, false, err
+		}
+		name, typ, err := p.parseDeclarator(ds.base)
+		if err != nil {
+			return nil, false, err
+		}
+		params = append(params, cast.ParamDecl{Name: name, Type: typ})
+		if !p.accept(ctoken.Comma) {
+			break
+		}
+	}
+	if _, err := p.expect(ctoken.RParen); err != nil {
+		return nil, false, err
+	}
+	return params, variadic, nil
+}
+
+// ----------------------------------------------------------- constant fold
+
+// parseConstExpr parses and folds an integer constant expression.
+func (p *parser) parseConstExpr() (int64, error) {
+	e, err := p.parseCondExpr()
+	if err != nil {
+		return 0, err
+	}
+	return p.foldConst(e)
+}
+
+func (p *parser) foldConst(e cast.Expr) (int64, error) {
+	switch x := e.(type) {
+	case *cast.IntLit:
+		return int64(x.Value), nil
+	case *cast.Ident:
+		if v, ok := p.enums[x.Name]; ok {
+			return v, nil
+		}
+		return 0, &ParseError{Pos: x.Pos(), Msg: fmt.Sprintf("%q is not a constant", x.Name)}
+	case *cast.Unary:
+		v, err := p.foldConst(x.X)
+		if err != nil {
+			return 0, err
+		}
+		switch x.Op {
+		case ctoken.Minus:
+			return -v, nil
+		case ctoken.Plus:
+			return v, nil
+		case ctoken.Tilde:
+			return ^v, nil
+		case ctoken.Not:
+			if v == 0 {
+				return 1, nil
+			}
+			return 0, nil
+		}
+	case *cast.Binary:
+		a, err := p.foldConst(x.X)
+		if err != nil {
+			return 0, err
+		}
+		b, err := p.foldConst(x.Y)
+		if err != nil {
+			return 0, err
+		}
+		switch x.Op {
+		case ctoken.Plus:
+			return a + b, nil
+		case ctoken.Minus:
+			return a - b, nil
+		case ctoken.Star:
+			return a * b, nil
+		case ctoken.Slash:
+			if b == 0 {
+				return 0, &ParseError{Pos: x.Pos(), Msg: "division by zero in constant"}
+			}
+			return a / b, nil
+		case ctoken.Percent:
+			if b == 0 {
+				return 0, &ParseError{Pos: x.Pos(), Msg: "modulo by zero in constant"}
+			}
+			return a % b, nil
+		case ctoken.Shl:
+			return a << uint(b), nil
+		case ctoken.Shr:
+			return a >> uint(b), nil
+		case ctoken.Amp:
+			return a & b, nil
+		case ctoken.Pipe:
+			return a | b, nil
+		case ctoken.Caret:
+			return a ^ b, nil
+		case ctoken.Lt:
+			return b2i(a < b), nil
+		case ctoken.Gt:
+			return b2i(a > b), nil
+		case ctoken.Le:
+			return b2i(a <= b), nil
+		case ctoken.Ge:
+			return b2i(a >= b), nil
+		case ctoken.Eq:
+			return b2i(a == b), nil
+		case ctoken.Ne:
+			return b2i(a != b), nil
+		case ctoken.AndAnd:
+			return b2i(a != 0 && b != 0), nil
+		case ctoken.OrOr:
+			return b2i(a != 0 || b != 0), nil
+		}
+	case *cast.Cond:
+		c, err := p.foldConst(x.C)
+		if err != nil {
+			return 0, err
+		}
+		if c != 0 {
+			return p.foldConst(x.Then)
+		}
+		return p.foldConst(x.Else)
+	case *cast.SizeofType:
+		if x.Of != nil {
+			return x.Of.Size(), nil
+		}
+	case *cast.Cast:
+		return p.foldConst(x.X)
+	}
+	return 0, &ParseError{Pos: e.Pos(), Msg: "expression is not constant"}
+}
+
+func b2i(b bool) int64 {
+	if b {
+		return 1
+	}
+	return 0
+}

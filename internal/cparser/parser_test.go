@@ -1,0 +1,245 @@
+package cparser
+
+import (
+	"strings"
+	"testing"
+
+	"softbound/internal/cast"
+	"softbound/internal/ctypes"
+)
+
+func parse(t *testing.T, src string) *cast.TranslationUnit {
+	t.Helper()
+	unit, err := Parse("test.c", src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	return unit
+}
+
+func TestGlobalDeclarations(t *testing.T) {
+	unit := parse(t, `
+int x;
+int y = 5;
+char buf[64];
+double d = 1.5;
+int* p;
+int arr[3] = {1, 2, 3};
+char msg[] = "hello";
+static int s;
+`)
+	if len(unit.Globals) != 8 {
+		t.Fatalf("got %d globals", len(unit.Globals))
+	}
+	byName := map[string]*cast.VarDecl{}
+	for _, g := range unit.Globals {
+		byName[g.Name] = g
+	}
+	if byName["buf"].Type.Kind != ctypes.Array || byName["buf"].Type.ArrayLen != 64 {
+		t.Errorf("buf type %s", byName["buf"].Type)
+	}
+	if !byName["p"].Type.IsPointer() {
+		t.Errorf("p type %s", byName["p"].Type)
+	}
+	if !byName["s"].Static {
+		t.Error("s not static")
+	}
+}
+
+func TestDeclaratorShapes(t *testing.T) {
+	unit := parse(t, `
+int* a[4];         /* array of 4 pointer-to-int */
+int (*fp)(int, char*);   /* pointer to function */
+int** pp;
+char* (*g)(void);
+int m[2][3];
+`)
+	byName := map[string]*ctypes.Type{}
+	for _, g := range unit.Globals {
+		byName[g.Name] = g.Type
+	}
+	a := byName["a"]
+	if a.Kind != ctypes.Array || !a.Elem.IsPointer() {
+		t.Errorf("a = %s", a)
+	}
+	fp := byName["fp"]
+	if !fp.IsFuncPointer() || len(fp.Elem.Params) != 2 {
+		t.Errorf("fp = %s", fp)
+	}
+	pp := byName["pp"]
+	if !pp.IsPointer() || !pp.Elem.IsPointer() {
+		t.Errorf("pp = %s", pp)
+	}
+	g := byName["g"]
+	if !g.IsFuncPointer() || !g.Elem.Elem.IsPointer() {
+		t.Errorf("g = %s", g)
+	}
+	m := byName["m"]
+	if m.Kind != ctypes.Array || m.ArrayLen != 2 ||
+		m.Elem.Kind != ctypes.Array || m.Elem.ArrayLen != 3 {
+		t.Errorf("m = %s", m)
+	}
+}
+
+func TestStructUnionEnumTypedef(t *testing.T) {
+	unit := parse(t, `
+struct point { int x; int y; };
+typedef struct point point_t;
+union u { int i; char c[4]; };
+enum color { RED, GREEN = 5, BLUE };
+struct node { int v; struct node* next; };
+point_t origin;
+`)
+	if unit.Enums["RED"] != 0 || unit.Enums["GREEN"] != 5 || unit.Enums["BLUE"] != 6 {
+		t.Errorf("enum values: %v", unit.Enums)
+	}
+	pt := unit.Typedefs["point_t"]
+	if pt == nil || pt.Kind != ctypes.Struct || pt.Size() != 8 {
+		t.Errorf("typedef point_t: %v", pt)
+	}
+	node := unit.Structs["node"]
+	if node == nil || node.Size() != 16 {
+		t.Errorf("recursive struct node: %v", node)
+	}
+	u := unit.Structs["union u"]
+	if u == nil || !u.IsUnion || u.Size() != 4 {
+		t.Errorf("union u: %v", u)
+	}
+}
+
+func TestFunctionDefinitions(t *testing.T) {
+	unit := parse(t, `
+int add(int a, int b) { return a + b; }
+void nothing(void) {}
+int variadic(char* fmt, ...);
+char* ptrret(int n) { return (char*)0; }
+`)
+	if len(unit.Funcs) != 4 {
+		t.Fatalf("got %d funcs", len(unit.Funcs))
+	}
+	add := unit.Funcs[0]
+	if add.Name != "add" || len(add.Params) != 2 || add.Params[0].Name != "a" {
+		t.Errorf("add: %+v", add)
+	}
+	if unit.Funcs[1].Body == nil {
+		t.Error("nothing has no body")
+	}
+	v := unit.Funcs[2]
+	if !v.Variadic || v.Body != nil {
+		t.Errorf("variadic: %+v", v)
+	}
+	if !unit.Funcs[3].Ret.IsPointer() {
+		t.Error("ptrret return type")
+	}
+}
+
+func TestExpressionPrecedence(t *testing.T) {
+	unit := parse(t, `int f(void) { return 1 + 2 * 3 - 4 / 2; }`)
+	ret := unit.Funcs[0].Body.Stmts[0].(*cast.Return)
+	// ((1 + (2*3)) - (4/2))
+	top, ok := ret.X.(*cast.Binary)
+	if !ok {
+		t.Fatalf("top is %T", ret.X)
+	}
+	if top.Op.String() != "-" {
+		t.Errorf("top op %v", top.Op)
+	}
+	l := top.X.(*cast.Binary)
+	if l.Op.String() != "+" {
+		t.Errorf("left op %v", l.Op)
+	}
+	if l.Y.(*cast.Binary).Op.String() != "*" {
+		t.Errorf("mul missing")
+	}
+}
+
+func TestStatementsParse(t *testing.T) {
+	parse(t, `
+int f(int n) {
+    int i;
+    int sum = 0;
+    for (i = 0; i < n; i++) {
+        if (i % 2 == 0)
+            sum += i;
+        else
+            continue;
+        while (sum > 100) { sum -= 10; break; }
+    }
+    do { sum--; } while (sum > 50);
+    switch (n) {
+    case 0:
+        return 0;
+    case 1:
+    case 2:
+        sum = 1;
+        break;
+    default:
+        sum = 2;
+    }
+    goto done;
+done:
+    return sum;
+}`)
+}
+
+func TestCastVsParenExpr(t *testing.T) {
+	unit := parse(t, `
+typedef unsigned long size_t;
+int f(int x) {
+    int a = (x) + 1;          /* paren expr */
+    long b = (long)x;         /* cast */
+    size_t c = (size_t)x;     /* typedef cast */
+    char* p = (char*)(x + 1); /* cast of paren */
+    return a + (int)b + (int)c + (p != (char*)0);
+}`)
+	if len(unit.Funcs) != 1 {
+		t.Fatal("parse failed")
+	}
+}
+
+func TestConstExprFolding(t *testing.T) {
+	unit := parse(t, `
+int a[3 + 4];
+int b[1 << 4];
+int c[24 / 2 % 5];
+enum { K = 3 * 5 };
+int d[K];
+int e[sizeof(long)];
+`)
+	sizes := map[string]int64{}
+	for _, g := range unit.Globals {
+		sizes[g.Name] = g.Type.ArrayLen
+	}
+	want := map[string]int64{"a": 7, "b": 16, "c": 2, "d": 15, "e": 8}
+	for name, n := range want {
+		if sizes[name] != n {
+			t.Errorf("%s: len %d want %d", name, sizes[name], n)
+		}
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	for _, src := range []string{
+		"int f( {",
+		"int x = ;",
+		"struct { int a; int a; } s;",
+		"int a[-1];",
+		"int f(void) { return 1 }",      // missing semicolon
+		"int f(void) { if (1 return; }", // missing paren
+		"int f(void) { switch (1) { foo: } }",
+	} {
+		if _, err := Parse("bad.c", src); err == nil {
+			t.Errorf("%q: expected parse error", src)
+		} else if !strings.Contains(err.Error(), "bad.c") {
+			t.Errorf("%q: error lacks position: %v", src, err)
+		}
+	}
+}
+
+func TestCommaAndTernary(t *testing.T) {
+	unit := parse(t, `int f(int x) { return x > 0 ? (x--, x) : -x; }`)
+	ret := unit.Funcs[0].Body.Stmts[0].(*cast.Return)
+	if _, ok := ret.X.(*cast.Cond); !ok {
+		t.Fatalf("top is %T", ret.X)
+	}
+}

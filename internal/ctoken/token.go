@@ -1,0 +1,213 @@
+// Package ctoken defines the lexical tokens of the C subset accepted by the
+// SoftBound front end, and a scanner that produces them.
+//
+// The subset covers the C89 core needed by the paper's workloads: all
+// integer and floating types, pointers, arrays, structs, unions, enums,
+// typedefs, the full expression grammar, and the usual statements. It
+// deliberately omits the preprocessor (sources are preprocessed by hand),
+// bitfields, and K&R-style declarations.
+package ctoken
+
+import "fmt"
+
+// Kind identifies the lexical class of a token.
+type Kind int
+
+// Token kinds. Keep the operator block contiguous; the parser relies on
+// Kind ordering only within the documented groups.
+const (
+	EOF Kind = iota
+	Ident
+	IntLit
+	CharLit
+	FloatLit
+	StringLit
+
+	// Keywords.
+	KwAuto
+	KwBreak
+	KwCase
+	KwChar
+	KwConst
+	KwContinue
+	KwDefault
+	KwDo
+	KwDouble
+	KwElse
+	KwEnum
+	KwExtern
+	KwFloat
+	KwFor
+	KwGoto
+	KwIf
+	KwInt
+	KwLong
+	KwRegister
+	KwReturn
+	KwShort
+	KwSigned
+	KwSizeof
+	KwStatic
+	KwStruct
+	KwSwitch
+	KwTypedef
+	KwUnion
+	KwUnsigned
+	KwVoid
+	KwVolatile
+	KwWhile
+
+	// Punctuation and operators.
+	LParen   // (
+	RParen   // )
+	LBrace   // {
+	RBrace   // }
+	LBracket // [
+	RBracket // ]
+	Semi     // ;
+	Comma    // ,
+	Dot      // .
+	Arrow    // ->
+	Ellipsis // ...
+
+	Plus    // +
+	Minus   // -
+	Star    // *
+	Slash   // /
+	Percent // %
+	Inc     // ++
+	Dec     // --
+
+	Amp   // &
+	Pipe  // |
+	Caret // ^
+	Tilde // ~
+	Shl   // <<
+	Shr   // >>
+
+	Not    // !
+	AndAnd // &&
+	OrOr   // ||
+
+	Lt // <
+	Gt // >
+	Le // <=
+	Ge // >=
+	Eq // ==
+	Ne // !=
+
+	Assign        // =
+	PlusAssign    // +=
+	MinusAssign   // -=
+	StarAssign    // *=
+	SlashAssign   // /=
+	PercentAssign // %=
+	AmpAssign     // &=
+	PipeAssign    // |=
+	CaretAssign   // ^=
+	ShlAssign     // <<=
+	ShrAssign     // >>=
+
+	Question // ?
+	Colon    // :
+)
+
+var kindNames = map[Kind]string{
+	EOF: "EOF", Ident: "identifier", IntLit: "integer literal",
+	CharLit: "character literal", FloatLit: "float literal",
+	StringLit: "string literal",
+	KwAuto:    "auto", KwBreak: "break", KwCase: "case", KwChar: "char",
+	KwConst: "const", KwContinue: "continue", KwDefault: "default",
+	KwDo: "do", KwDouble: "double", KwElse: "else", KwEnum: "enum",
+	KwExtern: "extern", KwFloat: "float", KwFor: "for", KwGoto: "goto",
+	KwIf: "if", KwInt: "int", KwLong: "long", KwRegister: "register",
+	KwReturn: "return", KwShort: "short", KwSigned: "signed",
+	KwSizeof: "sizeof", KwStatic: "static", KwStruct: "struct",
+	KwSwitch: "switch", KwTypedef: "typedef", KwUnion: "union",
+	KwUnsigned: "unsigned", KwVoid: "void", KwVolatile: "volatile",
+	KwWhile: "while",
+	LParen:  "(", RParen: ")", LBrace: "{", RBrace: "}",
+	LBracket: "[", RBracket: "]", Semi: ";", Comma: ",", Dot: ".",
+	Arrow: "->", Ellipsis: "...",
+	Plus: "+", Minus: "-", Star: "*", Slash: "/", Percent: "%",
+	Inc: "++", Dec: "--",
+	Amp: "&", Pipe: "|", Caret: "^", Tilde: "~", Shl: "<<", Shr: ">>",
+	Not: "!", AndAnd: "&&", OrOr: "||",
+	Lt: "<", Gt: ">", Le: "<=", Ge: ">=", Eq: "==", Ne: "!=",
+	Assign: "=", PlusAssign: "+=", MinusAssign: "-=", StarAssign: "*=",
+	SlashAssign: "/=", PercentAssign: "%=", AmpAssign: "&=",
+	PipeAssign: "|=", CaretAssign: "^=", ShlAssign: "<<=", ShrAssign: ">>=",
+	Question: "?", Colon: ":",
+}
+
+// String returns a human-readable name for the kind.
+func (k Kind) String() string {
+	if s, ok := kindNames[k]; ok {
+		return s
+	}
+	return fmt.Sprintf("Kind(%d)", int(k))
+}
+
+var keywords = map[string]Kind{
+	"auto": KwAuto, "break": KwBreak, "case": KwCase, "char": KwChar,
+	"const": KwConst, "continue": KwContinue, "default": KwDefault,
+	"do": KwDo, "double": KwDouble, "else": KwElse, "enum": KwEnum,
+	"extern": KwExtern, "float": KwFloat, "for": KwFor, "goto": KwGoto,
+	"if": KwIf, "int": KwInt, "long": KwLong, "register": KwRegister,
+	"return": KwReturn, "short": KwShort, "signed": KwSigned,
+	"sizeof": KwSizeof, "static": KwStatic, "struct": KwStruct,
+	"switch": KwSwitch, "typedef": KwTypedef, "union": KwUnion,
+	"unsigned": KwUnsigned, "void": KwVoid, "volatile": KwVolatile,
+	"while": KwWhile,
+}
+
+// Lookup maps an identifier spelling to its keyword kind, or Ident.
+func Lookup(name string) Kind {
+	if k, ok := keywords[name]; ok {
+		return k
+	}
+	return Ident
+}
+
+// Pos is a source position.
+type Pos struct {
+	File string
+	Line int // 1-based
+	Col  int // 1-based, in bytes
+}
+
+// String formats the position as file:line:col.
+func (p Pos) String() string {
+	if p.File == "" {
+		return fmt.Sprintf("%d:%d", p.Line, p.Col)
+	}
+	return fmt.Sprintf("%s:%d:%d", p.File, p.Line, p.Col)
+}
+
+// Token is a single lexical token.
+type Token struct {
+	Kind Kind
+	Pos  Pos
+	Text string // raw spelling (identifiers, literals)
+
+	// Decoded literal values. IntVal holds integer and character
+	// literals; FloatVal holds float literals; StrVal holds the decoded
+	// (unescaped) contents of string literals.
+	IntVal   uint64
+	FloatVal float64
+	StrVal   string
+	Unsigned bool // integer literal had a u/U suffix
+	Long     bool // integer literal had an l/L suffix
+}
+
+// String renders the token for diagnostics.
+func (t Token) String() string {
+	switch t.Kind {
+	case Ident, IntLit, CharLit, FloatLit:
+		return fmt.Sprintf("%s %q", t.Kind, t.Text)
+	case StringLit:
+		return fmt.Sprintf("string %q", t.StrVal)
+	default:
+		return t.Kind.String()
+	}
+}

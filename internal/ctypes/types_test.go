@@ -1,0 +1,266 @@
+package ctypes
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestScalarSizes(t *testing.T) {
+	cases := []struct {
+		t    *Type
+		size int64
+		algn int64
+	}{
+		{CharType, 1, 1},
+		{UCharType, 1, 1},
+		{ShortType, 2, 2},
+		{IntType, 4, 4},
+		{UIntType, 4, 4},
+		{LongType, 8, 8},
+		{FloatType, 4, 4},
+		{DoubleType, 8, 8},
+		{PointerTo(IntType), 8, 8},
+		{PointerTo(PointerTo(CharType)), 8, 8},
+		{ArrayOf(IntType, 10), 40, 4},
+		{ArrayOf(ArrayOf(DoubleType, 3), 2), 48, 8},
+	}
+	for _, c := range cases {
+		if got := c.t.Size(); got != c.size {
+			t.Errorf("%s: size %d want %d", c.t, got, c.size)
+		}
+		if got := c.t.Align(); got != c.algn {
+			t.Errorf("%s: align %d want %d", c.t, got, c.algn)
+		}
+	}
+}
+
+func TestStructLayout(t *testing.T) {
+	// struct { char c; int i; char d; long l; } — classic padding case.
+	st := NewStruct("s", false)
+	err := st.Complete([]Field{
+		{Name: "c", Type: CharType},
+		{Name: "i", Type: IntType},
+		{Name: "d", Type: CharType},
+		{Name: "l", Type: LongType},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantOffsets := map[string]int64{"c": 0, "i": 4, "d": 8, "l": 16}
+	for name, off := range wantOffsets {
+		if f := st.FieldByName(name); f == nil || f.Offset != off {
+			t.Errorf("field %s: %+v want offset %d", name, f, off)
+		}
+	}
+	if st.Size() != 24 {
+		t.Errorf("size %d want 24", st.Size())
+	}
+	if st.Align() != 8 {
+		t.Errorf("align %d want 8", st.Align())
+	}
+}
+
+func TestUnionLayout(t *testing.T) {
+	u := NewStruct("u", true)
+	err := u.Complete([]Field{
+		{Name: "i", Type: IntType},
+		{Name: "d", Type: DoubleType},
+		{Name: "c", Type: ArrayOf(CharType, 3)},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range u.Fields {
+		if f.Offset != 0 {
+			t.Errorf("union field %s at offset %d", f.Name, f.Offset)
+		}
+	}
+	if u.Size() != 8 {
+		t.Errorf("union size %d want 8", u.Size())
+	}
+}
+
+func TestStructErrors(t *testing.T) {
+	st := NewStruct("s", false)
+	if err := st.Complete([]Field{
+		{Name: "a", Type: IntType},
+		{Name: "a", Type: IntType},
+	}); err == nil {
+		t.Error("duplicate field accepted")
+	}
+	st2 := NewStruct("s2", false)
+	if err := st2.Complete([]Field{{Name: "v", Type: VoidType}}); err == nil {
+		t.Error("incomplete member accepted")
+	}
+	st3 := NewStruct("s3", false)
+	if err := st3.Complete(nil); err != nil {
+		t.Errorf("empty struct: %v", err)
+	}
+	if err := st3.Complete(nil); err == nil {
+		t.Error("redefinition accepted")
+	}
+}
+
+func TestRecursiveStructViaPointer(t *testing.T) {
+	node := NewStruct("node", false)
+	err := node.Complete([]Field{
+		{Name: "v", Type: IntType},
+		{Name: "next", Type: PointerTo(node)},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if node.Size() != 16 {
+		t.Errorf("size %d want 16", node.Size())
+	}
+	if !node.ContainsPointer() {
+		t.Error("ContainsPointer false")
+	}
+}
+
+func TestContainsPointer(t *testing.T) {
+	if IntType.ContainsPointer() {
+		t.Error("int contains pointer")
+	}
+	if !ArrayOf(PointerTo(CharType), 4).ContainsPointer() {
+		t.Error("array of pointers should contain pointer")
+	}
+	st := NewStruct("s", false)
+	st.Complete([]Field{{Name: "a", Type: ArrayOf(IntType, 4)}})
+	if st.ContainsPointer() {
+		t.Error("scalar struct contains pointer")
+	}
+}
+
+func TestDecay(t *testing.T) {
+	arr := ArrayOf(IntType, 5)
+	if d := arr.Decay(); !d.IsPointer() || d.Elem != IntType {
+		t.Errorf("array decay: %s", d)
+	}
+	fn := FuncOf(IntType, nil, false)
+	if d := fn.Decay(); !d.IsFuncPointer() {
+		t.Errorf("func decay: %s", d)
+	}
+	if d := IntType.Decay(); d != IntType {
+		t.Errorf("int decay changed: %s", d)
+	}
+}
+
+func TestUsualArithmetic(t *testing.T) {
+	cases := []struct {
+		a, b, want *Type
+	}{
+		{CharType, CharType, IntType},       // promotion
+		{ShortType, IntType, IntType},       //
+		{IntType, LongType, LongType},       // rank
+		{IntType, UIntType, UIntType},       // unsigned wins at equal rank
+		{IntType, DoubleType, DoubleType},   // float wins
+		{FloatType, IntType, FloatType},     //
+		{FloatType, DoubleType, DoubleType}, //
+		{ULongType, LongType, ULongType},    //
+	}
+	for _, c := range cases {
+		got := UsualArithmetic(c.a, c.b)
+		if got.Kind != c.want.Kind || got.Unsigned != c.want.Unsigned {
+			t.Errorf("UsualArithmetic(%s, %s) = %s, want %s", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestUsualArithmeticCommutes(t *testing.T) {
+	types := []*Type{CharType, UCharType, ShortType, IntType, UIntType,
+		LongType, ULongType, FloatType, DoubleType}
+	f := func(i, j uint8) bool {
+		a := types[int(i)%len(types)]
+		b := types[int(j)%len(types)]
+		x := UsualArithmetic(a, b)
+		y := UsualArithmetic(b, a)
+		return x.Kind == y.Kind && x.Unsigned == y.Unsigned
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEqualAndAssignCompatible(t *testing.T) {
+	if !Equal(PointerTo(IntType), PointerTo(IntType)) {
+		t.Error("identical pointer types unequal")
+	}
+	if Equal(PointerTo(IntType), PointerTo(CharType)) {
+		t.Error("different pointer types equal")
+	}
+	if !AssignCompatible(PointerTo(IntType), PointerTo(CharType)) {
+		t.Error("wild pointer conversion rejected")
+	}
+	if !AssignCompatible(PointerTo(IntType), IntType) {
+		t.Error("int->pointer rejected (paper allows with NULL bounds)")
+	}
+	st := NewStruct("s", false)
+	st.Complete([]Field{{Name: "x", Type: IntType}})
+	if AssignCompatible(IntType, st) {
+		t.Error("struct->int accepted")
+	}
+}
+
+func TestFuncTypeEquality(t *testing.T) {
+	f1 := FuncOf(IntType, []*Type{PointerTo(CharType)}, false)
+	f2 := FuncOf(IntType, []*Type{PointerTo(CharType)}, false)
+	f3 := FuncOf(IntType, []*Type{PointerTo(CharType)}, true)
+	if !Equal(f1, f2) {
+		t.Error("identical func types unequal")
+	}
+	if Equal(f1, f3) {
+		t.Error("variadic difference ignored")
+	}
+}
+
+func TestTypeString(t *testing.T) {
+	cases := map[string]*Type{
+		"int":          IntType,
+		"unsigned int": UIntType,
+		"char*":        PointerTo(CharType),
+		"int[3]":       ArrayOf(IntType, 3),
+	}
+	for want, typ := range cases {
+		if got := typ.String(); got != want {
+			t.Errorf("String() = %q want %q", got, want)
+		}
+	}
+}
+
+// TestLayoutInvariants property-checks struct layout: offsets are
+// aligned, non-overlapping, increasing, and covered by the struct size.
+func TestLayoutInvariants(t *testing.T) {
+	scalars := []*Type{CharType, ShortType, IntType, LongType, FloatType,
+		DoubleType, PointerTo(IntType)}
+	f := func(picks []uint8) bool {
+		if len(picks) == 0 || len(picks) > 12 {
+			return true
+		}
+		var fields []Field
+		for i, p := range picks {
+			fields = append(fields, Field{
+				Name: string(rune('a' + i)),
+				Type: scalars[int(p)%len(scalars)],
+			})
+		}
+		st := NewStruct("q", false)
+		if err := st.Complete(fields); err != nil {
+			return false
+		}
+		var prevEnd int64
+		for _, fl := range st.Fields {
+			if fl.Offset%fl.Type.Align() != 0 {
+				return false // misaligned
+			}
+			if fl.Offset < prevEnd {
+				return false // overlap
+			}
+			prevEnd = fl.Offset + fl.Type.Size()
+		}
+		return st.Size() >= prevEnd && st.Size()%st.Align() == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,272 @@
+// Package driver assembles the full pipeline: parse → typecheck → lower →
+// optimize → (SoftBound) instrument per translation unit → link → cleanup
+// optimize → execute. Instrumentation happens per unit, before linking,
+// demonstrating the paper's separate-compilation property (§5.2): every
+// unit is transformed with only its own code plus extern declarations.
+package driver
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"io"
+
+	"softbound/internal/core"
+	"softbound/internal/cparser"
+	"softbound/internal/ctypes"
+	"softbound/internal/ir"
+	"softbound/internal/irgen"
+	"softbound/internal/libc"
+	"softbound/internal/meta"
+	"softbound/internal/metrics"
+	"softbound/internal/opt"
+	"softbound/internal/sema"
+	"softbound/internal/vm"
+)
+
+// Source is one C translation unit.
+type Source struct {
+	Name string
+	Text string
+}
+
+// Mode is the end-to-end checking mode.
+type Mode int
+
+// Checking modes.
+const (
+	ModeNone Mode = iota
+	ModeStoreOnly
+	ModeFull
+)
+
+func (m Mode) String() string {
+	return [...]string{"none", "store-only", "full"}[m]
+}
+
+// Config controls compilation and execution.
+type Config struct {
+	Mode     Mode
+	Meta     meta.Kind
+	Optimize bool
+	// ShrinkBounds, ClearOnReturn mirror core.Options (both default on
+	// via DefaultConfig).
+	ShrinkBounds  bool
+	ClearOnReturn bool
+	// WithLibc links the C-subset libc (default on via DefaultConfig).
+	WithLibc bool
+
+	// Execution.
+	Checker   vm.Checker
+	Stdout    io.Writer
+	StepLimit uint64
+	HeapSize  uint64
+	StackSize uint64
+	Args      []string
+
+	// MSCCModel applies the related-scheme cost model of §6.5: the same
+	// full checking, but with MSCC's costlier linked-shadow metadata
+	// lookups (14 instructions) and heavier check sequences (6).
+	MSCCModel bool
+
+	// CheckArith enables the arithmetic-time-check ablation (see
+	// core.Options.CheckArith).
+	CheckArith bool
+}
+
+// DefaultConfig returns the standard configuration for a mode.
+func DefaultConfig(mode Mode) Config {
+	return Config{
+		Mode:          mode,
+		Meta:          meta.KindShadowSpace,
+		Optimize:      true,
+		ShrinkBounds:  true,
+		ClearOnReturn: true,
+		WithLibc:      true,
+	}
+}
+
+// Result is the outcome of executing a program.
+type Result struct {
+	ExitCode int64
+	Stats    *metrics.Stats
+	Output   string
+	// Err is the execution error, if any (spatial violation, fault,
+	// hijack-free crash...). A nil Err means clean termination.
+	Err error
+	// Hijacks lists successful control-flow attacks observed by the VM.
+	Hijacks []vm.ControlHijack
+	// Violation is Err narrowed to a SoftBound detection, if it is one.
+	Violation *vm.SpatialViolation
+	// BaselineHit is Err narrowed to a baseline checker detection.
+	BaselineHit *vm.BaselineViolation
+}
+
+// Detected reports whether SoftBound (or a baseline checker) flagged a
+// spatial violation.
+func (r *Result) Detected() bool { return r.Violation != nil || r.BaselineHit != nil }
+
+// Compile builds, optimizes, instruments, and links the sources into one
+// executable module.
+func Compile(sources []Source, cfg Config) (*ir.Module, error) {
+	units := make([]Source, 0, len(sources)+1)
+	if cfg.WithLibc {
+		units = append(units, Source{Name: "libc.c", Text: libc.Unit()})
+	}
+	units = append(units, sources...)
+
+	var infos []*sema.Info
+	var mods []*ir.Module
+	for _, u := range units {
+		unit, err := cparser.Parse(u.Name, u.Text)
+		if err != nil {
+			return nil, fmt.Errorf("parse %s: %w", u.Name, err)
+		}
+		info, err := sema.Analyze(unit, infos...)
+		if err != nil {
+			return nil, fmt.Errorf("typecheck %s: %w", u.Name, err)
+		}
+		mod, err := irgen.Generate(info)
+		if err != nil {
+			return nil, fmt.Errorf("lower %s: %w", u.Name, err)
+		}
+		infos = append(infos, info)
+		mods = append(mods, mod)
+	}
+
+	// Pre-instrumentation optimization (the paper applies SoftBound
+	// post-optimization, §6.1).
+	if cfg.Optimize {
+		for _, m := range mods {
+			opt.Optimize(m)
+		}
+	}
+
+	// Per-unit instrumentation with a size oracle standing in for the
+	// extern declarations' types (separate compilation).
+	if cfg.Mode != ModeNone {
+		sizer := buildSizer(infos, mods)
+		opts := core.DefaultOptions(coreMode(cfg.Mode))
+		opts.ShrinkBounds = cfg.ShrinkBounds
+		opts.ClearOnReturn = cfg.ClearOnReturn
+		opts.CheckArith = cfg.CheckArith
+		for _, m := range mods {
+			core.Transform(m, sizer, opts)
+		}
+	}
+
+	// Link.
+	linked := ir.NewModule("a.out")
+	for _, m := range mods {
+		if err := linked.Link(m); err != nil {
+			return nil, err
+		}
+	}
+
+	// Post-instrumentation cleanup (redundant checks, dead metadata).
+	if cfg.Optimize {
+		opt.Optimize(linked)
+	}
+	return linked, nil
+}
+
+func coreMode(m Mode) core.Mode {
+	if m == ModeStoreOnly {
+		return core.ModeStoreOnly
+	}
+	return core.ModeFull
+}
+
+func vmMode(m Mode) vm.CheckMode {
+	switch m {
+	case ModeStoreOnly:
+		return vm.CheckStoreOnly
+	case ModeFull:
+		return vm.CheckFull
+	}
+	return vm.CheckNone
+}
+
+// buildSizer resolves global object sizes across all units, standing in
+// for the sizes extern declarations provide in real separate compilation.
+func buildSizer(infos []*sema.Info, mods []*ir.Module) core.GlobalSizer {
+	sizes := make(map[string]int64)
+	for _, m := range mods {
+		for _, g := range m.Globals {
+			sizes[g.Name] = g.Size
+		}
+	}
+	for _, info := range infos {
+		for _, g := range info.Globals {
+			if _, ok := sizes[g.Name]; !ok && g.Type.Kind != ctypes.Func {
+				sizes[g.Name] = g.Type.Size()
+			}
+		}
+	}
+	return func(name string) (int64, bool) {
+		s, ok := sizes[name]
+		return s, ok
+	}
+}
+
+// Execute runs a compiled module under the configured VM.
+func Execute(mod *ir.Module, cfg Config) *Result {
+	var buf bytes.Buffer
+	out := cfg.Stdout
+	if out == nil {
+		out = &buf
+	} else {
+		out = io.MultiWriter(out, &buf)
+	}
+	fac := meta.New(cfg.Meta)
+	var checkCost uint64
+	if cfg.MSCCModel {
+		fac = meta.Costed(fac, meta.Costs{Lookup: 14, Update: 14})
+		checkCost = 6
+	}
+	machine, err := vm.New(mod, vm.Config{
+		Mode:      vmMode(cfg.Mode),
+		Meta:      fac,
+		Checker:   cfg.Checker,
+		Stdout:    out,
+		StepLimit: cfg.StepLimit,
+		HeapSize:  cfg.HeapSize,
+		StackSize: cfg.StackSize,
+		Args:      cfg.Args,
+		CheckCost: checkCost,
+	})
+	if err != nil {
+		return &Result{Err: err, Stats: &metrics.Stats{}}
+	}
+	code, runErr := machine.Run()
+	res := &Result{
+		ExitCode: code,
+		Stats:    machine.Stats(),
+		Output:   buf.String(),
+		Err:      runErr,
+		Hijacks:  machine.Hijacks,
+	}
+	var sv *vm.SpatialViolation
+	if errors.As(runErr, &sv) {
+		res.Violation = sv
+	}
+	var bv *vm.BaselineViolation
+	if errors.As(runErr, &bv) {
+		res.BaselineHit = bv
+	}
+	return res
+}
+
+// Run compiles and executes in one step.
+func Run(sources []Source, cfg Config) (*Result, error) {
+	mod, err := Compile(sources, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return Execute(mod, cfg), nil
+}
+
+// RunSource is the single-file convenience used by tests and examples.
+func RunSource(src string, cfg Config) (*Result, error) {
+	return Run([]Source{{Name: "main.c", Text: src}}, cfg)
+}

@@ -1,0 +1,324 @@
+package driver
+
+import (
+	"strings"
+	"testing"
+)
+
+func mustRun(t *testing.T, src string, cfg Config) *Result {
+	t.Helper()
+	res, err := RunSource(src, cfg)
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	return res
+}
+
+func TestHelloWorld(t *testing.T) {
+	for _, mode := range []Mode{ModeNone, ModeStoreOnly, ModeFull} {
+		res := mustRun(t, `
+int main(void) {
+    printf("hello %s %d\n", "world", 42);
+    return 7;
+}`, DefaultConfig(mode))
+		if res.Err != nil {
+			t.Fatalf("mode %v: run: %v", mode, res.Err)
+		}
+		if res.ExitCode != 7 {
+			t.Errorf("mode %v: exit = %d, want 7", mode, res.ExitCode)
+		}
+		if res.Output != "hello world 42\n" {
+			t.Errorf("mode %v: output = %q", mode, res.Output)
+		}
+	}
+}
+
+func TestArithmeticAndControlFlow(t *testing.T) {
+	res := mustRun(t, `
+int fib(int n) {
+    if (n < 2) return n;
+    return fib(n-1) + fib(n-2);
+}
+int main(void) {
+    int i;
+    int total = 0;
+    for (i = 0; i < 10; i++)
+        total += fib(i);
+    /* fib sums: 0+1+1+2+3+5+8+13+21+34 = 88 */
+    printf("%d\n", total);
+    return total == 88 ? 0 : 1;
+}`, DefaultConfig(ModeFull))
+	if res.Err != nil {
+		t.Fatalf("run: %v", res.Err)
+	}
+	if res.ExitCode != 0 {
+		t.Fatalf("exit=%d output=%q", res.ExitCode, res.Output)
+	}
+}
+
+func TestPointersAndHeap(t *testing.T) {
+	res := mustRun(t, `
+typedef struct node { int val; struct node* next; } node;
+node* push(node* head, int v) {
+    node* n = (node*)malloc(sizeof(node));
+    n->val = v;
+    n->next = head;
+    return n;
+}
+int main(void) {
+    node* head = (node*)0;
+    int i;
+    long sum = 0;
+    for (i = 1; i <= 100; i++)
+        head = push(head, i);
+    while (head) {
+        sum += head->val;
+        head = head->next;
+    }
+    return sum == 5050 ? 0 : 1;
+}`, DefaultConfig(ModeFull))
+	if res.Err != nil {
+		t.Fatalf("run: %v", res.Err)
+	}
+	if res.ExitCode != 0 {
+		t.Fatalf("exit=%d", res.ExitCode)
+	}
+}
+
+func TestHeapOverflowDetectedFullMode(t *testing.T) {
+	src := `
+int main(void) {
+    int* a = (int*)malloc(10 * sizeof(int));
+    int i;
+    for (i = 0; i <= 10; i++)   /* off-by-one write */
+        a[i] = i;
+    return a[5];
+}`
+	res := mustRun(t, src, DefaultConfig(ModeFull))
+	if res.Violation == nil {
+		t.Fatalf("full mode missed heap overflow: err=%v", res.Err)
+	}
+	res = mustRun(t, src, DefaultConfig(ModeStoreOnly))
+	if res.Violation == nil {
+		t.Fatalf("store-only mode missed heap write overflow: err=%v", res.Err)
+	}
+	res = mustRun(t, src, DefaultConfig(ModeNone))
+	if res.Violation != nil {
+		t.Fatalf("unchecked mode reported a violation: %v", res.Err)
+	}
+}
+
+func TestReadOverflowOnlyFullModeDetects(t *testing.T) {
+	src := `
+int main(void) {
+    int* a = (int*)malloc(10 * sizeof(int));
+    int i, sum = 0;
+    for (i = 0; i < 10; i++)
+        a[i] = i;
+    for (i = 0; i <= 10; i++)   /* off-by-one read */
+        sum += a[i];
+    return sum;
+}`
+	res := mustRun(t, src, DefaultConfig(ModeFull))
+	if res.Violation == nil {
+		t.Fatalf("full mode missed read overflow: err=%v", res.Err)
+	}
+	res = mustRun(t, src, DefaultConfig(ModeStoreOnly))
+	if res.Violation != nil {
+		t.Fatalf("store-only checked a read: %v", res.Err)
+	}
+}
+
+func TestSubObjectOverflowCaught(t *testing.T) {
+	// The paper's §2.1 example: overflowing a struct-internal array
+	// must not be able to overwrite the adjacent function pointer.
+	src := `
+void safe(void) { printf("safe\n"); }
+struct node { char str[8]; void (*func)(void); };
+int main(void) {
+    struct node n;
+    char* ptr = n.str;
+    int i;
+    n.func = safe;
+    strcpy(ptr, "overflow...");   /* 12 bytes into an 8-byte field */
+    n.func();
+    return 0;
+}`
+	res := mustRun(t, src, DefaultConfig(ModeFull))
+	if res.Violation == nil {
+		t.Fatalf("sub-object overflow not caught: err=%v out=%q", res.Err, res.Output)
+	}
+}
+
+func TestStringsViaInstrumentedLibc(t *testing.T) {
+	res := mustRun(t, `
+int main(void) {
+    char buf[32];
+    strcpy(buf, "hello");
+    strcat(buf, ", world");
+    if (strcmp(buf, "hello, world") != 0) return 1;
+    if (strlen(buf) != 12) return 2;
+    if (atoi("  -123") != -123) return 3;
+    return 0;
+}`, DefaultConfig(ModeFull))
+	if res.Err != nil {
+		t.Fatalf("run: %v", res.Err)
+	}
+	if res.ExitCode != 0 {
+		t.Fatalf("exit=%d", res.ExitCode)
+	}
+}
+
+func TestNoFalsePositives(t *testing.T) {
+	// Exercise legal-but-tricky C: out-of-bounds pointer creation
+	// (never dereferenced), arbitrary casts, unions, negative indexing
+	// from an interior pointer.
+	res := mustRun(t, `
+union u { int i; char c[4]; };
+int main(void) {
+    int a[10];
+    int* end = a + 10;          /* one past the end: legal to create */
+    int* p;
+    union u x;
+    long bits;
+    int i;
+    for (p = a; p < end; p++)
+        *p = (int)(p - a);
+    p = &a[5];
+    if (p[-2] != 3) return 1;   /* negative offset from interior */
+    x.i = 0x01020304;
+    if (x.c[0] != 4) return 2;  /* little-endian union pun */
+    bits = (long)a;             /* pointer -> integer -> pointer */
+    p = (int*)bits;
+    p = setbound(p, sizeof(a)); /* re-bless with explicit bounds */
+    if (p[9] != 9) return 3;
+    i = 0;
+    for (p = end - 1; p >= a; p--)
+        i++;
+    return i == 10 ? 0 : 4;
+}`, DefaultConfig(ModeFull))
+	if res.Err != nil {
+		t.Fatalf("false positive: %v (output %q)", res.Err, res.Output)
+	}
+	if res.ExitCode != 0 {
+		t.Fatalf("exit=%d", res.ExitCode)
+	}
+}
+
+func TestSeparateCompilationAcrossUnits(t *testing.T) {
+	// A function with pointer parameters defined in one unit and called
+	// from another: metadata must flow through the extended calling
+	// convention (paper §3.3) with no whole-program analysis.
+	lib := Source{Name: "lib.c", Text: `
+int sum_array(int* a, int n) {
+    int i, s = 0;
+    for (i = 0; i < n; i++)
+        s += a[i];
+    return s;
+}
+int* make_array(int n) {
+    int i;
+    int* a = (int*)malloc(n * sizeof(int));
+    for (i = 0; i < n; i++)
+        a[i] = i;
+    return a;
+}`}
+	mainSrc := Source{Name: "main.c", Text: `
+int sum_array(int* a, int n);
+int* make_array(int n);
+int main(void) {
+    int* a = make_array(16);
+    if (sum_array(a, 16) != 120) return 1;
+    return 0;
+}`}
+	res, err := Run([]Source{lib, mainSrc}, DefaultConfig(ModeFull))
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	if res.Err != nil {
+		t.Fatalf("run: %v", res.Err)
+	}
+	if res.ExitCode != 0 {
+		t.Fatalf("exit=%d", res.ExitCode)
+	}
+
+	// The same program, overflowing in the callee, must be detected:
+	// bounds created in main travel into the separately compiled unit.
+	bad := Source{Name: "main.c", Text: `
+int sum_array(int* a, int n);
+int* make_array(int n);
+int main(void) {
+    int* a = make_array(16);
+    return sum_array(a, 17);
+}`}
+	res, err = Run([]Source{lib, bad}, DefaultConfig(ModeFull))
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	if res.Violation == nil {
+		t.Fatalf("cross-unit overflow missed: %v", res.Err)
+	}
+}
+
+// TestStringLiteralsDoNotCollideAcrossUnits is a regression test: each
+// unit's anonymous literal globals must get link-unique names, or
+// literals from different units alias each other after linking.
+func TestStringLiteralsDoNotCollideAcrossUnits(t *testing.T) {
+	a := Source{Name: "a.c", Text: `
+char* first(void)  { return "alpha"; }
+char* second(void) { return "beta"; }`}
+	b := Source{Name: "b.c", Text: `
+char* first(void);
+char* second(void);
+int main(void) {
+    if (strcmp(first(), "alpha") != 0) return 1;
+    if (strcmp(second(), "beta") != 0) return 2;
+    if (strcmp("gamma", "gamma") != 0) return 3;
+    return 0;
+}`}
+	for _, mode := range []Mode{ModeNone, ModeFull} {
+		res, err := Run([]Source{a, b}, DefaultConfig(mode))
+		if err != nil {
+			t.Fatalf("mode %v: %v", mode, err)
+		}
+		if res.Err != nil || res.ExitCode != 0 {
+			t.Fatalf("mode %v: exit=%d err=%v", mode, res.ExitCode, res.Err)
+		}
+	}
+}
+
+func TestStackOverflowToReturnAddressHijack(t *testing.T) {
+	// Unchecked, an overflow that reaches the return token transfers
+	// control (the VM records the hijack); SoftBound stops the write.
+	src := `
+int pwned_flag;
+void attack_payload(void) {
+    pwned_flag = 1;
+    printf("PWNED\n");
+    exit(66);
+}
+void vulnerable(long target) {
+    long buf[2];
+    int i;
+    for (i = 0; i < 4; i++)   /* writes past buf up to the return slot */
+        buf[i] = target;
+}
+int main(void) {
+    vulnerable((long)attack_payload);
+    return 0;
+}`
+	res := mustRun(t, src, DefaultConfig(ModeNone))
+	if len(res.Hijacks) == 0 {
+		t.Fatalf("attack did not take control: err=%v out=%q", res.Err, res.Output)
+	}
+	if !strings.Contains(res.Output, "PWNED") {
+		t.Fatalf("payload did not run: %q", res.Output)
+	}
+	res = mustRun(t, src, DefaultConfig(ModeStoreOnly))
+	if res.Violation == nil {
+		t.Fatalf("store-only missed the attack: %v", res.Err)
+	}
+	if len(res.Hijacks) != 0 {
+		t.Fatal("control was hijacked despite checking")
+	}
+}

@@ -1,0 +1,573 @@
+package driver
+
+import (
+	"fmt"
+	"testing"
+)
+
+// The C-semantics torture tests: each case is a program whose main
+// returns 0 on success and a failing-assertion number otherwise. Every
+// case runs in all three modes — instrumentation must never change
+// program semantics.
+func runTorture(t *testing.T, name, src string) {
+	t.Helper()
+	t.Run(name, func(t *testing.T) {
+		t.Parallel()
+		for _, mode := range []Mode{ModeNone, ModeStoreOnly, ModeFull} {
+			res, err := RunSource(src, DefaultConfig(mode))
+			if err != nil {
+				t.Fatalf("mode %v: compile: %v", mode, err)
+			}
+			if res.Err != nil {
+				t.Fatalf("mode %v: run: %v (output %q)", mode, res.Err, res.Output)
+			}
+			if res.ExitCode != 0 {
+				t.Fatalf("mode %v: assertion %d failed (output %q)", mode, res.ExitCode, res.Output)
+			}
+		}
+	})
+}
+
+func TestIntegerSemantics(t *testing.T) {
+	runTorture(t, "wrapping", `
+int main(void) {
+    int a = 2147483647;     /* INT_MAX */
+    unsigned int u = 4294967295u;
+    char c = 127;
+    short s = 32767;
+    a = a + 1;
+    if (a != -2147483648 - 0) return 1;   /* two's complement wrap */
+    u = u + 1;
+    if (u != 0) return 2;
+    c = (char)(c + 1);
+    if (c != -128) return 3;
+    s = (short)(s + 1);
+    if (s != -32768) return 4;
+    return 0;
+}`)
+	runTorture(t, "unsigned-compare-divide", `
+int main(void) {
+    unsigned int big = 3000000000u;
+    int neg = -1;
+    unsigned int uneg = (unsigned int)neg;
+    if (big < 5u) return 1;            /* unsigned compare */
+    if (uneg != 4294967295u) return 2;
+    if (uneg / 2u != 2147483647u) return 3;
+    if (-7 / 2 != -3) return 4;        /* truncation toward zero */
+    if (-7 % 2 != -1) return 5;
+    if (7 / -2 != -3) return 6;
+    return 0;
+}`)
+	runTorture(t, "shifts", `
+int main(void) {
+    int a = -8;
+    unsigned int u = 0x80000000u;
+    if (a >> 1 != -4) return 1;        /* arithmetic shift */
+    if (u >> 1 != 0x40000000u) return 2; /* logical shift */
+    if (1 << 10 != 1024) return 3;
+    if ((5 & 3) != 1 || (5 | 3) != 7 || (5 ^ 3) != 6) return 4;
+    if (~0 != -1) return 5;
+    return 0;
+}`)
+	runTorture(t, "char-signedness", `
+int main(void) {
+    char c = (char)200;          /* signed char: -56 */
+    unsigned char uc = 200;
+    if (c >= 0) return 1;
+    if (uc != 200) return 2;
+    if ((int)c != -56) return 3;
+    if ((int)uc != 200) return 4;
+    return 0;
+}`)
+	runTorture(t, "promotions-in-expressions", `
+int main(void) {
+    char a = 100;
+    char b = 100;
+    int sum = a + b;             /* promoted before the add */
+    long big = 1000000;
+    long prod = big * big;       /* 64-bit multiply */
+    if (sum != 200) return 1;
+    if (prod != 1000000000000L) return 2;
+    return 0;
+}`)
+}
+
+func TestFloatSemantics(t *testing.T) {
+	runTorture(t, "float-basics", `
+int main(void) {
+    double d = 0.1 + 0.2;
+    float f = 1.5f;
+    if (!(d > 0.29 && d < 0.31)) return 1;
+    if (f * 2.0 != 3.0) return 2;
+    if ((int)3.99 != 3) return 3;
+    if ((int)-3.99 != -3) return 4;      /* trunc toward zero */
+    if ((double)7 != 7.0) return 5;
+    return 0;
+}`)
+	runTorture(t, "float-narrowing", `
+int main(void) {
+    double d = 16777217.0;      /* not representable as float */
+    float f = (float)d;
+    if ((double)f == d) return 1;
+    if ((double)f != 16777216.0) return 2;
+    return 0;
+}`)
+	runTorture(t, "math-builtins", `
+int main(void) {
+    if (sqrt(49.0) != 7.0) return 1;
+    if (fabs(-2.5) != 2.5) return 2;
+    if (pow(2.0, 10.0) != 1024.0) return 3;
+    if (floor(2.7) != 2.0 || ceil(2.1) != 3.0) return 4;
+    if (fmod(7.5, 2.0) != 1.5) return 5;
+    return 0;
+}`)
+}
+
+func TestControlFlowSemantics(t *testing.T) {
+	runTorture(t, "short-circuit", `
+int calls;
+int bump(int r) { calls++; return r; }
+int main(void) {
+    calls = 0;
+    if (0 && bump(1)) return 1;
+    if (calls != 0) return 2;           /* rhs not evaluated */
+    if (!(1 || bump(1))) return 3;
+    if (calls != 0) return 4;
+    if (!(0 || bump(1))) return 5;
+    if (calls != 1) return 6;
+    return 0;
+}`)
+	runTorture(t, "switch-fallthrough", `
+int classify(int x) {
+    int r = 0;
+    switch (x) {
+    case 0:
+    case 1:
+        r += 1;       /* fall through */
+    case 2:
+        r += 10;
+        break;
+    case 3:
+        r = 99;
+        break;
+    default:
+        r = -1;
+    }
+    return r;
+}
+int main(void) {
+    if (classify(0) != 11) return 1;
+    if (classify(1) != 11) return 2;
+    if (classify(2) != 10) return 3;
+    if (classify(3) != 99) return 4;
+    if (classify(7) != -1) return 5;
+    return 0;
+}`)
+	runTorture(t, "goto-and-labels", `
+int main(void) {
+    int i = 0;
+    int sum = 0;
+loop:
+    if (i >= 5) goto done;
+    sum += i;
+    i++;
+    goto loop;
+done:
+    return sum == 10 ? 0 : 1;
+}`)
+	runTorture(t, "do-while-comma-ternary", `
+int main(void) {
+    int i = 10;
+    int n = 0;
+    do { n++; } while (--i > 0);
+    if (n != 10) return 1;
+    i = (n++, n + 1);
+    if (i != 12 || n != 11) return 2;
+    i = n > 5 ? n > 10 ? 3 : 2 : 1;   /* nested ternary */
+    if (i != 3) return 3;
+    return 0;
+}`)
+	runTorture(t, "break-continue-nested", `
+int main(void) {
+    int i, j;
+    int hits = 0;
+    for (i = 0; i < 5; i++) {
+        for (j = 0; j < 5; j++) {
+            if (j == 2) continue;
+            if (j == 4) break;
+            hits++;
+        }
+        if (i == 3) break;
+    }
+    return hits == 12 ? 0 : 1;
+}`)
+}
+
+func TestAggregateSemantics(t *testing.T) {
+	runTorture(t, "struct-copy", `
+struct pair { int a; int b; char tag[4]; };
+int main(void) {
+    struct pair x;
+    struct pair y;
+    x.a = 1; x.b = 2;
+    x.tag[0] = 'x'; x.tag[1] = 0;
+    y = x;                         /* whole-struct assignment */
+    x.a = 99;
+    if (y.a != 1 || y.b != 2) return 1;
+    if (y.tag[0] != 'x') return 2;
+    return 0;
+}`)
+	runTorture(t, "nested-structs-and-arrays", `
+struct inner { int v[3]; };
+struct outer { struct inner rows[2]; int count; };
+int main(void) {
+    struct outer o;
+    int i, j;
+    o.count = 0;
+    for (i = 0; i < 2; i++)
+        for (j = 0; j < 3; j++) {
+            o.rows[i].v[j] = i * 10 + j;
+            o.count++;
+        }
+    if (o.count != 6) return 1;
+    if (o.rows[1].v[2] != 12) return 2;
+    return 0;
+}`)
+	runTorture(t, "2d-arrays", `
+int m[3][4];
+int main(void) {
+    int i, j;
+    int trace = 0;
+    for (i = 0; i < 3; i++)
+        for (j = 0; j < 4; j++)
+            m[i][j] = i * 4 + j;
+    for (i = 0; i < 3; i++)
+        trace += m[i][i];
+    if (trace != 0 + 5 + 10) return 1;
+    if (m[2][3] != 11) return 2;
+    return 0;
+}`)
+	runTorture(t, "unions", `
+union mix { long l; double d; char bytes[8]; };
+int main(void) {
+    union mix u;
+    u.l = 0x4142434445464748L;
+    if (u.bytes[7] != 'A' || u.bytes[0] != 'H') return 1; /* little endian */
+    u.d = 1.0;
+    if (u.l != 0x3FF0000000000000L) return 2;  /* IEEE 754 pun */
+    return 0;
+}`)
+	runTorture(t, "global-initializers", `
+int scalars[4] = {1, 2, 3};          /* trailing zero */
+struct cfg { int id; char* name; } table[2] = {
+    {1, "one"},
+    {2, "two"},
+};
+char text[] = "abc";
+int* aliased = &scalars[2];
+int main(void) {
+    if (scalars[2] != 3 || scalars[3] != 0) return 1;
+    if (table[1].id != 2) return 2;
+    if (strcmp(table[0].name, "one") != 0) return 3;
+    if (sizeof(text) != 4) return 4;
+    if (*aliased != 3) return 5;
+    return 0;
+}`)
+}
+
+func TestPointerSemantics(t *testing.T) {
+	runTorture(t, "function-pointer-table", `
+int add(int a, int b) { return a + b; }
+int sub(int a, int b) { return a - b; }
+int mul(int a, int b) { return a * b; }
+typedef int (*binop)(int, int);
+binop ops[3] = {add, sub, mul};
+int main(void) {
+    int i;
+    int acc = 10;
+    for (i = 0; i < 3; i++)
+        acc = ops[i](acc, 2);
+    return acc == 20 ? 0 : acc;      /* ((10+2)-2)*2 */
+}`)
+	runTorture(t, "pointer-to-pointer", `
+int main(void) {
+    int x = 5;
+    int* p = &x;
+    int** pp = &p;
+    int y = 9;
+    **pp = 6;
+    if (x != 6) return 1;
+    *pp = &y;
+    **pp = 7;
+    if (y != 7 || x != 6) return 2;
+    return 0;
+}`)
+	runTorture(t, "pointer-compare-and-diff", `
+int main(void) {
+    int a[10];
+    int* lo = &a[2];
+    int* hi = &a[7];
+    if (!(lo < hi)) return 1;
+    if (hi - lo != 5) return 2;
+    if (lo + 5 != hi) return 3;
+    if ((hi - 2)[0] != a[5] && 0) return 4;   /* (hi-2)[0] aliases a[5] */
+    return 0;
+}`)
+	runTorture(t, "interior-pointers-negative-index", `
+struct item { int pad; int vals[8]; };
+int main(void) {
+    struct item it;
+    int* mid;
+    int k;
+    for (k = 0; k < 8; k++)
+        it.vals[k] = k * k;
+    mid = &it.vals[4];
+    if (mid[-2] != 4) return 1;
+    if (mid[3] != 49) return 2;
+    return 0;
+}`)
+	runTorture(t, "array-decay-in-calls", `
+int sum(int* a, int n) {
+    int s = 0;
+    int i;
+    for (i = 0; i < n; i++)
+        s += a[i];
+    return s;
+}
+int main(void) {
+    int grid[2][3];
+    int i, j;
+    for (i = 0; i < 2; i++)
+        for (j = 0; j < 3; j++)
+            grid[i][j] = 1;
+    if (sum(grid[0], 3) != 3) return 1;
+    if (sum(grid[1], 3) != 3) return 2;
+    return 0;
+}`)
+	runTorture(t, "sizeof-forms", `
+struct s { char c; long l; };
+int main(void) {
+    int a[12];
+    struct s v;
+    if (sizeof(int) != 4) return 1;
+    if (sizeof(char*) != 8) return 2;
+    if (sizeof a != 48) return 3;          /* expression form, no decay */
+    if (sizeof(struct s) != 16) return 4;
+    if (sizeof v != 16) return 5;
+    if (sizeof(a[0]) != 4) return 6;
+    return 0;
+}`)
+	runTorture(t, "static-locals", `
+int counter(void) {
+    static int n = 100;
+    n++;
+    return n;
+}
+int main(void) {
+    counter();
+    counter();
+    return counter() == 103 ? 0 : 1;
+}`)
+	runTorture(t, "recursion-ackermann", `
+int ack(int m, int n) {
+    if (m == 0) return n + 1;
+    if (n == 0) return ack(m - 1, 1);
+    return ack(m - 1, ack(m, n - 1));
+}
+int main(void) {
+    return ack(2, 3) == 9 ? 0 : 1;
+}`)
+}
+
+// ------------------------------------------------------ failure injection
+
+func TestMallocExhaustionIsSafe(t *testing.T) {
+	// When malloc returns NULL, the paper's rule gives the pointer NULL
+	// bounds, so dereferencing it is caught (not a wild write).
+	src := `
+int main(void) {
+    char* p;
+    long total = 0;
+    for (;;) {
+        p = (char*)malloc(1 << 20);
+        if (!p)
+            break;
+        total++;
+    }
+    p[0] = 'x';    /* p is NULL here */
+    return (int)total;
+}`
+	cfg := DefaultConfig(ModeFull)
+	cfg.HeapSize = 8 << 20
+	res := mustRun(t, src, cfg)
+	if res.Violation == nil {
+		t.Fatalf("NULL-bounds dereference missed: %v", res.Err)
+	}
+	// Unchecked, the same program segfaults on the simulated null page
+	// rather than silently corrupting.
+	cfg = DefaultConfig(ModeNone)
+	cfg.HeapSize = 8 << 20
+	res = mustRun(t, src, cfg)
+	if res.Err == nil {
+		t.Fatal("unchecked NULL write succeeded")
+	}
+}
+
+func TestStackOverflowDiagnosed(t *testing.T) {
+	src := `
+int deep(int n) {
+    int pad[64];
+    pad[0] = n;
+    if (n <= 0) return pad[0];
+    return deep(n - 1) + pad[0];
+}
+int main(void) {
+    return deep(1000000);
+}`
+	cfg := DefaultConfig(ModeNone)
+	cfg.StackSize = 1 << 20
+	res := mustRun(t, src, cfg)
+	if res.Err == nil {
+		t.Fatal("runaway recursion not diagnosed")
+	}
+}
+
+func TestFreeOfInvalidPointerDiagnosed(t *testing.T) {
+	res := mustRun(t, `
+int main(void) {
+    int x;
+    free(&x);      /* not a heap block */
+    return 0;
+}`, DefaultConfig(ModeNone))
+	if res.Err == nil {
+		t.Fatal("invalid free not diagnosed")
+	}
+}
+
+func TestSpatialOnlyScopeUseAfterFree(t *testing.T) {
+	// The paper explicitly excludes temporal safety (footnote 1):
+	// a use-after-free through a register-held pointer whose bounds are
+	// still live is NOT detected. This test pins the documented scope.
+	src := `
+int main(void) {
+    int* p = (int*)malloc(4 * sizeof(int));
+    p[0] = 42;
+    free(p);
+    return p[0] == 42 ? 0 : 1;   /* temporal violation, spatially in-bounds */
+}`
+	res := mustRun(t, src, DefaultConfig(ModeFull))
+	if res.Violation != nil {
+		t.Fatalf("unexpectedly detected a temporal violation: %v", res.Violation)
+	}
+	// But once the freed block's *metadata slots* are reused, stale
+	// bounds never resurface: a pointer LOADED from reallocated memory
+	// has fresh (or NULL) bounds (paper §5.2 metadata clearing).
+	src2 := `
+int main(void) {
+    int** slot = (int**)malloc(sizeof(int*));
+    int* q;
+    *slot = (int*)malloc(4 * sizeof(int));
+    free(*slot);
+    free(slot);
+    slot = (int**)malloc(sizeof(int*));   /* same address reused */
+    q = *slot;                            /* stale pointer bits, cleared metadata */
+    q[0] = 1;                             /* must abort: NULL bounds */
+    return 0;
+}`
+	res = mustRun(t, src2, DefaultConfig(ModeFull))
+	if res.Violation == nil {
+		t.Fatalf("stale metadata resurfaced: %v", res.Err)
+	}
+}
+
+func TestDeterministicRand(t *testing.T) {
+	src := `
+int main(void) {
+    int i;
+    long h = 0;
+    srand(7);
+    for (i = 0; i < 10; i++)
+        h = h * 31 + rand() % 1000;
+    printf("%ld\n", h);
+    return 0;
+}`
+	var first string
+	for i := 0; i < 3; i++ {
+		res := mustRun(t, src, DefaultConfig(ModeFull))
+		if res.Err != nil {
+			t.Fatal(res.Err)
+		}
+		if first == "" {
+			first = res.Output
+		} else if res.Output != first {
+			t.Fatalf("run %d differs: %q vs %q", i, res.Output, first)
+		}
+	}
+}
+
+func TestPrintfFormats(t *testing.T) {
+	res := mustRun(t, `
+int main(void) {
+    printf("%d %u %ld %x %X %o %c %s %5d %-5d| %05d %.2f %g %e %%\n",
+        -42, 42u, 1234567890123L, 255, 255, 8, 'Z', "str",
+        7, 7, 7, 3.14159, 0.5, 12345.678);
+    printf("%p\n", (void*)0);
+    return 0;
+}`, DefaultConfig(ModeFull))
+	if res.Err != nil {
+		t.Fatal(res.Err)
+	}
+	want := "-42 42 1234567890123 ff FF 10 Z str     7 7    | 00007 3.14 0.5 1.234568e+04 %\n"
+	if res.Output != want+"0x0\n" {
+		t.Fatalf("printf output:\n got %q\nwant %q", res.Output, want+"0x0\n")
+	}
+}
+
+func TestSprintfAndPuts(t *testing.T) {
+	res := mustRun(t, `
+int main(void) {
+    char buf[64];
+    int n = sprintf(buf, "x=%d y=%s", 5, "q");
+    if (n != 7) return 1;
+    if (strcmp(buf, "x=5 y=q") != 0) return 2;
+    puts(buf);
+    putchar('!');
+    putchar(10);
+    return 0;
+}`, DefaultConfig(ModeFull))
+	if res.Err != nil || res.ExitCode != 0 {
+		t.Fatalf("exit=%d err=%v out=%q", res.ExitCode, res.Err, res.Output)
+	}
+	if res.Output != "x=5 y=q\n!\n" {
+		t.Fatalf("output %q", res.Output)
+	}
+}
+
+func TestCallocReallocSemantics(t *testing.T) {
+	runTorture(t, "calloc-realloc", fmt.Sprintf(`
+int main(void) {
+    int i;
+    int* a = (int*)calloc(8, sizeof(int));
+    for (i = 0; i < 8; i++)
+        if (a[i] != 0) return 1;
+    for (i = 0; i < 8; i++)
+        a[i] = i;
+    a = (int*)realloc(a, 16 * sizeof(int));
+    for (i = 0; i < 8; i++)
+        if (a[i] != i) return 2;
+    a[15] = 99;               /* new tail is writable with new bounds */
+    if (a[15] != 99) return 3;
+    return %d;
+}`, 0))
+	// And the GROWN bounds are enforced.
+	res := mustRun(t, `
+int main(void) {
+    int* a = (int*)malloc(4 * sizeof(int));
+    a = (int*)realloc(a, 8 * sizeof(int));
+    a[8] = 1;   /* one past the new end */
+    return 0;
+}`, DefaultConfig(ModeFull))
+	if res.Violation == nil {
+		t.Fatalf("realloc bounds not enforced: %v", res.Err)
+	}
+}

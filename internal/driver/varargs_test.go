@@ -1,0 +1,168 @@
+package driver
+
+import (
+	"strings"
+	"testing"
+)
+
+// Variable-argument functions, paper §5.2: SoftBound extends the vararg
+// calling convention so the number of arguments (and pointer arguments)
+// travels with the call, and va_arg decoding is checked.
+
+func TestVarargSum(t *testing.T) {
+	src := `
+int sumv(int n, ...) {
+    long ap;
+    int i;
+    int s = 0;
+    va_start(&ap, n);
+    for (i = 0; i < n; i++)
+        s += va_arg_int(&ap);
+    va_end(&ap);
+    return s;
+}
+int main(void) {
+    if (sumv(3, 10, 20, 30) != 60) return 1;
+    if (sumv(0) != 0) return 2;
+    if (sumv(1, -5) != -5) return 3;
+    return 0;
+}`
+	for _, mode := range []Mode{ModeNone, ModeStoreOnly, ModeFull} {
+		res := mustRun(t, src, DefaultConfig(mode))
+		if res.Err != nil {
+			t.Fatalf("mode %v: %v", mode, res.Err)
+		}
+		if res.ExitCode != 0 {
+			t.Fatalf("mode %v: exit=%d", mode, res.ExitCode)
+		}
+	}
+}
+
+func TestVarargMixedTypes(t *testing.T) {
+	src := `
+double mix(int n, ...) {
+    long ap;
+    double acc = 0.0;
+    int i;
+    va_start(&ap, n);
+    for (i = 0; i < n; i++) {
+        if (i % 2 == 0)
+            acc += (double)va_arg_long(&ap);
+        else
+            acc += va_arg_double(&ap);
+    }
+    va_end(&ap);
+    return acc;
+}
+int main(void) {
+    double r = mix(4, 1L, 2.5, 3L, 4.25);
+    printf("%g\n", r);
+    return r == 10.75 ? 0 : 1;
+}`
+	res := mustRun(t, src, DefaultConfig(ModeFull))
+	if res.Err != nil {
+		t.Fatalf("%v", res.Err)
+	}
+	if res.ExitCode != 0 {
+		t.Fatalf("exit=%d output=%q", res.ExitCode, res.Output)
+	}
+}
+
+// TestVarargPointerMetadataFlows: pointer varargs carry bounds, so an
+// overflow through a vararg pointer is caught inside the callee — the
+// point of extending the vararg convention (paper §5.2).
+func TestVarargPointerMetadataFlows(t *testing.T) {
+	src := `
+void fill(int count, int val, ...) {
+    long ap;
+    int i, j;
+    va_start(&ap, val);
+    for (i = 0; i < count; i++) {
+        int* a = (int*)va_arg_ptr(&ap);
+        for (j = 0; j <= 4; j++)    /* off-by-one on the 4-int buffer */
+            a[j] = val;
+    }
+    va_end(&ap);
+}
+int main(void) {
+    int buf[4];
+    fill(1, 7, buf);
+    return buf[0];
+}`
+	res := mustRun(t, src, DefaultConfig(ModeFull))
+	if res.Violation == nil {
+		t.Fatalf("vararg pointer overflow missed: %v", res.Err)
+	}
+	// And a correct variant runs cleanly with metadata intact.
+	good := strings.Replace(src, "j <= 4", "j < 4", 1)
+	res = mustRun(t, good, DefaultConfig(ModeFull))
+	if res.Err != nil {
+		t.Fatalf("clean vararg run failed: %v", res.Err)
+	}
+}
+
+// TestVarargOverdecodeChecked: decoding more arguments than were passed
+// is caught under SoftBound ("neither too many arguments nor too many
+// pointer arguments are decoded", §5.2) and silently reads zero when
+// unchecked, like garbage on a real stack.
+func TestVarargOverdecodeChecked(t *testing.T) {
+	src := `
+int greedy(int n, ...) {
+    long ap;
+    int s = 0;
+    int i;
+    va_start(&ap, n);
+    for (i = 0; i < n + 2; i++)   /* reads two too many */
+        s += va_arg_int(&ap);
+    va_end(&ap);
+    return s;
+}
+int main(void) {
+    return greedy(2, 5, 6);
+}`
+	res := mustRun(t, src, DefaultConfig(ModeFull))
+	if res.Violation == nil {
+		t.Fatalf("over-decode not detected: %v", res.Err)
+	}
+	res = mustRun(t, src, DefaultConfig(ModeNone))
+	if res.Err != nil {
+		t.Fatalf("unchecked over-decode crashed: %v", res.Err)
+	}
+	if res.ExitCode != 11 {
+		t.Fatalf("unchecked exit=%d, want 11 (5+6+0+0)", res.ExitCode)
+	}
+}
+
+// TestVarargThroughSeparateUnits: the extended vararg convention works
+// across translation units.
+func TestVarargThroughSeparateUnits(t *testing.T) {
+	lib := Source{Name: "fmt.c", Text: `
+int join(char* dst, int n, ...) {
+    long ap;
+    int i;
+    dst[0] = 0;
+    va_start(&ap, n);
+    for (i = 0; i < n; i++) {
+        char* s = (char*)va_arg_ptr(&ap);
+        strcat(dst, s);
+    }
+    va_end(&ap);
+    return (int)strlen(dst);
+}`}
+	app := Source{Name: "app.c", Text: `
+int join(char* dst, int n, ...);
+int main(void) {
+    char buf[32];
+    int n = join(buf, 3, "a", "bc", "def");
+    if (n != 6) return 1;
+    if (strcmp(buf, "abcdef") != 0) return 2;
+    return 0;
+}`}
+	res, err := Run([]Source{lib, app}, DefaultConfig(ModeFull))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Err != nil || res.ExitCode != 0 {
+		t.Fatalf("exit=%d err=%v", res.ExitCode, res.Err)
+	}
+}

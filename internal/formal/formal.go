@@ -1,0 +1,665 @@
+// Package formal mechanizes §4 of the paper: a non-standard operational
+// semantics for a straight-line fragment of C that propagates base/bound
+// metadata and performs the bounds-check assertions SoftBound inserts.
+// The paper proves Preservation and Progress in Coq; here the same
+// semantics, well-formedness predicate, and theorems are stated
+// executably and validated by exhaustive property-based testing
+// (testing/quick) over randomly generated well-typed programs.
+//
+// The fragment (paper §4.1):
+//
+//	Atomic Types  a ::= int | p*
+//	Pointer Types p ::= a | s | n | void
+//	Struct Types  s ::= struct{...; id_i : a_i; ...}
+//	LHS           lhs ::= x | *lhs | lhs.id
+//	RHS           rhs ::= i | rhs+rhs | lhs | &lhs | (a)rhs
+//	                    | sizeof(a) | malloc(rhs)
+//	Commands      c ::= c ; c | lhs = rhs
+//
+// Memory is a partial map from abstract locations to values; each stored
+// value carries its (base, bound) metadata, modelling SoftBound's
+// disjoint metadata space. The semantics is *undefined* (Stuck) exactly
+// when an un-instrumented C program would commit a spatial violation;
+// the theorems assert instrumented programs never reach that state.
+package formal
+
+import (
+	"fmt"
+	"sort"
+)
+
+// ---------------------------------------------------------------- types
+
+// TypeKind discriminates the fragment's types.
+type TypeKind int
+
+// Type kinds of the fragment.
+const (
+	TInt TypeKind = iota
+	TPtr
+	TStruct
+	TVoid
+)
+
+// Type is a type of the fragment. Pointers point to any Type; struct
+// fields have atomic types (int or pointer), as in the paper's grammar.
+type Type struct {
+	Kind TypeKind
+	Elem *Type // TPtr
+	// Fields of a struct: names and atomic types.
+	FieldNames []string
+	FieldTypes []*Type
+	Name       string // named structs permit recursion
+}
+
+// IntT and helpers construct types.
+var IntT = &Type{Kind: TInt}
+
+// VoidT is the void type.
+var VoidT = &Type{Kind: TVoid}
+
+// Ptr returns a pointer type.
+func Ptr(t *Type) *Type { return &Type{Kind: TPtr, Elem: t} }
+
+// StructT builds a struct type.
+func StructT(name string, fields []string, types []*Type) *Type {
+	return &Type{Kind: TStruct, Name: name, FieldNames: fields, FieldTypes: types}
+}
+
+// Sizeof returns the size of a type in abstract locations (each location
+// holds one scalar, as in the paper's word-level model).
+func Sizeof(t *Type) int {
+	switch t.Kind {
+	case TInt, TPtr:
+		return 1
+	case TStruct:
+		n := 0
+		for _, ft := range t.FieldTypes {
+			n += Sizeof(ft)
+		}
+		return n
+	}
+	return 1
+}
+
+// fieldOffset returns the location offset and type of a field.
+func (t *Type) fieldOffset(name string) (int, *Type, bool) {
+	off := 0
+	for i, fn := range t.FieldNames {
+		if fn == name {
+			return off, t.FieldTypes[i], true
+		}
+		off += Sizeof(t.FieldTypes[i])
+	}
+	return 0, nil, false
+}
+
+// atomic reports whether t is an atomic type (int or pointer) — the
+// only types that can be loaded/stored.
+func atomic(t *Type) bool { return t.Kind == TInt || t.Kind == TPtr }
+
+// equalType is structural equality (named structs by name).
+func equalType(a, b *Type) bool {
+	if a == b {
+		return true
+	}
+	if a == nil || b == nil || a.Kind != b.Kind {
+		return false
+	}
+	switch a.Kind {
+	case TPtr:
+		return equalType(a.Elem, b.Elem)
+	case TStruct:
+		return a.Name == b.Name
+	}
+	return true
+}
+
+// ---------------------------------------------------------------- syntax
+
+// LHS is a left-hand-side expression.
+type LHS interface{ lhs() }
+
+// Var is a variable reference.
+type Var struct{ Name string }
+
+// Deref is *lhs.
+type Deref struct{ X LHS }
+
+// Field is lhs.id.
+type Field struct {
+	X  LHS
+	ID string
+}
+
+func (Var) lhs()   {}
+func (Deref) lhs() {}
+func (Field) lhs() {}
+
+// RHS is a right-hand-side expression.
+type RHS interface{ rhs() }
+
+// IntLit is an integer constant.
+type IntLit struct{ V int }
+
+// Add is rhs + rhs (integer addition).
+type Add struct{ A, B RHS }
+
+// Use reads an lhs.
+type Use struct{ X LHS }
+
+// Addr is &lhs.
+type Addr struct{ X LHS }
+
+// Cast is (a)rhs — including wild casts between int and pointers.
+type Cast struct {
+	To *Type
+	X  RHS
+}
+
+// SizeofE is sizeof(a).
+type SizeofE struct{ Of *Type }
+
+// Malloc is malloc(rhs).
+type Malloc struct{ N RHS }
+
+func (IntLit) rhs()  {}
+func (Add) rhs()     {}
+func (Use) rhs()     {}
+func (Addr) rhs()    {}
+func (Cast) rhs()    {}
+func (SizeofE) rhs() {}
+func (Malloc) rhs()  {}
+
+// Cmd is a command.
+type Cmd interface{ cmd() }
+
+// Assign is lhs = rhs.
+type Assign struct {
+	L LHS
+	R RHS
+}
+
+// Seq is c ; c.
+type Seq struct{ A, B Cmd }
+
+func (Assign) cmd() {}
+func (Seq) cmd()    {}
+
+// ---------------------------------------------------------------- machine
+
+// Value is a metadata-carrying value v(b,e) (paper §4.2).
+type Value struct {
+	V    int // the underlying data (an integer or an address)
+	B, E int // base and bound metadata
+}
+
+// Env is the evaluation environment: the stack frame S mapping variables
+// to addresses and atomic types, and the memory M.
+type Env struct {
+	Vars  map[string]VarBinding
+	Mem   *Memory
+	Limit int // memory capacity (drives OutOfMem)
+}
+
+// VarBinding is S(x): the variable's address and type.
+type VarBinding struct {
+	Addr int
+	Type *Type
+}
+
+// Memory is the partial map M from locations to values, with the three
+// primitive operations of Table 2 (read, write, malloc).
+type Memory struct {
+	cells map[int]Value
+	next  int
+	limit int
+}
+
+// NewMemory returns an empty memory with the given capacity.
+func NewMemory(limit int) *Memory {
+	return &Memory{cells: make(map[int]Value), next: 1, limit: limit}
+}
+
+// Read returns the value at l if l is accessible (Table 2: read).
+func (m *Memory) Read(l int) (Value, bool) {
+	v, ok := m.cells[l]
+	return v, ok
+}
+
+// Write updates l if accessible (Table 2: write).
+func (m *Memory) Write(l int, v Value) bool {
+	if _, ok := m.cells[l]; !ok {
+		return false
+	}
+	m.cells[l] = v
+	return true
+}
+
+// Valid reports whether l is allocated (the val M i predicate).
+func (m *Memory) Valid(l int) bool {
+	_, ok := m.cells[l]
+	return ok
+}
+
+// Malloc allocates i fresh consecutive locations (Table 2: malloc). It
+// returns 0 when space is exhausted, and the axioms hold by
+// construction: the region was previously unallocated and existing
+// contents are untouched.
+func (m *Memory) Malloc(i int) int {
+	if i <= 0 || m.next+i > m.limit {
+		return 0
+	}
+	base := m.next
+	for k := 0; k < i; k++ {
+		m.cells[base+k] = Value{}
+	}
+	m.next += i
+	return base
+}
+
+// MinAddr and MaxAddr bound valid metadata (the paper's minAddr/maxAddr).
+func (m *Memory) MinAddr() int { return 1 }
+
+// MaxAddr returns the exclusive upper bound of allocatable addresses.
+func (m *Memory) MaxAddr() int { return m.limit }
+
+// ---------------------------------------------------------------- results
+
+// ResultKind classifies evaluation outcomes (paper §4.2: values, Abort,
+// OutOfMem, OK — plus Stuck, the state the theorems rule out).
+type ResultKind int
+
+// Evaluation outcomes.
+const (
+	ROK ResultKind = iota
+	RAbort
+	ROutOfMem
+	// RStuck marks undefined behaviour: the un-instrumented semantics
+	// would access unallocated memory. Progress asserts instrumented
+	// programs never produce it.
+	RStuck
+)
+
+func (r ResultKind) String() string {
+	return [...]string{"ok", "abort", "outofmem", "stuck"}[r]
+}
+
+// ---------------------------------------------------------------- eval
+
+// EvalLHS evaluates an lhs to an address and its atomic type:
+// (E, lhs) ⇒l r : a.
+func EvalLHS(env *Env, l LHS) (addr Value, t *Type, rk ResultKind) {
+	switch x := l.(type) {
+	case Var:
+		vb, ok := env.Vars[x.Name]
+		if !ok {
+			return Value{}, nil, RStuck
+		}
+		// Variables live in valid frame locations; their address
+		// carries the variable's own extent as metadata.
+		return Value{V: vb.Addr, B: vb.Addr, E: vb.Addr + Sizeof(vb.Type)}, vb.Type, ROK
+
+	case Deref:
+		a, t, rk := EvalLHS(env, x.X)
+		if rk != ROK {
+			return Value{}, nil, rk
+		}
+		if t.Kind != TPtr {
+			return Value{}, nil, RStuck
+		}
+		// Load the pointer value (with metadata) from memory; this is
+		// the dereference rule of §4.2: abort when the bounds check
+		// fails, read when it succeeds.
+		v, ok := env.Mem.Read(a.V)
+		if !ok {
+			return Value{}, nil, RStuck
+		}
+		elem := t.Elem
+		size := Sizeof(elem)
+		if !(v.B <= v.V && v.V+size <= v.E) || v.B == 0 {
+			return Value{}, nil, RAbort
+		}
+		return Value{V: v.V, B: v.B, E: v.E}, elem, ROK
+
+	case Field:
+		a, t, rk := EvalLHS(env, x.X)
+		if rk != ROK {
+			return Value{}, nil, rk
+		}
+		if t.Kind != TStruct {
+			return Value{}, nil, RStuck
+		}
+		off, ft, ok := t.fieldOffset(x.ID)
+		if !ok {
+			return Value{}, nil, RStuck
+		}
+		// Bounds shrink to the field (paper §3.1): the resulting
+		// address's metadata covers just the field.
+		fa := a.V + off
+		return Value{V: fa, B: fa, E: fa + Sizeof(ft)}, ft, ROK
+	}
+	return Value{}, nil, RStuck
+}
+
+// EvalRHS evaluates an rhs to a typed value: (E, rhs) ⇒r (r:a, E').
+func EvalRHS(env *Env, r RHS) (Value, *Type, ResultKind) {
+	switch x := r.(type) {
+	case IntLit:
+		return Value{V: x.V}, IntT, ROK
+
+	case Add:
+		a, ta, rk := EvalRHS(env, x.A)
+		if rk != ROK {
+			return Value{}, nil, rk
+		}
+		b, tb, rk := EvalRHS(env, x.B)
+		if rk != ROK {
+			return Value{}, nil, rk
+		}
+		// Pointer arithmetic inherits metadata (paper §3.1); int+int
+		// is plain arithmetic.
+		switch {
+		case ta.Kind == TPtr && tb.Kind == TInt:
+			return Value{V: a.V + b.V, B: a.B, E: a.E}, ta, ROK
+		case ta.Kind == TInt && tb.Kind == TPtr:
+			return Value{V: a.V + b.V, B: b.B, E: b.E}, tb, ROK
+		case ta.Kind == TInt && tb.Kind == TInt:
+			return Value{V: a.V + b.V}, IntT, ROK
+		}
+		return Value{}, nil, RStuck
+
+	case Use:
+		a, t, rk := EvalLHS(env, x.X)
+		if rk != ROK {
+			return Value{}, nil, rk
+		}
+		if !atomic(t) {
+			return Value{}, nil, RStuck
+		}
+		// The access check: a's metadata brackets the object.
+		if !(a.B <= a.V && a.V+Sizeof(t) <= a.E) || a.B == 0 {
+			return Value{}, nil, RAbort
+		}
+		v, ok := env.Mem.Read(a.V)
+		if !ok {
+			return Value{}, nil, RStuck
+		}
+		if t.Kind == TInt {
+			// Loading a non-pointer strips metadata.
+			return Value{V: v.V}, IntT, ROK
+		}
+		return v, t, ROK
+
+	case Addr:
+		a, t, rk := EvalLHS(env, x.X)
+		if rk != ROK {
+			return Value{}, nil, rk
+		}
+		return a, Ptr(t), ROK
+
+	case Cast:
+		v, t, rk := EvalRHS(env, x.X)
+		if rk != ROK {
+			return Value{}, nil, rk
+		}
+		switch {
+		case x.To.Kind == TPtr && t.Kind == TInt:
+			// Manufacturing a pointer from an integer yields NULL
+			// bounds (paper §5.2): any dereference aborts.
+			return Value{V: v.V, B: 0, E: 0}, x.To, ROK
+		case x.To.Kind == TInt && t.Kind == TPtr:
+			return Value{V: v.V}, IntT, ROK
+		case x.To.Kind == TPtr && t.Kind == TPtr:
+			// Wild pointer cast: metadata flows unchanged (§5.2).
+			return Value{V: v.V, B: v.B, E: v.E}, x.To, ROK
+		case x.To.Kind == TInt && t.Kind == TInt:
+			return v, IntT, ROK
+		}
+		return Value{}, nil, RStuck
+
+	case SizeofE:
+		return Value{V: Sizeof(x.Of)}, IntT, ROK
+
+	case Malloc:
+		n, t, rk := EvalRHS(env, x.N)
+		if rk != ROK {
+			return Value{}, nil, rk
+		}
+		if t.Kind != TInt {
+			return Value{}, nil, RStuck
+		}
+		if n.V <= 0 {
+			// malloc(0) / negative: NULL pointer with NULL bounds.
+			return Value{V: 0, B: 0, E: 0}, Ptr(VoidT), ROK
+		}
+		base := env.Mem.Malloc(n.V)
+		if base == 0 {
+			return Value{}, nil, ROutOfMem
+		}
+		return Value{V: base, B: base, E: base + n.V}, Ptr(VoidT), ROK
+	}
+	return Value{}, nil, RStuck
+}
+
+// EvalCmd evaluates a command: (E, c) ⇒c (r, E').
+func EvalCmd(env *Env, c Cmd) ResultKind {
+	switch x := c.(type) {
+	case Assign:
+		a, t, rk := EvalLHS(env, x.L)
+		if rk != ROK {
+			return rk
+		}
+		if !atomic(t) {
+			return RStuck
+		}
+		v, vt, rk := EvalRHS(env, x.R)
+		if rk != ROK {
+			return rk
+		}
+		// Store check.
+		if !(a.B <= a.V && a.V+Sizeof(t) <= a.E) || a.B == 0 {
+			return RAbort
+		}
+		stored := v
+		if t.Kind == TInt {
+			// Storing an integer (possibly a cast-away pointer)
+			// leaves no pointer metadata at the location.
+			stored = Value{V: v.V}
+		} else if vt.Kind != TPtr {
+			// Storing a non-pointer into a pointer cell clears
+			// metadata: the cell can no longer be dereferenced.
+			stored = Value{V: v.V}
+		}
+		if !env.Mem.Write(a.V, stored) {
+			return RStuck
+		}
+		return ROK
+
+	case Seq:
+		if rk := EvalCmd(env, x.A); rk != ROK {
+			return rk
+		}
+		return EvalCmd(env, x.B)
+	}
+	return RStuck
+}
+
+// ---------------------------------------------------------- wellformedness
+
+// WFValue is the paper's M ⊢D d(b,e) predicate: metadata is either NULL
+// or brackets a fully allocated region within [minAddr, maxAddr).
+func WFValue(m *Memory, v Value) bool {
+	if v.B == 0 {
+		return true
+	}
+	if !(m.MinAddr() <= v.B && v.B <= v.E && v.E < m.MaxAddr()+1) {
+		return false
+	}
+	for i := v.B; i < v.E; i++ {
+		if !m.Valid(i) {
+			return false
+		}
+	}
+	return true
+}
+
+// WFMem is ⊢M M: every allocated location's stored metadata is
+// well-formed.
+func WFMem(m *Memory) bool {
+	for _, v := range m.cells {
+		if !WFValue(m, v) {
+			return false
+		}
+	}
+	return true
+}
+
+// WFEnv is ⊢E E: a well-formed frame (all variables allocated, with
+// valid types) plus a well-formed memory.
+func WFEnv(env *Env) bool {
+	for _, vb := range env.Vars {
+		for i := 0; i < Sizeof(vb.Type); i++ {
+			if !env.Mem.Valid(vb.Addr + i) {
+				return false
+			}
+		}
+	}
+	return WFMem(env.Mem)
+}
+
+// ---------------------------------------------------------------- typing
+
+// CheckCmd is S ⊢c c: the command typechecks against the frame under
+// standard C conventions.
+func CheckCmd(env *Env, c Cmd) bool {
+	switch x := c.(type) {
+	case Assign:
+		lt, ok := typeLHS(env, x.L)
+		if !ok || !atomic(lt) {
+			return false
+		}
+		rt, ok := typeRHS(env, x.R)
+		if !ok {
+			return false
+		}
+		if lt.Kind == TInt {
+			return rt.Kind == TInt
+		}
+		// Pointer assignment permits any pointer (wild casts are
+		// explicit, but void* flows freely as in C).
+		return rt.Kind == TPtr
+	case Seq:
+		return CheckCmd(env, x.A) && CheckCmd(env, x.B)
+	}
+	return false
+}
+
+func typeLHS(env *Env, l LHS) (*Type, bool) {
+	switch x := l.(type) {
+	case Var:
+		vb, ok := env.Vars[x.Name]
+		if !ok {
+			return nil, false
+		}
+		return vb.Type, true
+	case Deref:
+		t, ok := typeLHS(env, x.X)
+		if !ok || t.Kind != TPtr {
+			return nil, false
+		}
+		if t.Elem.Kind == TVoid {
+			return nil, false // cannot dereference void*
+		}
+		return t.Elem, true
+	case Field:
+		t, ok := typeLHS(env, x.X)
+		if !ok || t.Kind != TStruct {
+			return nil, false
+		}
+		_, ft, found := t.fieldOffset(x.ID)
+		return ft, found
+	}
+	return nil, false
+}
+
+func typeRHS(env *Env, r RHS) (*Type, bool) {
+	switch x := r.(type) {
+	case IntLit:
+		return IntT, true
+	case Add:
+		ta, ok := typeRHS(env, x.A)
+		if !ok {
+			return nil, false
+		}
+		tb, ok := typeRHS(env, x.B)
+		if !ok {
+			return nil, false
+		}
+		switch {
+		case ta.Kind == TPtr && tb.Kind == TInt:
+			return ta, true
+		case ta.Kind == TInt && tb.Kind == TPtr:
+			return tb, true
+		case ta.Kind == TInt && tb.Kind == TInt:
+			return IntT, true
+		}
+		return nil, false
+	case Use:
+		t, ok := typeLHS(env, x.X)
+		if !ok || !atomic(t) {
+			return nil, false
+		}
+		return t, true
+	case Addr:
+		t, ok := typeLHS(env, x.X)
+		if !ok {
+			return nil, false
+		}
+		return Ptr(t), true
+	case Cast:
+		t, ok := typeRHS(env, x.X)
+		if !ok {
+			return nil, false
+		}
+		if !atomic(x.To) && x.To.Kind != TPtr {
+			return nil, false
+		}
+		if !atomic(t) {
+			return nil, false
+		}
+		return x.To, true
+	case SizeofE:
+		return IntT, true
+	case Malloc:
+		t, ok := typeRHS(env, x.N)
+		if !ok || t.Kind != TInt {
+			return nil, false
+		}
+		return Ptr(VoidT), true
+	}
+	return nil, false
+}
+
+// NewEnv builds a well-formed environment with the given frame variables
+// allocated in memory. Variables are laid out in sorted-name order so
+// environments built from equal frames are identical (the property-based
+// theorem tests replay programs against fresh environments).
+func NewEnv(limit int, vars map[string]*Type) *Env {
+	mem := NewMemory(limit)
+	env := &Env{Vars: make(map[string]VarBinding), Mem: mem, Limit: limit}
+	names := make([]string, 0, len(vars))
+	for name := range vars {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		t := vars[name]
+		addr := mem.Malloc(Sizeof(t))
+		if addr == 0 {
+			panic(fmt.Sprintf("formal: frame does not fit (limit %d)", limit))
+		}
+		env.Vars[name] = VarBinding{Addr: addr, Type: t}
+	}
+	return env
+}

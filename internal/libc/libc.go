@@ -1,0 +1,241 @@
+// Package libc provides the C runtime library for the pipeline, in two
+// layers that mirror the paper's treatment of libraries (§5.2):
+//
+//   - Prototypes declares the functions implemented as VM builtins with
+//     metadata-aware wrappers (allocation, raw memory ops, I/O, math,
+//     setjmp/longjmp) — the "library wrappers" of the paper.
+//   - Source implements the string/ctype/conversion functions in the C
+//     subset itself. These are compiled and *instrumented by SoftBound
+//     like any user code*, demonstrating the paper's claim that library
+//     code can be recompiled with SoftBound and linked, extending
+//     checking into the library: an overflowing strcpy is caught inside
+//     strcpy by the dst pointer's own metadata.
+package libc
+
+// Prototypes declares the builtin (VM-implemented) runtime functions.
+const Prototypes = `
+/* Allocation. */
+void* malloc(unsigned long size);
+void* calloc(unsigned long n, unsigned long size);
+void* realloc(void* p, unsigned long size);
+void free(void* p);
+
+/* Raw memory. */
+void* memcpy(void* dst, void* src, unsigned long n);
+void* memmove(void* dst, void* src, unsigned long n);
+void* memset(void* dst, int c, unsigned long n);
+int memcmp(void* a, void* b, unsigned long n);
+
+/* I/O. */
+int printf(char* fmt, ...);
+int sprintf(char* dst, char* fmt, ...);
+int puts(char* s);
+int putchar(int c);
+
+/* Process control. */
+void exit(int code);
+void abort(void);
+
+/* Non-local jumps: jmp_buf is a caller-provided long[4]. */
+int setjmp(long* env);
+void longjmp(long* env, int val);
+
+/* Misc. */
+int rand(void);
+void srand(unsigned int seed);
+long clock(void);
+long time(long* t);
+
+/* SoftBound extension (paper 5.2): explicitly set a pointer's bounds. */
+void* setbound(void* p, unsigned long size);
+
+/* Variable-argument decoding (paper 5.2): the preprocessed forms of the
+   va_* macros. Decoding past the passed arguments is checked under
+   SoftBound; va_arg_ptr carries the argument's bounds metadata. */
+void va_start(long* ap, ...);
+void va_end(long* ap);
+int va_arg_int(long* ap);
+long va_arg_long(long* ap);
+double va_arg_double(long* ap);
+void* va_arg_ptr(long* ap);
+
+/* Math. */
+double sqrt(double x);
+double fabs(double x);
+double pow(double x, double y);
+double sin(double x);
+double cos(double x);
+double tan(double x);
+double exp(double x);
+double log(double x);
+double floor(double x);
+double ceil(double x);
+double atan(double x);
+double atan2(double y, double x);
+double fmod(double x, double y);
+`
+
+// Source implements the C-coded portion of the library. It is compiled
+// with the same front end and instrumented with the same SoftBound pass
+// as user code.
+const Source = `
+unsigned long strlen(char* s) {
+    char* p = s;
+    while (*p)
+        p++;
+    return (unsigned long)(p - s);
+}
+
+char* strcpy(char* dst, char* src) {
+    char* d = dst;
+    while ((*d = *src) != 0) {
+        d++;
+        src++;
+    }
+    return dst;
+}
+
+char* strncpy(char* dst, char* src, unsigned long n) {
+    unsigned long i;
+    for (i = 0; i < n && src[i] != 0; i++)
+        dst[i] = src[i];
+    for (; i < n; i++)
+        dst[i] = 0;
+    return dst;
+}
+
+char* strcat(char* dst, char* src) {
+    char* d = dst;
+    while (*d)
+        d++;
+    while ((*d = *src) != 0) {
+        d++;
+        src++;
+    }
+    return dst;
+}
+
+char* strncat(char* dst, char* src, unsigned long n) {
+    char* d = dst;
+    unsigned long i;
+    while (*d)
+        d++;
+    for (i = 0; i < n && src[i] != 0; i++)
+        d[i] = src[i];
+    d[i] = 0;
+    return dst;
+}
+
+int strcmp(char* a, char* b) {
+    while (*a && *a == *b) {
+        a++;
+        b++;
+    }
+    return (int)(unsigned char)*a - (int)(unsigned char)*b;
+}
+
+int strncmp(char* a, char* b, unsigned long n) {
+    unsigned long i;
+    for (i = 0; i < n; i++) {
+        if (a[i] != b[i])
+            return (int)(unsigned char)a[i] - (int)(unsigned char)b[i];
+        if (a[i] == 0)
+            return 0;
+    }
+    return 0;
+}
+
+char* strchr(char* s, int c) {
+    while (*s) {
+        if (*s == (char)c)
+            return s;
+        s++;
+    }
+    if (c == 0)
+        return s;
+    return (char*)0;
+}
+
+char* strrchr(char* s, int c) {
+    char* found = (char*)0;
+    while (*s) {
+        if (*s == (char)c)
+            found = s;
+        s++;
+    }
+    if (c == 0)
+        return s;
+    return found;
+}
+
+char* strstr(char* hay, char* needle) {
+    unsigned long nl = strlen(needle);
+    if (nl == 0)
+        return hay;
+    while (*hay) {
+        if (*hay == *needle && strncmp(hay, needle, nl) == 0)
+            return hay;
+        hay++;
+    }
+    return (char*)0;
+}
+
+char* strdup(char* s) {
+    unsigned long n = strlen(s) + 1;
+    char* p = (char*)malloc(n);
+    if (p)
+        memcpy(p, s, n);
+    return p;
+}
+
+int isdigit(int c) { return c >= '0' && c <= '9'; }
+int isalpha(int c) { return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z'); }
+int isalnum(int c) { return isdigit(c) || isalpha(c); }
+int isspace(int c) { return c == ' ' || c == '\t' || c == '\n' || c == '\r' || c == 11 || c == 12; }
+int isupper(int c) { return c >= 'A' && c <= 'Z'; }
+int islower(int c) { return c >= 'a' && c <= 'z'; }
+int toupper(int c) { if (islower(c)) return c - 'a' + 'A'; return c; }
+int tolower(int c) { if (isupper(c)) return c - 'A' + 'a'; return c; }
+
+int abs(int x) { if (x < 0) return -x; return x; }
+long labs(long x) { if (x < 0) return -x; return x; }
+
+int atoi(char* s) {
+    int v = 0;
+    int sign = 1;
+    while (isspace((int)*s))
+        s++;
+    if (*s == '-') {
+        sign = -1;
+        s++;
+    } else if (*s == '+') {
+        s++;
+    }
+    while (isdigit((int)*s)) {
+        v = v * 10 + (*s - '0');
+        s++;
+    }
+    return v * sign;
+}
+
+long atol(char* s) {
+    long v = 0;
+    long sign = 1;
+    while (isspace((int)*s))
+        s++;
+    if (*s == '-') {
+        sign = -1;
+        s++;
+    } else if (*s == '+') {
+        s++;
+    }
+    while (isdigit((int)*s)) {
+        v = v * 10 + (long)(*s - '0');
+        s++;
+    }
+    return v * sign;
+}
+`
+
+// Unit returns the complete libc translation unit source.
+func Unit() string { return Prototypes + Source }

@@ -1,0 +1,125 @@
+package libc_test
+
+import (
+	"fmt"
+	"testing"
+
+	"softbound/internal/driver"
+)
+
+// run executes a C main body (with result returned via exit code) under
+// full checking, so the libc implementations are exercised *instrumented*.
+func run(t *testing.T, body string) int64 {
+	t.Helper()
+	res, err := driver.RunSource("int main(void) {\n"+body+"\n}",
+		driver.DefaultConfig(driver.ModeFull))
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	if res.Err != nil {
+		t.Fatalf("run: %v (output %q)", res.Err, res.Output)
+	}
+	return res.ExitCode
+}
+
+func expect(t *testing.T, body string, want int64) {
+	t.Helper()
+	if got := run(t, body); got != want {
+		t.Errorf("got %d want %d for:\n%s", got, want, body)
+	}
+}
+
+func TestStrlen(t *testing.T) {
+	expect(t, `return (int)strlen("");`, 0)
+	expect(t, `return (int)strlen("hello");`, 5)
+}
+
+func TestStrcpyStrncpy(t *testing.T) {
+	expect(t, `
+char buf[16];
+strcpy(buf, "abc");
+return buf[0] == 'a' && buf[2] == 'c' && buf[3] == 0;`, 1)
+	expect(t, `
+char buf[8];
+strncpy(buf, "abcdef", 3);
+return buf[2] == 'c' && buf[3] == 0 && buf[7] == 0;`, 1)
+}
+
+func TestStrcatStrncat(t *testing.T) {
+	expect(t, `
+char buf[16];
+strcpy(buf, "ab");
+strcat(buf, "cd");
+return strcmp(buf, "abcd") == 0;`, 1)
+	expect(t, `
+char buf[16];
+strcpy(buf, "ab");
+strncat(buf, "cdef", 2);
+return strcmp(buf, "abcd") == 0;`, 1)
+}
+
+func TestStrcmpFamily(t *testing.T) {
+	expect(t, `return strcmp("abc", "abc") == 0;`, 1)
+	expect(t, `return strcmp("abc", "abd") < 0;`, 1)
+	expect(t, `return strcmp("b", "a") > 0;`, 1)
+	expect(t, `return strncmp("abcX", "abcY", 3) == 0;`, 1)
+}
+
+func TestStrchrStrrchrStrstr(t *testing.T) {
+	expect(t, `
+char* s = "hello";
+char* p = strchr(s, 'l');
+return p == s + 2;`, 1)
+	expect(t, `
+char* s = "hello";
+return strrchr(s, 'l') == s + 3;`, 1)
+	expect(t, `return strchr("abc", 'z') == (char*)0;`, 1)
+	expect(t, `
+char* s = "needle in haystack";
+return strstr(s, "in") == s + 7;`, 1)
+	expect(t, `return strstr("abc", "zzz") == (char*)0;`, 1)
+}
+
+func TestStrdup(t *testing.T) {
+	expect(t, `
+char* d = strdup("copy me");
+return strcmp(d, "copy me") == 0;`, 1)
+}
+
+func TestCtype(t *testing.T) {
+	expect(t, `return isdigit('5') && !isdigit('a');`, 1)
+	expect(t, `return isalpha('x') && !isalpha('1');`, 1)
+	expect(t, `return isspace(' ') && isspace('\n') && !isspace('x');`, 1)
+	expect(t, `return toupper('a') == 'A' && toupper('A') == 'A';`, 1)
+	expect(t, `return tolower('Z') == 'z' && tolower('3') == '3';`, 1)
+}
+
+func TestAtoiAtolAbs(t *testing.T) {
+	expect(t, `return atoi("123");`, 123)
+	expect(t, `return atoi("  -45xyz");`, -45)
+	expect(t, `return atoi("+7");`, 7)
+	expect(t, `return (int)atol("100000");`, 100000)
+	expect(t, `return abs(-9) + abs(9);`, 18)
+	expect(t, `return (int)labs(-12345L);`, 12345)
+}
+
+// TestLibcCheckingCatchesOverflows is the payoff of compiling libc with
+// SoftBound (paper §5.2): the overflow is detected *inside* the library
+// function, using the caller's bounds.
+func TestLibcCheckingCatchesOverflows(t *testing.T) {
+	cases := []string{
+		`char buf[4]; strcpy(buf, "way too long"); return 0;`,
+		`char buf[4]; strcat(buf, "0123456789"); return 0;`,
+		`char a[2]; strncpy(a, "xx", 5); return 0;`,
+	}
+	for i, body := range cases {
+		src := fmt.Sprintf("int main(void) {\nchar pad[64];\npad[0]=0;\n%s\n}", body)
+		res, err := driver.RunSource(src, driver.DefaultConfig(driver.ModeFull))
+		if err != nil {
+			t.Fatalf("case %d: %v", i, err)
+		}
+		if res.Violation == nil {
+			t.Errorf("case %d: libc overflow not caught (err=%v)", i, res.Err)
+		}
+	}
+}

@@ -1,0 +1,93 @@
+package meta
+
+// ShadowSpace is the tag-less metadata organization (paper §5.1): a
+// reserved region of the virtual address space big enough that every
+// double-word of program memory has a dedicated metadata slot, so
+// collisions cannot occur and no tag is stored or checked.
+//
+// The paper implements this by mmap-ing a zero-initialized region and
+// letting the OS allocate physical pages on demand. We reproduce the same
+// demand paging with a two-level page table: pages materialize on first
+// touch, so Footprint grows with the program's actually-used pointer
+// slots, just like resident set size would.
+type ShadowSpace struct {
+	pages map[uint64]*shadowPage
+	// touched counts materialized pages for Footprint.
+}
+
+const (
+	shadowPageShift = 9 // 512 double-word slots per page
+	shadowPageSlots = 1 << shadowPageShift
+)
+
+type shadowPage struct {
+	base  [shadowPageSlots]uint64
+	bound [shadowPageSlots]uint64
+}
+
+// NewShadowSpace returns an empty shadow space.
+func NewShadowSpace() *ShadowSpace {
+	return &ShadowSpace{pages: make(map[uint64]*shadowPage)}
+}
+
+func (s *ShadowSpace) slot(addr uint64) (uint64, uint64) {
+	dw := addr >> 3
+	return dw >> shadowPageShift, dw & (shadowPageSlots - 1)
+}
+
+// Lookup reads the slot for addr; untouched pages read as zero.
+func (s *ShadowSpace) Lookup(addr uint64) Entry {
+	pn, idx := s.slot(addr)
+	p := s.pages[pn]
+	if p == nil {
+		return Entry{}
+	}
+	return Entry{Base: p.base[idx], Bound: p.bound[idx]}
+}
+
+// Update writes the slot for addr, materializing its page on first touch.
+func (s *ShadowSpace) Update(addr uint64, e Entry) {
+	pn, idx := s.slot(addr)
+	p := s.pages[pn]
+	if p == nil {
+		p = new(shadowPage)
+		s.pages[pn] = p
+	}
+	p.base[idx] = e.Base
+	p.bound[idx] = e.Bound
+}
+
+// Clear zeroes all slots covering [addr, addr+size).
+func (s *ShadowSpace) Clear(addr, size uint64) {
+	start := addr &^ 7
+	for a := start; a < addr+size; a += 8 {
+		pn, idx := s.slot(a)
+		if p := s.pages[pn]; p != nil {
+			p.base[idx] = 0
+			p.bound[idx] = 0
+		}
+	}
+}
+
+// CopyRange copies slot metadata from src to dst for size bytes.
+func (s *ShadowSpace) CopyRange(dst, src, size uint64) {
+	for off := uint64(0); off < size; off += 8 {
+		e := s.Lookup(src + off)
+		if e == (Entry{}) {
+			s.Clear(dst+off, 8)
+		} else {
+			s.Update(dst+off, e)
+		}
+	}
+}
+
+// Costs reports the paper's ~5-instruction lookup for the shadow scheme.
+func (s *ShadowSpace) Costs() Costs { return Costs{Lookup: 5, Update: 5} }
+
+// Footprint reports bytes of materialized shadow pages.
+func (s *ShadowSpace) Footprint() int64 {
+	return int64(len(s.pages)) * shadowPageSlots * 16
+}
+
+// Name identifies the scheme.
+func (s *ShadowSpace) Name() string { return "shadowspace" }

@@ -1,0 +1,47 @@
+package metrics
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestDerivedQuantities(t *testing.T) {
+	s := &Stats{
+		Loads: 60, Stores: 40,
+		PtrLoads: 20, PtrStores: 5,
+		SimInsts: 150,
+	}
+	if s.MemOps() != 100 {
+		t.Errorf("MemOps = %d", s.MemOps())
+	}
+	if s.PtrMemOps() != 25 {
+		t.Errorf("PtrMemOps = %d", s.PtrMemOps())
+	}
+	if got := s.PtrMemFrac(); got != 0.25 {
+		t.Errorf("PtrMemFrac = %f", got)
+	}
+	base := &Stats{SimInsts: 100}
+	if got := s.Overhead(base); got != 0.5 {
+		t.Errorf("Overhead = %f", got)
+	}
+}
+
+func TestZeroSafety(t *testing.T) {
+	s := &Stats{}
+	if s.PtrMemFrac() != 0 {
+		t.Error("PtrMemFrac on empty stats")
+	}
+	if s.Overhead(&Stats{}) != 0 {
+		t.Error("Overhead against zero baseline")
+	}
+}
+
+func TestStringIncludesHeadlines(t *testing.T) {
+	s := &Stats{Insts: 5, SimInsts: 9, Loads: 2, PtrLoads: 1, Checks: 3}
+	out := s.String()
+	for _, frag := range []string{"insts=5", "sim=9", "checks=3"} {
+		if !strings.Contains(out, frag) {
+			t.Errorf("String() missing %q: %s", frag, out)
+		}
+	}
+}

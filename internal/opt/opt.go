@@ -1,0 +1,360 @@
+// Package opt implements the optimizer passes the pipeline runs before
+// and after SoftBound instrumentation, mirroring the paper's use of
+// LLVM's optimizer (§6.1): running SoftBound post-optimization keeps the
+// instrumentation off register-promoted scalars, and re-running cleanup
+// afterwards removes redundant checks and dead metadata manipulation.
+//
+// Passes:
+//   - ConstFold: folds constant arithmetic, comparisons, and branches.
+//   - DeadCodeElim: removes pure instructions whose results are unused
+//     (this is what deletes unused base/bound constants after
+//     instrumentation).
+//   - EliminateRedundantChecks: removes a spatial check dominated by an
+//     identical check in the same block with no intervening redefinition
+//     — the CSE effect the paper gets from re-running LLVM passes.
+//   - CSEMetaLoads: merges repeated metadata lookups of the same address
+//     within a block when no metadata write or call intervenes.
+package opt
+
+import (
+	"softbound/internal/ir"
+)
+
+// Result reports what the passes changed (benchmarks surface this).
+type Result struct {
+	FoldedConsts     int
+	RemovedInsts     int
+	RemovedChecks    int
+	MergedMetaLoads  int
+	SimplifiedBlocks int
+}
+
+// Optimize runs the full pass pipeline over the module until fixpoint
+// (bounded), returning aggregate results.
+func Optimize(m *ir.Module) Result {
+	var total Result
+	for _, f := range m.Funcs {
+		for iter := 0; iter < 8; iter++ {
+			r := Result{}
+			r.FoldedConsts += ConstFold(f)
+			r.RemovedChecks += EliminateRedundantChecks(f)
+			r.MergedMetaLoads += CSEMetaLoads(f)
+			r.RemovedInsts += DeadCodeElim(f)
+			total.FoldedConsts += r.FoldedConsts
+			total.RemovedChecks += r.RemovedChecks
+			total.MergedMetaLoads += r.MergedMetaLoads
+			total.RemovedInsts += r.RemovedInsts
+			if r == (Result{}) {
+				break
+			}
+		}
+	}
+	return total
+}
+
+// ConstFold folds KBin/KUn/KCmp over constant operands and KCondBr over a
+// constant condition.
+func ConstFold(f *ir.Func) int {
+	n := 0
+	for _, b := range f.Blocks {
+		for i := range b.Insts {
+			in := &b.Insts[i]
+			switch in.Kind {
+			case ir.KBin:
+				if in.A.Kind == ir.VConstInt && in.B.Kind == ir.VConstInt {
+					if v, ok := foldBin(in); ok {
+						*in = ir.Inst{Kind: ir.KConst, Dst: in.Dst, A: ir.CI(v)}
+						n++
+					}
+				}
+			case ir.KUn:
+				if in.A.Kind == ir.VConstInt {
+					switch in.Op {
+					case ir.OpNeg:
+						*in = ir.Inst{Kind: ir.KConst, Dst: in.Dst,
+							A: ir.CI(truncS(-in.A.Int, in.IntWidth))}
+						n++
+					case ir.OpNot:
+						*in = ir.Inst{Kind: ir.KConst, Dst: in.Dst,
+							A: ir.CI(truncS(^in.A.Int, in.IntWidth))}
+						n++
+					}
+				}
+			case ir.KCmp:
+				if in.A.Kind == ir.VConstInt && in.B.Kind == ir.VConstInt {
+					if v, ok := foldCmp(in); ok {
+						*in = ir.Inst{Kind: ir.KConst, Dst: in.Dst, A: ir.CI(v)}
+						n++
+					}
+				}
+			case ir.KCondBr:
+				if in.A.Kind == ir.VConstInt {
+					t := in.Target
+					if in.A.Int == 0 {
+						t = in.Else
+					}
+					*in = ir.Inst{Kind: ir.KBr, Target: t}
+					n++
+				}
+			case ir.KGEP:
+				// gep c1 + c2*s + c3 with constant base folds to const.
+				if in.A.Kind == ir.VConstInt && in.B.Kind == ir.VConstInt {
+					v := in.A.Int + in.B.Int*in.Size + in.C.Int
+					*in = ir.Inst{Kind: ir.KConst, Dst: in.Dst, A: ir.CI(v)}
+					n++
+				}
+			}
+		}
+	}
+	return n
+}
+
+func truncS(v int64, width int) int64 {
+	if width == 0 || width >= 64 {
+		return v
+	}
+	mask := (uint64(1) << uint(width)) - 1
+	u := uint64(v) & mask
+	if u&(1<<uint(width-1)) != 0 {
+		u |= ^mask
+	}
+	return int64(u)
+}
+
+func foldBin(in *ir.Inst) (int64, bool) {
+	a, b := in.A.Int, in.B.Int
+	var r int64
+	switch in.Op {
+	case ir.OpAdd:
+		r = a + b
+	case ir.OpSub:
+		r = a - b
+	case ir.OpMul:
+		r = a * b
+	case ir.OpDiv:
+		if b == 0 {
+			return 0, false // preserve the runtime fault
+		}
+		r = a / b
+	case ir.OpRem:
+		if b == 0 {
+			return 0, false
+		}
+		r = a % b
+	case ir.OpAnd:
+		r = a & b
+	case ir.OpOr:
+		r = a | b
+	case ir.OpXor:
+		r = a ^ b
+	case ir.OpShl:
+		r = a << (uint64(b) & 63)
+	case ir.OpShr:
+		if in.Signed {
+			r = a >> (uint64(b) & 63)
+		} else {
+			r = int64(uint64(a) >> (uint64(b) & 63))
+		}
+	default:
+		return 0, false
+	}
+	return truncS(r, in.IntWidth), true
+}
+
+func foldCmp(in *ir.Inst) (int64, bool) {
+	a, b := in.A.Int, in.B.Int
+	var res bool
+	switch in.Pred {
+	case ir.PredEQ:
+		res = a == b
+	case ir.PredNE:
+		res = a != b
+	case ir.PredLT:
+		if in.Signed {
+			res = a < b
+		} else {
+			res = uint64(a) < uint64(b)
+		}
+	case ir.PredLE:
+		if in.Signed {
+			res = a <= b
+		} else {
+			res = uint64(a) <= uint64(b)
+		}
+	case ir.PredGT:
+		if in.Signed {
+			res = a > b
+		} else {
+			res = uint64(a) > uint64(b)
+		}
+	case ir.PredGE:
+		if in.Signed {
+			res = a >= b
+		} else {
+			res = uint64(a) >= uint64(b)
+		}
+	default:
+		return 0, false
+	}
+	if res {
+		return 1, true
+	}
+	return 0, true
+}
+
+// DeadCodeElim removes side-effect-free instructions whose destination is
+// never read. Because registers are mutable (non-SSA), an instruction is
+// removable only if no instruction anywhere reads its destination
+// register at all; this is conservative but removes exactly the unused
+// metadata constants instrumentation introduces.
+func DeadCodeElim(f *ir.Func) int {
+	used := make([]bool, f.NumRegs)
+	markVal := func(v ir.Value) {
+		if v.Kind == ir.VReg && int(v.Reg) < len(used) {
+			used[v.Reg] = true
+		}
+	}
+	for _, b := range f.Blocks {
+		for i := range b.Insts {
+			in := &b.Insts[i]
+			markVal(in.A)
+			markVal(in.B)
+			markVal(in.C)
+			markVal(in.Base)
+			markVal(in.Bound)
+			markVal(in.Callee)
+			markVal(in.SrcBase)
+			markVal(in.SrcBound)
+			markVal(in.RetBase)
+			markVal(in.RetBound)
+			markVal(in.MemSize)
+			for _, a := range in.Args {
+				markVal(a)
+			}
+			for _, ma := range in.MetaArgs {
+				if ma.Valid {
+					markVal(ma.Base)
+					markVal(ma.Bound)
+				}
+			}
+		}
+	}
+	// Parameter registers (including appended metadata parameters) are
+	// written by the calling convention and must survive.
+	keepDst := func(in *ir.Inst) bool {
+		switch in.Kind {
+		case ir.KConst, ir.KMov, ir.KBin, ir.KUn, ir.KCmp, ir.KConv, ir.KGEP:
+			return in.Dst != ir.NoReg && used[in.Dst]
+		}
+		return true
+	}
+	removed := 0
+	for _, b := range f.Blocks {
+		out := b.Insts[:0]
+		for i := range b.Insts {
+			in := b.Insts[i]
+			if keepDst(&in) {
+				out = append(out, in)
+			} else {
+				removed++
+			}
+		}
+		b.Insts = out
+	}
+	return removed
+}
+
+// EliminateRedundantChecks removes a KCheck identical to an earlier check
+// in the same block when none of its operand registers were redefined in
+// between. Checks have no side effect other than aborting, so the second
+// of two identical checks can never fire first.
+func EliminateRedundantChecks(f *ir.Func) int {
+	removed := 0
+	type key struct {
+		a, b, c ir.Value
+		size    int64
+		kind    ir.CheckKind
+	}
+	for _, blk := range f.Blocks {
+		seen := make(map[key]bool)
+		out := blk.Insts[:0]
+		for i := range blk.Insts {
+			in := blk.Insts[i]
+			if in.Kind == ir.KCheck {
+				k := key{in.A, in.Base, in.Bound, in.AccessSize, in.CheckK}
+				if seen[k] {
+					removed++
+					continue
+				}
+				seen[k] = true
+				out = append(out, in)
+				continue
+			}
+			// Any write to a register invalidates keys mentioning it.
+			if dst := writtenReg(&in); dst != ir.NoReg {
+				for k := range seen {
+					if mentionsReg(k.a, dst) || mentionsReg(k.b, dst) || mentionsReg(k.c, dst) {
+						delete(seen, k)
+					}
+				}
+			}
+			out = append(out, in)
+		}
+		blk.Insts = out
+	}
+	return removed
+}
+
+func writtenReg(in *ir.Inst) ir.Reg {
+	switch in.Kind {
+	case ir.KConst, ir.KMov, ir.KBin, ir.KUn, ir.KCmp, ir.KConv,
+		ir.KGEP, ir.KAlloca, ir.KLoad, ir.KCall:
+		return in.Dst
+	}
+	return ir.NoReg
+}
+
+func mentionsReg(v ir.Value, r ir.Reg) bool {
+	return v.Kind == ir.VReg && v.Reg == r
+}
+
+// CSEMetaLoads merges repeated KMetaLoad of the same address register in
+// a block into register moves, invalidating on metadata writes, clears,
+// calls (callees may update the table), and redefinition of the address.
+func CSEMetaLoads(f *ir.Func) int {
+	merged := 0
+	for _, blk := range f.Blocks {
+		type cached struct{ base, bound ir.Reg }
+		avail := make(map[ir.Value]cached)
+		// A merged metaload expands to two moves, so the output can be
+		// longer than the input: build into a fresh slice.
+		out := make([]ir.Inst, 0, len(blk.Insts))
+		for i := range blk.Insts {
+			in := blk.Insts[i]
+			switch in.Kind {
+			case ir.KMetaLoad:
+				if c, ok := avail[in.A]; ok {
+					out = append(out,
+						ir.Inst{Kind: ir.KMov, Dst: in.DstBaseR, A: ir.R(c.base)},
+						ir.Inst{Kind: ir.KMov, Dst: in.DstBndR, A: ir.R(c.bound)})
+					merged++
+					continue
+				}
+				avail[in.A] = cached{in.DstBaseR, in.DstBndR}
+			case ir.KMetaStore, ir.KMetaClear, ir.KCall:
+				avail = make(map[ir.Value]cached)
+			default:
+				if dst := writtenReg(&in); dst != ir.NoReg {
+					for k, c := range avail {
+						if mentionsReg(k, dst) || c.base == dst || c.bound == dst {
+							delete(avail, k)
+						}
+					}
+				}
+			}
+			out = append(out, in)
+		}
+		blk.Insts = out
+	}
+	return merged
+}

@@ -1,0 +1,900 @@
+package progs
+
+// The Olden-style workloads: linked data structures (trees, lists,
+// graphs) where a large fraction of memory operations move pointers —
+// the right side of Figure 1. These are the benchmarks whose overhead is
+// dominated by metadata accesses in Figure 2.
+
+func init() {
+	register(Benchmark{Name: "bh", Class: Olden, DefaultScale: 64, source: bhSrc})
+	register(Benchmark{Name: "tsp", Class: Olden, DefaultScale: 9, source: tspSrc})
+	register(Benchmark{Name: "perimeter", Class: Olden, DefaultScale: 6, source: perimeterSrc})
+	register(Benchmark{Name: "health", Class: Olden, DefaultScale: 40, source: healthSrc})
+	register(Benchmark{Name: "bisort", Class: Olden, DefaultScale: 10, source: bisortSrc})
+	register(Benchmark{Name: "mst", Class: Olden, DefaultScale: 64, source: mstSrc})
+	register(Benchmark{Name: "li", Class: Olden, DefaultScale: 10, source: liSrc})
+	register(Benchmark{Name: "em3d", Class: Olden, DefaultScale: 120, source: em3dSrc})
+	register(Benchmark{Name: "treeadd", Class: Olden, DefaultScale: 14, source: treeaddSrc})
+}
+
+// bhSrc: Barnes-Hut style hierarchical n-body — an oct(quad)tree of cell
+// nodes over body structs; force walks mix pointer chasing with double
+// math.
+const bhSrc = `
+struct body {
+    double x; double y;
+    double vx; double vy;
+    double mass;
+    struct body* next;
+};
+struct cell {
+    double cx; double cy; double mass;
+    double x0; double y0; double size;
+    struct cell* quad[4];
+    struct body* b;
+};
+
+struct cell* new_cell(double x0, double y0, double size) {
+    struct cell* c = (struct cell*)malloc(sizeof(struct cell));
+    int i;
+    c->cx = 0.0; c->cy = 0.0; c->mass = 0.0;
+    c->x0 = x0; c->y0 = y0; c->size = size;
+    for (i = 0; i < 4; i++)
+        c->quad[i] = (struct cell*)0;
+    c->b = (struct body*)0;
+    return c;
+}
+
+void insert(struct cell* c, struct body* b) {
+    for (;;) {
+        int q;
+        double half = c->size * 0.5;
+        double mx = c->x0 + half;
+        double my = c->y0 + half;
+        c->mass += b->mass;
+        c->cx += b->x * b->mass;
+        c->cy += b->y * b->mass;
+        if (c->b == (struct body*)0 && c->quad[0] == (struct cell*)0 &&
+            c->quad[1] == (struct cell*)0 && c->quad[2] == (struct cell*)0 &&
+            c->quad[3] == (struct cell*)0) {
+            c->b = b;
+            return;
+        }
+        if (c->b != (struct body*)0 && c->size > 0.001) {
+            /* Split: push the resident body down. */
+            struct body* old = c->b;
+            int oq = (old->x >= mx ? 1 : 0) + (old->y >= my ? 2 : 0);
+            c->b = (struct body*)0;
+            if (c->quad[oq] == (struct cell*)0)
+                c->quad[oq] = new_cell(c->x0 + (oq & 1 ? half : 0.0),
+                                       c->y0 + (oq & 2 ? half : 0.0), half);
+            insert(c->quad[oq], old);
+        }
+        q = (b->x >= mx ? 1 : 0) + (b->y >= my ? 2 : 0);
+        if (c->quad[q] == (struct cell*)0)
+            c->quad[q] = new_cell(c->x0 + (q & 1 ? half : 0.0),
+                                  c->y0 + (q & 2 ? half : 0.0), half);
+        c = c->quad[q];
+        b = b;
+    }
+}
+
+void force(struct cell* c, struct body* b, double* fx, double* fy) {
+    double dx, dy, d2, inv;
+    int i;
+    if (c == (struct cell*)0 || c->mass == 0.0)
+        return;
+    dx = c->cx / c->mass - b->x;
+    dy = c->cy / c->mass - b->y;
+    d2 = dx * dx + dy * dy + 0.0001;
+    if (c->size * c->size < 0.25 * d2 || (c->b != (struct body*)0)) {
+        if (c->b == b)
+            return;
+        inv = c->mass / (d2 * sqrt(d2));
+        *fx += dx * inv;
+        *fy += dy * inv;
+        return;
+    }
+    for (i = 0; i < 4; i++)
+        force(c->quad[i], b, fx, fy);
+}
+
+int main(void) {
+    int n = @SCALE@;
+    int steps = 4;
+    struct body* bodies = (struct body*)0;
+    struct body* b;
+    int i, t;
+    double checksum = 0.0;
+    unsigned int seed = 17;
+    for (i = 0; i < n; i++) {
+        struct body* nb = (struct body*)malloc(sizeof(struct body));
+        seed = seed * 1103515245 + 12345;
+        nb->x = (double)((seed >> 8) % 1000) / 1000.0;
+        seed = seed * 1103515245 + 12345;
+        nb->y = (double)((seed >> 8) % 1000) / 1000.0;
+        nb->vx = 0.0;
+        nb->vy = 0.0;
+        nb->mass = 1.0;
+        nb->next = bodies;
+        bodies = nb;
+    }
+    for (t = 0; t < steps; t++) {
+        struct cell* root = new_cell(0.0, 0.0, 1.0);
+        for (b = bodies; b; b = b->next)
+            insert(root, b);
+        for (b = bodies; b; b = b->next) {
+            double fx = 0.0;
+            double fy = 0.0;
+            force(root, b, &fx, &fy);
+            b->vx += 0.001 * fx;
+            b->vy += 0.001 * fy;
+            b->x += b->vx;
+            b->y += b->vy;
+            if (b->x < 0.0) b->x = 0.0;
+            if (b->x > 0.999) b->x = 0.999;
+            if (b->y < 0.0) b->y = 0.0;
+            if (b->y > 0.999) b->y = 0.999;
+        }
+    }
+    for (b = bodies; b; b = b->next)
+        checksum += b->x + b->y;
+    printf("bh %g\n", checksum);
+    return 0;
+}`
+
+// tspSrc: Olden tsp — build a balanced binary tree of cities, then form
+// a tour by recursive merging of subtree tours (closest-point style).
+const tspSrc = `
+struct city {
+    double x; double y;
+    struct city* left;
+    struct city* right;
+    struct city* next;   /* tour link */
+};
+
+unsigned int seed = 91;
+double frand(void) {
+    seed = seed * 1103515245 + 12345;
+    return (double)((seed >> 8) % 10000) / 10000.0;
+}
+
+struct city* build(int depth, double x0, double x1, double y0, double y1) {
+    struct city* c;
+    if (depth == 0)
+        return (struct city*)0;
+    c = (struct city*)malloc(sizeof(struct city));
+    c->x = x0 + (x1 - x0) * frand();
+    c->y = y0 + (y1 - y0) * frand();
+    c->left = build(depth - 1, x0, (x0 + x1) * 0.5, y0, y1);
+    c->right = build(depth - 1, (x0 + x1) * 0.5, x1, y0, y1);
+    c->next = (struct city*)0;
+    return c;
+}
+
+double dist(struct city* a, struct city* b) {
+    double dx = a->x - b->x;
+    double dy = a->y - b->y;
+    return sqrt(dx * dx + dy * dy);
+}
+
+/* Merge two circular tours by the cheapest splice. */
+struct city* merge_tours(struct city* a, struct city* b) {
+    struct city* best_a = a;
+    struct city* pa = a;
+    double best = 1.0e30;
+    if (a == (struct city*)0) return b;
+    if (b == (struct city*)0) return a;
+    do {
+        double d = dist(pa, b);
+        if (d < best) {
+            best = d;
+            best_a = pa;
+        }
+        pa = pa->next;
+    } while (pa != a);
+    {
+        struct city* an = best_a->next;
+        struct city* bn = b->next;
+        best_a->next = bn;
+        b->next = an;
+    }
+    return a;
+}
+
+/* Build a tour over the tree: leaf tours are self-loops. */
+struct city* tour(struct city* t) {
+    struct city* lt;
+    struct city* rt;
+    if (t == (struct city*)0)
+        return (struct city*)0;
+    lt = tour(t->left);
+    rt = tour(t->right);
+    t->next = t;
+    return merge_tours(merge_tours(t, lt), rt);
+}
+
+int main(void) {
+    int depth = @SCALE@;
+    struct city* root = build(depth, 0.0, 1.0, 0.0, 1.0);
+    struct city* start = tour(root);
+    struct city* p = start;
+    double len = 0.0;
+    int n = 0;
+    do {
+        len += dist(p, p->next);
+        p = p->next;
+        n++;
+    } while (p != start);
+    printf("tsp %d %g\n", n, len);
+    return 0;
+}`
+
+// perimeterSrc: Olden perimeter — quadtree image representation; compute
+// the perimeter of the black region by neighbour finding.
+const perimeterSrc = `
+struct quad {
+    int color;                 /* 0 white, 1 black, 2 grey */
+    int level;
+    struct quad* child[4];     /* nw ne sw se */
+    struct quad* parent;
+    int childno;
+};
+
+unsigned int seed = 5;
+int frand255(void) {
+    seed = seed * 1103515245 + 12345;
+    return (int)((seed >> 8) % 255);
+}
+
+struct quad* build(int level, struct quad* parent, int childno) {
+    struct quad* q = (struct quad*)malloc(sizeof(struct quad));
+    int i;
+    q->level = level;
+    q->parent = parent;
+    q->childno = childno;
+    for (i = 0; i < 4; i++)
+        q->child[i] = (struct quad*)0;
+    if (level == 0) {
+        q->color = frand255() < 100 ? 1 : 0;
+        return q;
+    }
+    q->color = 2;
+    for (i = 0; i < 4; i++)
+        q->child[i] = build(level - 1, q, i);
+    /* Collapse uniform children. */
+    if (q->child[0]->color != 2) {
+        int c = q->child[0]->color;
+        int uniform = 1;
+        for (i = 1; i < 4; i++)
+            if (q->child[i]->color != c)
+                uniform = 0;
+        if (uniform) {
+            q->color = c;
+            for (i = 0; i < 4; i++)
+                q->child[i] = (struct quad*)0;
+        }
+    }
+    return q;
+}
+
+int count_leaves(struct quad* q, int color) {
+    int i;
+    int n = 0;
+    if (q == (struct quad*)0)
+        return 0;
+    if (q->color != 2)
+        return (q->color == color) ? (1 << (2 * q->level)) : 0;
+    for (i = 0; i < 4; i++)
+        n += count_leaves(q->child[i], color);
+    return n;
+}
+
+/* Side lengths exposed on each edge: visit tree edges, pairing
+   neighbouring quadrants within the same parent. */
+int edge_contrib(struct quad* a, struct quad* b) {
+    if (a == (struct quad*)0 || b == (struct quad*)0)
+        return 0;
+    if (a->color == 2 || b->color == 2) {
+        int n = 0;
+        if (a->color == 2 && b->color == 2) {
+            n += edge_contrib(a->child[1], b->child[0]);
+            n += edge_contrib(a->child[3], b->child[2]);
+        } else if (a->color == 2) {
+            n += edge_contrib(a->child[1], b);
+            n += edge_contrib(a->child[3], b);
+        } else {
+            n += edge_contrib(a, b->child[0]);
+            n += edge_contrib(a, b->child[2]);
+        }
+        return n;
+    }
+    if (a->color != b->color)
+        return 1 << (a->level < b->level ? a->level : b->level);
+    return 0;
+}
+
+int perimeter(struct quad* q) {
+    int n = 0;
+    if (q == (struct quad*)0 || q->color != 2)
+        return 0;
+    n += edge_contrib(q->child[0], q->child[1]);
+    n += edge_contrib(q->child[2], q->child[3]);
+    n += perimeter(q->child[0]);
+    n += perimeter(q->child[1]);
+    n += perimeter(q->child[2]);
+    n += perimeter(q->child[3]);
+    return n;
+}
+
+int main(void) {
+    int levels = @SCALE@;
+    struct quad* root = build(levels, (struct quad*)0, 0);
+    int black = count_leaves(root, 1);
+    int perim = perimeter(root);
+    printf("perimeter %d %d\n", black, perim);
+    return 0;
+}`
+
+// healthSrc: Olden health — a hierarchy of hospital villages with
+// patient linked lists flowing up the hierarchy. Dominated by list
+// splicing: pointer loads/stores.
+const healthSrc = `
+struct patient {
+    int id;
+    int time;
+    int hosps;
+    struct patient* next;
+};
+struct village {
+    struct village* child[4];
+    struct patient* waiting;
+    struct patient* assess;
+    int seed;
+    int level;
+    long treated;
+};
+
+struct village* build(int level, int seedval) {
+    struct village* v = (struct village*)malloc(sizeof(struct village));
+    int i;
+    v->waiting = (struct patient*)0;
+    v->assess = (struct patient*)0;
+    v->seed = seedval;
+    v->level = level;
+    v->treated = 0;
+    for (i = 0; i < 4; i++) {
+        if (level > 0)
+            v->child[i] = build(level - 1, seedval * 4 + i + 1);
+        else
+            v->child[i] = (struct village*)0;
+    }
+    return v;
+}
+
+int vrand(struct village* v) {
+    v->seed = v->seed * 1103515245 + 12345;
+    return (v->seed >> 8) & 32767;
+}
+
+/* One simulation step: generate patients at leaves, move waiting ->
+   assess, bubble unhealed patients to the parent. Returns the list of
+   patients this village passes up. */
+struct patient* step(struct village* v, int t) {
+    struct patient* up = (struct patient*)0;
+    struct patient* p;
+    struct patient* nextp;
+    int i;
+    if (v == (struct village*)0)
+        return (struct patient*)0;
+    /* Collect children's escalations into our waiting list. */
+    for (i = 0; i < 4; i++) {
+        p = step(v->child[i], t);
+        while (p) {
+            nextp = p->next;
+            p->next = v->waiting;
+            v->waiting = p;
+            p = nextp;
+        }
+    }
+    /* Leaves generate new patients. */
+    if (v->level == 0 && vrand(v) % 3 == 0) {
+        p = (struct patient*)malloc(sizeof(struct patient));
+        p->id = vrand(v);
+        p->time = t;
+        p->hosps = 0;
+        p->next = v->waiting;
+        v->waiting = p;
+    }
+    /* Treat: each waiting patient is either cured here or escalated. */
+    p = v->waiting;
+    v->waiting = (struct patient*)0;
+    while (p) {
+        nextp = p->next;
+        p->hosps++;
+        if (vrand(v) % 4 == 0 || v->level >= 3) {
+            v->treated++;
+            free(p);
+        } else {
+            p->next = up;
+            up = p;
+        }
+        p = nextp;
+    }
+    return up;
+}
+
+long total(struct village* v) {
+    long n;
+    int i;
+    if (v == (struct village*)0)
+        return 0;
+    n = v->treated;
+    for (i = 0; i < 4; i++)
+        n += total(v->child[i]);
+    return n;
+}
+
+int main(void) {
+    int steps = @SCALE@;
+    struct village* top = build(3, 1);
+    int t;
+    for (t = 0; t < steps; t++) {
+        struct patient* leftover = step(top, t);
+        while (leftover) {
+            struct patient* n = leftover->next;
+            free(leftover);
+            leftover = n;
+        }
+    }
+    printf("health %ld\n", total(top));
+    return 0;
+}`
+
+// bisortSrc: Olden bisort — bitonic sort over a binary tree of integers,
+// swapping subtrees in place.
+const bisortSrc = `
+struct node {
+    int value;
+    struct node* left;
+    struct node* right;
+};
+
+unsigned int seed = 23;
+int nrand(void) {
+    seed = seed * 1103515245 + 12345;
+    return (int)((seed >> 8) & 65535);
+}
+
+struct node* build(int depth) {
+    struct node* n;
+    if (depth == 0)
+        return (struct node*)0;
+    n = (struct node*)malloc(sizeof(struct node));
+    n->value = nrand();
+    n->left = build(depth - 1);
+    n->right = build(depth - 1);
+    return n;
+}
+
+void swap_value(struct node* a, struct node* b) {
+    int t = a->value;
+    a->value = b->value;
+    b->value = t;
+}
+
+void swap_subtrees(struct node* a, struct node* b) {
+    struct node* t = a->left;
+    a->left = b->left;
+    b->left = t;
+    t = a->right;
+    a->right = b->right;
+    b->right = t;
+}
+
+/* Bimerge: merge a bitonic sequence held in the tree. */
+void bimerge(struct node* root, int up) {
+    struct node* l;
+    struct node* r;
+    if (root == (struct node*)0)
+        return;
+    l = root->left;
+    r = root->right;
+    while (l != (struct node*)0 && r != (struct node*)0) {
+        if ((up && l->value > r->value) || (!up && l->value < r->value)) {
+            swap_value(l, r);
+            swap_subtrees(l, r);
+        }
+        l = l->right;
+        r = r->right;
+    }
+    bimerge(root->left, up);
+    bimerge(root->right, up);
+}
+
+void bisort(struct node* root, int up) {
+    if (root == (struct node*)0)
+        return;
+    bisort(root->left, up);
+    bisort(root->right, !up);
+    bimerge(root, up);
+}
+
+long check(struct node* n) {
+    if (n == (struct node*)0)
+        return 0;
+    return (long)n->value + check(n->left) * 3 + check(n->right) * 7;
+}
+
+int main(void) {
+    int depth = @SCALE@;
+    struct node* root = build(depth);
+    bisort(root, 1);
+    bisort(root, 0);
+    printf("bisort %ld\n", check(root) & 0xffffff);
+    return 0;
+}`
+
+// mstSrc: Olden mst — Prim's minimum spanning tree over a graph with
+// per-vertex adjacency hash lists.
+const mstSrc = `
+struct edge {
+    int to;
+    int w;
+    struct edge* next;
+};
+struct vertex {
+    struct edge* adj;
+    int key;
+    int inmst;
+};
+
+struct vertex* graph;
+int nv;
+
+void add_edge(int a, int b, int w) {
+    struct edge* e = (struct edge*)malloc(sizeof(struct edge));
+    e->to = b;
+    e->w = w;
+    e->next = graph[a].adj;
+    graph[a].adj = e;
+}
+
+int main(void) {
+    int n = @SCALE@;
+    int i, j, it;
+    long mst_weight = 0;
+    unsigned int seed = 41;
+    nv = n;
+    graph = (struct vertex*)malloc(n * sizeof(struct vertex));
+    for (i = 0; i < n; i++) {
+        graph[i].adj = (struct edge*)0;
+        graph[i].key = 1 << 30;
+        graph[i].inmst = 0;
+    }
+    /* A connected sparse graph: ring + random chords. */
+    for (i = 0; i < n; i++) {
+        seed = seed * 1103515245 + 12345;
+        add_edge(i, (i + 1) % n, (int)((seed >> 8) % 100) + 1);
+        add_edge((i + 1) % n, i, (int)((seed >> 8) % 100) + 1);
+        seed = seed * 1103515245 + 12345;
+        j = (int)((seed >> 8) % n);
+        if (j != i) {
+            seed = seed * 1103515245 + 12345;
+            add_edge(i, j, (int)((seed >> 8) % 200) + 1);
+            add_edge(j, i, (int)((seed >> 8) % 200) + 1);
+        }
+    }
+    /* Prim's algorithm with a linear scan "heap" (as Olden does). */
+    graph[0].key = 0;
+    for (it = 0; it < n; it++) {
+        int best = -1;
+        int bestkey = 1 << 30;
+        struct edge* e;
+        for (i = 0; i < n; i++) {
+            if (!graph[i].inmst && graph[i].key < bestkey) {
+                bestkey = graph[i].key;
+                best = i;
+            }
+        }
+        if (best < 0)
+            break;
+        graph[best].inmst = 1;
+        mst_weight += bestkey;
+        for (e = graph[best].adj; e; e = e->next) {
+            if (!graph[e->to].inmst && e->w < graph[e->to].key)
+                graph[e->to].key = e->w;
+        }
+    }
+    printf("mst %ld\n", mst_weight);
+    return 0;
+}`
+
+// liSrc: a miniature xlisp — cons cells, an environment a-list, eval
+// over lambda/arith special forms. The most pointer-dense workload,
+// matching li's position in Figure 1.
+const liSrc = `
+/* Cell tags. */
+enum { NIL_T, NUM_T, SYM_T, CONS_T, LAMBDA_T };
+
+struct cell {
+    int tag;
+    long num;            /* NUM_T */
+    int sym;             /* SYM_T: symbol id */
+    struct cell* car;    /* CONS_T / LAMBDA_T: params */
+    struct cell* cdr;    /* CONS_T / LAMBDA_T: body   */
+    struct cell* env;    /* LAMBDA_T: closure env     */
+};
+
+struct cell* nil_cell;
+
+struct cell* new_cell(int tag) {
+    struct cell* c = (struct cell*)malloc(sizeof(struct cell));
+    c->tag = tag;
+    c->num = 0;
+    c->sym = 0;
+    c->car = nil_cell;
+    c->cdr = nil_cell;
+    c->env = nil_cell;
+    return c;
+}
+
+struct cell* mknum(long v) {
+    struct cell* c = new_cell(NUM_T);
+    c->num = v;
+    return c;
+}
+
+struct cell* mksym(int s) {
+    struct cell* c = new_cell(SYM_T);
+    c->sym = s;
+    return c;
+}
+
+struct cell* cons(struct cell* a, struct cell* d) {
+    struct cell* c = new_cell(CONS_T);
+    c->car = a;
+    c->cdr = d;
+    return c;
+}
+
+/* env: list of (sym . value) conses. */
+struct cell* lookup(struct cell* env, int sym) {
+    while (env->tag == CONS_T) {
+        if (env->car->car->sym == sym)
+            return env->car->cdr;
+        env = env->cdr;
+    }
+    return nil_cell;
+}
+
+struct cell* bind(struct cell* env, int sym, struct cell* val) {
+    return cons(cons(mksym(sym), val), env);
+}
+
+/* Symbols: 0 '+', 1 '-', 2 '*', 3 'if', 4 'lambda', 10.. variables. */
+struct cell* eval(struct cell* x, struct cell* env);
+
+struct cell* eval_list_sum(struct cell* args, struct cell* env, int op) {
+    long acc;
+    struct cell* first = eval(args->car, env);
+    acc = first->num;
+    args = args->cdr;
+    while (args->tag == CONS_T) {
+        long v = eval(args->car, env)->num;
+        if (op == 0) acc += v;
+        if (op == 1) acc -= v;
+        if (op == 2) acc *= v;
+        args = args->cdr;
+    }
+    return mknum(acc);
+}
+
+struct cell* eval(struct cell* x, struct cell* env) {
+    if (x->tag == NUM_T)
+        return x;
+    if (x->tag == SYM_T)
+        return lookup(env, x->sym);
+    if (x->tag == CONS_T) {
+        struct cell* head = x->car;
+        if (head->tag == SYM_T) {
+            int s = head->sym;
+            if (s <= 2)
+                return eval_list_sum(x->cdr, env, s);
+            if (s == 3) { /* (if c t e) */
+                struct cell* c = eval(x->cdr->car, env);
+                if (c->num != 0)
+                    return eval(x->cdr->cdr->car, env);
+                return eval(x->cdr->cdr->cdr->car, env);
+            }
+            if (s == 4) { /* (lambda (p) body) */
+                struct cell* lam = new_cell(LAMBDA_T);
+                lam->car = x->cdr->car;        /* params */
+                lam->cdr = x->cdr->cdr->car;   /* body */
+                lam->env = env;
+                return lam;
+            }
+        }
+        /* Application. */
+        {
+            struct cell* fn = eval(head, env);
+            struct cell* args = x->cdr;
+            struct cell* fenv = fn->env;
+            struct cell* params = fn->car;
+            while (params->tag == CONS_T && args->tag == CONS_T) {
+                fenv = bind(fenv, params->car->sym, eval(args->car, env));
+                params = params->cdr;
+                args = args->cdr;
+            }
+            return eval(fn->cdr, fenv);
+        }
+    }
+    return nil_cell;
+}
+
+int main(void) {
+    int iters = @SCALE@;
+    int i;
+    long total = 0;
+    struct cell* env;
+    struct cell* fib;
+    nil_cell = (struct cell*)malloc(sizeof(struct cell));
+    nil_cell->tag = NIL_T;
+    nil_cell->car = nil_cell;
+    nil_cell->cdr = nil_cell;
+    nil_cell->env = nil_cell;
+    env = nil_cell;
+
+    /* fib = (lambda (n) (if n (if (- n 1) (+ (fib (- n 1)) (fib (- n 2))) 1) 0))
+       built as cell structure; symbol 10 = n, symbol 11 = fib. */
+    {
+        struct cell* n_ = mksym(10);
+        struct cell* fibs = mksym(11);
+        struct cell* one = mknum(1);
+        struct cell* two = mknum(2);
+        struct cell* nm1 = cons(mksym(1), cons(n_, cons(one, nil_cell)));
+        struct cell* nm2 = cons(mksym(1), cons(n_, cons(two, nil_cell)));
+        struct cell* call1 = cons(fibs, cons(nm1, nil_cell));
+        struct cell* call2 = cons(fibs, cons(nm2, nil_cell));
+        struct cell* sum = cons(mksym(0), cons(call1, cons(call2, nil_cell)));
+        struct cell* inner = cons(mksym(3), cons(nm1, cons(sum, cons(one, nil_cell))));
+        struct cell* body = cons(mksym(3), cons(n_, cons(inner, cons(mknum(0), nil_cell))));
+        struct cell* lam = cons(mksym(4), cons(cons(n_, nil_cell), cons(body, nil_cell)));
+        fib = eval(lam, env);
+        env = bind(env, 11, fib);
+        fib->env = env;   /* tie the recursive knot */
+    }
+    for (i = 0; i < iters; i++) {
+        struct cell* call = cons(mksym(11), cons(mknum(10 + (i % 3)), nil_cell));
+        total += eval(call, env)->num;
+    }
+    printf("li %ld\n", total);
+    return 0;
+}`
+
+// em3dSrc: Olden em3d — electromagnetic wave propagation on a bipartite
+// graph; each node's value is a weighted sum over pointer arrays of
+// neighbours. The highest pointer-load density of the suite.
+const em3dSrc = `
+struct node {
+    double value;
+    int degree;
+    struct node** to;      /* neighbour pointer array */
+    double* coeffs;
+    struct node* next;
+};
+
+unsigned int seed = 67;
+int grand(int m) {
+    seed = seed * 1103515245 + 12345;
+    return (int)((seed >> 8) % m);
+}
+
+struct node* make_list(int n) {
+    struct node* head = (struct node*)0;
+    int i;
+    for (i = 0; i < n; i++) {
+        struct node* nd = (struct node*)malloc(sizeof(struct node));
+        nd->value = (double)grand(1000) / 1000.0;
+        nd->degree = 0;
+        nd->to = (struct node**)0;
+        nd->coeffs = (double*)0;
+        nd->next = head;
+        head = nd;
+    }
+    return head;
+}
+
+struct node** index_list(struct node* head, int n) {
+    struct node** idx = (struct node**)malloc(n * sizeof(struct node*));
+    int i = 0;
+    struct node* p;
+    for (p = head; p; p = p->next)
+        idx[i++] = p;
+    return idx;
+}
+
+void connect(struct node* from, struct node** pool, int n, int degree) {
+    int i;
+    from->degree = degree;
+    from->to = (struct node**)malloc(degree * sizeof(struct node*));
+    from->coeffs = (double*)malloc(degree * sizeof(double));
+    for (i = 0; i < degree; i++) {
+        from->to[i] = pool[grand(n)];
+        from->coeffs[i] = (double)grand(100) / 100.0 - 0.5;
+    }
+}
+
+void compute(struct node* list) {
+    struct node* p;
+    for (p = list; p; p = p->next) {
+        double v = p->value;
+        int i;
+        for (i = 0; i < p->degree; i++)
+            v -= p->coeffs[i] * p->to[i]->value;
+        p->value = v;
+    }
+}
+
+int main(void) {
+    int n = @SCALE@;
+    int degree = 4;
+    int iters = 12;
+    struct node* enodes = make_list(n);
+    struct node* hnodes = make_list(n);
+    struct node** eidx = index_list(enodes, n);
+    struct node** hidx = index_list(hnodes, n);
+    struct node* p;
+    int t;
+    double checksum = 0.0;
+    for (p = enodes; p; p = p->next)
+        connect(p, hidx, n, degree);
+    for (p = hnodes; p; p = p->next)
+        connect(p, eidx, n, degree);
+    for (t = 0; t < iters; t++) {
+        compute(enodes);
+        compute(hnodes);
+    }
+    for (p = enodes; p; p = p->next)
+        checksum += p->value;
+    printf("em3d %g\n", checksum);
+    return 0;
+}`
+
+// treeaddSrc: Olden treeadd — build a binary tree, sum it recursively.
+// Almost every memory operation is a pointer load.
+const treeaddSrc = `
+struct tree {
+    int value;
+    struct tree* left;
+    struct tree* right;
+};
+
+struct tree* build(int depth) {
+    struct tree* t;
+    if (depth == 0)
+        return (struct tree*)0;
+    t = (struct tree*)malloc(sizeof(struct tree));
+    t->value = 1;
+    t->left = build(depth - 1);
+    t->right = build(depth - 1);
+    return t;
+}
+
+long treeadd(struct tree* t) {
+    if (t == (struct tree*)0)
+        return 0;
+    return (long)t->value + treeadd(t->left) + treeadd(t->right);
+}
+
+int main(void) {
+    int depth = @SCALE@;
+    int passes = 6;
+    struct tree* root = build(depth);
+    long total = 0;
+    int i;
+    for (i = 0; i < passes; i++)
+        total += treeadd(root);
+    printf("treeadd %ld\n", total);
+    return 0;
+}`

@@ -1,0 +1,98 @@
+package progs
+
+import (
+	"testing"
+
+	"softbound/internal/driver"
+)
+
+// smallScale gives a fast test problem size per benchmark.
+var smallScale = map[string]int{
+	"go": 8, "lbm": 4, "hmmer": 8, "compress": 4, "ijpeg": 3,
+	"bh": 16, "tsp": 6, "libquantum": 2, "perimeter": 4, "health": 10,
+	"bisort": 6, "mst": 24, "li": 4, "em3d": 40, "treeadd": 8,
+}
+
+func TestAllFifteenRegistered(t *testing.T) {
+	all := All()
+	if len(all) != 15 {
+		t.Fatalf("got %d benchmarks, want 15", len(all))
+	}
+	spec, olden := 0, 0
+	for _, b := range all {
+		if b.Class == SPEC {
+			spec++
+		} else {
+			olden++
+		}
+	}
+	if spec != 6 || olden != 9 {
+		t.Fatalf("got %d SPEC + %d Olden, want 6 + 9", spec, olden)
+	}
+}
+
+// TestBenchmarksRunCleanAllModes runs every workload in every mode:
+// correct programs must produce identical output with and without
+// instrumentation (no false positives, no semantic change).
+func TestBenchmarksRunCleanAllModes(t *testing.T) {
+	for _, b := range All() {
+		b := b
+		t.Run(b.Name, func(t *testing.T) {
+			t.Parallel()
+			src := b.Source(smallScale[b.Name])
+			var ref string
+			for _, mode := range []driver.Mode{driver.ModeNone, driver.ModeStoreOnly, driver.ModeFull} {
+				res, err := driver.RunSource(src, driver.DefaultConfig(mode))
+				if err != nil {
+					t.Fatalf("mode %v: compile: %v", mode, err)
+				}
+				if res.Err != nil {
+					t.Fatalf("mode %v: run: %v (output %q)", mode, res.Err, res.Output)
+				}
+				if res.Output == "" {
+					t.Fatalf("mode %v: no output", mode)
+				}
+				if ref == "" {
+					ref = res.Output
+				} else if res.Output != ref {
+					t.Fatalf("mode %v: output %q differs from unchecked %q", mode, res.Output, ref)
+				}
+			}
+		})
+	}
+}
+
+// TestPointerMixMatchesPaperShape checks the property Figure 1 plots:
+// SPEC-style workloads move few pointers; Olden-style workloads move
+// many. (The paper's dividing line: several SPEC benchmarks below 5%,
+// Olden benchmarks up to 50%+.)
+func TestPointerMixMatchesPaperShape(t *testing.T) {
+	fracs := make(map[string]float64)
+	for _, b := range All() {
+		src := b.Source(smallScale[b.Name])
+		res, err := driver.RunSource(src, driver.DefaultConfig(driver.ModeNone))
+		if err != nil {
+			t.Fatalf("%s: %v", b.Name, err)
+		}
+		if res.Err != nil {
+			t.Fatalf("%s: %v", b.Name, res.Err)
+		}
+		fracs[b.Name] = res.Stats.PtrMemFrac()
+	}
+	for _, name := range []string{"go", "lbm", "hmmer", "compress", "ijpeg"} {
+		if fracs[name] > 0.10 {
+			t.Errorf("SPEC-style %s has %.1f%% pointer memory ops, want < 10%%",
+				name, 100*fracs[name])
+		}
+	}
+	for _, name := range []string{"treeadd", "em3d", "li", "bisort", "perimeter"} {
+		if fracs[name] < 0.25 {
+			t.Errorf("Olden-style %s has %.1f%% pointer memory ops, want > 25%%",
+				name, 100*fracs[name])
+		}
+	}
+	if fracs["treeadd"] <= fracs["go"] {
+		t.Errorf("treeadd (%.1f%%) should exceed go (%.1f%%)",
+			100*fracs["treeadd"], 100*fracs["go"])
+	}
+}

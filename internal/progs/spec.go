@@ -1,0 +1,417 @@
+package progs
+
+// The SPEC-CPU-style workloads: scalar and array computation with very
+// few pointer loads/stores, matching the left side of Figure 1.
+
+func init() {
+	register(Benchmark{Name: "go", Class: SPEC, DefaultScale: 40, source: goSrc})
+	register(Benchmark{Name: "lbm", Class: SPEC, DefaultScale: 12, source: lbmSrc})
+	register(Benchmark{Name: "hmmer", Class: SPEC, DefaultScale: 30, source: hmmerSrc})
+	register(Benchmark{Name: "compress", Class: SPEC, DefaultScale: 15, source: compressSrc})
+	register(Benchmark{Name: "ijpeg", Class: SPEC, DefaultScale: 6, source: ijpegSrc})
+	register(Benchmark{Name: "libquantum", Class: SPEC, DefaultScale: 6, source: libquantumSrc})
+}
+
+// goSrc: a 9x9 Go position evaluator — flood-fill liberty counting and
+// pattern scoring over int boards, in the style of SPEC 099.go.
+const goSrc = `
+int board[81];
+int marks[81];
+int stack_[81];
+
+int liberties(int start, int color) {
+    int sp = 0;
+    int libs = 0;
+    int i;
+    for (i = 0; i < 81; i++)
+        marks[i] = 0;
+    stack_[sp++] = start;
+    marks[start] = 1;
+    while (sp > 0) {
+        int pos = stack_[--sp];
+        int x = pos % 9;
+        int y = pos / 9;
+        int d;
+        for (d = 0; d < 4; d++) {
+            int nx = x;
+            int ny = y;
+            int npos;
+            if (d == 0) nx = x - 1;
+            if (d == 1) nx = x + 1;
+            if (d == 2) ny = y - 1;
+            if (d == 3) ny = y + 1;
+            if (nx < 0 || nx >= 9 || ny < 0 || ny >= 9)
+                continue;
+            npos = ny * 9 + nx;
+            if (marks[npos])
+                continue;
+            marks[npos] = 1;
+            if (board[npos] == 0)
+                libs++;
+            else if (board[npos] == color)
+                stack_[sp++] = npos;
+        }
+    }
+    return libs;
+}
+
+int evaluate(void) {
+    int score = 0;
+    int i;
+    for (i = 0; i < 81; i++) {
+        if (board[i] != 0) {
+            int l = liberties(i, board[i]);
+            if (board[i] == 1)
+                score += l;
+            else
+                score -= l;
+        }
+    }
+    return score;
+}
+
+int main(void) {
+    int moves = @SCALE@;
+    int m, i;
+    long total = 0;
+    unsigned int seed = 12345;
+    for (i = 0; i < 81; i++)
+        board[i] = 0;
+    for (m = 0; m < moves; m++) {
+        int tries = 0;
+        int pos;
+        do {
+            seed = seed * 1103515245 + 12345;
+            pos = (int)((seed >> 8) % 81);
+            tries++;
+        } while (board[pos] != 0 && tries < 200);
+        board[pos] = (m % 2) + 1;
+        total += evaluate();
+    }
+    printf("go score %ld\n", total);
+    return 0;
+}`
+
+// lbmSrc: a Lattice-Boltzmann D2Q9 fluid step over double grids, in the
+// style of SPEC 470.lbm — pure floating-point streaming.
+const lbmSrc = `
+double grid[2][20][20][9];
+double weights[9];
+int cx[9];
+int cy[9];
+
+void init_weights(void) {
+    int k;
+    weights[0] = 4.0 / 9.0;
+    for (k = 1; k < 5; k++) weights[k] = 1.0 / 9.0;
+    for (k = 5; k < 9; k++) weights[k] = 1.0 / 36.0;
+    cx[0] = 0; cy[0] = 0;
+    cx[1] = 1; cy[1] = 0;  cx[2] = -1; cy[2] = 0;
+    cx[3] = 0; cy[3] = 1;  cx[4] = 0;  cy[4] = -1;
+    cx[5] = 1; cy[5] = 1;  cx[6] = -1; cy[6] = -1;
+    cx[7] = 1; cy[7] = -1; cx[8] = -1; cy[8] = 1;
+}
+
+int main(void) {
+    int steps = @SCALE@;
+    int t, x, y, k;
+    double omega = 1.85;
+    double checksum = 0.0;
+    init_weights();
+    for (x = 0; x < 20; x++)
+        for (y = 0; y < 20; y++)
+            for (k = 0; k < 9; k++)
+                grid[0][x][y][k] = weights[k] * (1.0 + 0.01 * (double)((x * 7 + y * 3) % 5));
+    for (t = 0; t < steps; t++) {
+        int src = t % 2;
+        int dst = 1 - src;
+        for (x = 0; x < 20; x++) {
+            for (y = 0; y < 20; y++) {
+                double rho = 0.0;
+                double ux = 0.0;
+                double uy = 0.0;
+                double usq;
+                for (k = 0; k < 9; k++) {
+                    double f = grid[src][x][y][k];
+                    rho += f;
+                    ux += f * (double)cx[k];
+                    uy += f * (double)cy[k];
+                }
+                if (rho > 0.0) {
+                    ux /= rho;
+                    uy /= rho;
+                }
+                usq = ux * ux + uy * uy;
+                for (k = 0; k < 9; k++) {
+                    double cu = 3.0 * ((double)cx[k] * ux + (double)cy[k] * uy);
+                    double feq = weights[k] * rho * (1.0 + cu + 0.5 * cu * cu - 1.5 * usq);
+                    int nx = (x + cx[k] + 20) % 20;
+                    int ny = (y + cy[k] + 20) % 20;
+                    grid[dst][nx][ny][k] =
+                        grid[src][x][y][k] + omega * (feq - grid[src][x][y][k]);
+                }
+            }
+        }
+    }
+    for (x = 0; x < 20; x++)
+        for (y = 0; y < 20; y++)
+            checksum += grid[steps % 2][x][y][0];
+    printf("lbm %g\n", checksum);
+    return 0;
+}`
+
+// hmmerSrc: Viterbi dynamic programming over integer score matrices, in
+// the style of SPEC 456.hmmer's P7Viterbi inner loop.
+const hmmerSrc = `
+int mmx[64][32];
+int imx[64][32];
+int dmx[64][32];
+int tmm[32];
+int tim[32];
+int tdm[32];
+int ems[32][4];
+
+int max2(int a, int b) { return a > b ? a : b; }
+
+int viterbi(int* seq, int len) {
+    int i, k;
+    for (k = 0; k < 32; k++) {
+        mmx[0][k] = -10000;
+        imx[0][k] = -10000;
+        dmx[0][k] = -10000;
+    }
+    mmx[0][0] = 0;
+    for (i = 1; i < len; i++) {
+        int sym = seq[i];
+        for (k = 1; k < 32; k++) {
+            int sc = max2(mmx[i-1][k-1] + tmm[k], imx[i-1][k-1] + tim[k]);
+            sc = max2(sc, dmx[i-1][k-1] + tdm[k]);
+            mmx[i][k] = sc + ems[k][sym];
+            imx[i][k] = max2(mmx[i-1][k] - 3, imx[i-1][k] - 1);
+            dmx[i][k] = max2(mmx[i][k-1] - 4, dmx[i][k-1] - 1);
+        }
+    }
+    {
+        int best = -10000;
+        for (k = 0; k < 32; k++)
+            best = max2(best, mmx[len-1][k]);
+        return best;
+    }
+}
+
+int main(void) {
+    int iters = @SCALE@;
+    int seq[64];
+    int it, i, k;
+    long total = 0;
+    unsigned int seed = 7;
+    for (k = 0; k < 32; k++) {
+        tmm[k] = (int)(k * 3 % 7) - 3;
+        tim[k] = (int)(k * 5 % 11) - 5;
+        tdm[k] = (int)(k * 2 % 5) - 2;
+        for (i = 0; i < 4; i++)
+            ems[k][i] = (int)((k + i) * 13 % 9) - 4;
+    }
+    for (it = 0; it < iters; it++) {
+        for (i = 0; i < 64; i++) {
+            seed = seed * 1103515245 + 12345;
+            seq[i] = (int)((seed >> 8) % 4);
+        }
+        total += viterbi(seq, 64);
+    }
+    printf("hmmer %ld\n", total);
+    return 0;
+}`
+
+// compressSrc: an LZW-style compressor over a synthetic text buffer, in
+// the style of SPEC 129.compress — hash probing over int tables.
+const compressSrc = `
+int htab[4096];
+int codetab[4096];
+char inbuf[2048];
+char outbuf[4096];
+
+int compress_block(int n) {
+    int next_code = 256;
+    int prefix = (int)(unsigned char)inbuf[0];
+    int outn = 0;
+    int i;
+    for (i = 0; i < 4096; i++)
+        htab[i] = -1;
+    for (i = 1; i < n; i++) {
+        int c = (int)(unsigned char)inbuf[i];
+        int key = ((prefix << 4) ^ c) & 4095;
+        int found = 0;
+        while (htab[key] != -1) {
+            if (htab[key] == ((prefix << 8) | c)) {
+                prefix = codetab[key];
+                found = 1;
+                break;
+            }
+            key = (key + 1) & 4095;
+        }
+        if (!found) {
+            outbuf[outn++] = (char)(prefix & 255);
+            outbuf[outn++] = (char)(prefix >> 8);
+            if (next_code < 65536) {
+                htab[key] = (prefix << 8) | c;
+                codetab[key] = next_code++;
+            }
+            prefix = c;
+        }
+    }
+    outbuf[outn++] = (char)(prefix & 255);
+    return outn;
+}
+
+int main(void) {
+    int iters = @SCALE@;
+    int it, i;
+    long total = 0;
+    unsigned int seed = 99;
+    for (it = 0; it < iters; it++) {
+        for (i = 0; i < 2047; i++) {
+            seed = seed * 1103515245 + 12345;
+            /* Skewed distribution compresses like text. */
+            inbuf[i] = (char)('a' + ((seed >> 8) % 16) % 8);
+        }
+        inbuf[2047] = 0;
+        total += compress_block(2047);
+    }
+    printf("compress %ld\n", total);
+    return 0;
+}`
+
+// ijpegSrc: 8x8 forward DCT, quantization, and dequantization over image
+// blocks, in the style of SPEC 132.ijpeg.
+const ijpegSrc = `
+int image[64][64];
+int block[8][8];
+int coef[8][8];
+int quant[8][8];
+
+void fdct_rows(void) {
+    int i, j, k;
+    int tmp[8];
+    for (i = 0; i < 8; i++) {
+        for (j = 0; j < 8; j++) {
+            int acc = 0;
+            for (k = 0; k < 8; k++)
+                acc += block[i][k] * ((k + 1) * (2 * j + 1) % 16 - 8);
+            tmp[j] = acc >> 3;
+        }
+        for (j = 0; j < 8; j++)
+            block[i][j] = tmp[j];
+    }
+}
+
+void fdct_cols(void) {
+    int i, j, k;
+    int tmp[8];
+    for (j = 0; j < 8; j++) {
+        for (i = 0; i < 8; i++) {
+            int acc = 0;
+            for (k = 0; k < 8; k++)
+                acc += block[k][j] * ((k + 1) * (2 * i + 1) % 16 - 8);
+            tmp[i] = acc >> 3;
+        }
+        for (i = 0; i < 8; i++)
+            coef[i][j] = tmp[i];
+    }
+}
+
+int main(void) {
+    int passes = @SCALE@;
+    int p, bx, by, i, j;
+    long checksum = 0;
+    unsigned int seed = 31;
+    for (i = 0; i < 8; i++)
+        for (j = 0; j < 8; j++)
+            quant[i][j] = 1 + ((i + j) * 2);
+    for (i = 0; i < 64; i++) {
+        for (j = 0; j < 64; j++) {
+            seed = seed * 1103515245 + 12345;
+            image[i][j] = (int)((seed >> 8) % 256);
+        }
+    }
+    for (p = 0; p < passes; p++) {
+        for (by = 0; by < 8; by++) {
+            for (bx = 0; bx < 8; bx++) {
+                for (i = 0; i < 8; i++)
+                    for (j = 0; j < 8; j++)
+                        block[i][j] = image[by * 8 + i][bx * 8 + j] - 128;
+                fdct_rows();
+                fdct_cols();
+                for (i = 0; i < 8; i++) {
+                    for (j = 0; j < 8; j++) {
+                        int q = coef[i][j] / quant[i][j];
+                        checksum += q;
+                        image[by * 8 + i][bx * 8 + j] = (q * quant[i][j] + 128) & 255;
+                    }
+                }
+            }
+        }
+    }
+    printf("ijpeg %ld\n", checksum);
+    return 0;
+}`
+
+// libquantumSrc: Grover-style iteration over a quantum register stored
+// as an array of amplitude structs, in the style of SPEC 462.libquantum.
+// Struct-array access with scalar math; few pointer moves.
+const libquantumSrc = `
+struct amp { double re; double im; long state; };
+struct amp reg[1024];
+
+void hadamard(int target, int n) {
+    int i;
+    long mask = 1L << target;
+    double s = 0.70710678118654752;
+    for (i = 0; i < n; i++) {
+        if ((reg[i].state & mask) == 0) {
+            int partner = i + (int)mask;
+            double are = reg[i].re;
+            double aim = reg[i].im;
+            double bre = reg[partner].re;
+            double bim = reg[partner].im;
+            reg[i].re = s * (are + bre);
+            reg[i].im = s * (aim + bim);
+            reg[partner].re = s * (are - bre);
+            reg[partner].im = s * (aim - bim);
+        }
+    }
+}
+
+void phase_flip(long needle, int n) {
+    int i;
+    for (i = 0; i < n; i++) {
+        if (reg[i].state == needle) {
+            reg[i].re = -reg[i].re;
+            reg[i].im = -reg[i].im;
+        }
+    }
+}
+
+int main(void) {
+    int qubits = 10;
+    int n = 1 << qubits;
+    int iters = @SCALE@;
+    int it, i, q;
+    double norm = 0.0;
+    for (i = 0; i < n; i++) {
+        reg[i].state = (long)i;
+        reg[i].re = (i == 0) ? 1.0 : 0.0;
+        reg[i].im = 0.0;
+    }
+    for (it = 0; it < iters; it++) {
+        for (q = 0; q < qubits - 1; q++)
+            hadamard(q, n);
+        phase_flip(42, n);
+        for (q = 0; q < qubits - 1; q++)
+            hadamard(q, n);
+    }
+    for (i = 0; i < n; i++)
+        norm += reg[i].re * reg[i].re + reg[i].im * reg[i].im;
+    printf("libquantum %g\n", norm);
+    return 0;
+}`

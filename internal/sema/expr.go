@@ -1,0 +1,500 @@
+package sema
+
+import (
+	"softbound/internal/cast"
+	"softbound/internal/ctoken"
+	"softbound/internal/ctypes"
+)
+
+// checkExpr types an expression, returning its (decayed) type, or nil on
+// error (an error has been recorded).
+func (c *checker) checkExpr(e cast.Expr) *ctypes.Type {
+	t := c.typeExpr(e)
+	return t
+}
+
+// setType records t on the node and returns the decayed type for use in
+// the surrounding expression.
+func setType(e cast.Expr, t *ctypes.Type) *ctypes.Type {
+	type setter interface{ SetType(*ctypes.Type) }
+	if t == nil {
+		return nil
+	}
+	d := t.Decay()
+	e.(setter).SetType(d)
+	return d
+}
+
+// undecayedType returns the type of an lvalue expression without array
+// decay (needed for & and sizeof).
+func (c *checker) undecayedType(e cast.Expr) *ctypes.Type {
+	switch x := e.(type) {
+	case *cast.Ident:
+		if sym := c.lookup(x.Name); sym != nil {
+			return sym.Type
+		}
+	case *cast.Member:
+		if x.Field != nil {
+			return x.Field.Type
+		}
+	case *cast.Index:
+		if xt := x.X.Type(); xt != nil && xt.IsPointer() {
+			return xt.Elem
+		}
+	case *cast.Unary:
+		if x.Op == ctoken.Star {
+			if xt := x.X.Type(); xt != nil && xt.IsPointer() {
+				return xt.Elem
+			}
+		}
+	}
+	if t := e.Type(); t != nil {
+		return t
+	}
+	return nil
+}
+
+func (c *checker) typeExpr(e cast.Expr) *ctypes.Type {
+	switch x := e.(type) {
+	case *cast.IntLit:
+		if x.Value > 0x7fffffff {
+			return setType(x, ctypes.LongType)
+		}
+		return setType(x, ctypes.IntType)
+
+	case *cast.FloatLit:
+		return setType(x, ctypes.DoubleType)
+
+	case *cast.StringLit:
+		// A string literal is a static char array; in expression context
+		// it decays to char*.
+		return setType(x, ctypes.ArrayOf(ctypes.CharType, int64(len(x.Value))+1))
+
+	case *cast.Ident:
+		if v, ok := c.enums[x.Name]; ok {
+			x.Kind = cast.VarEnumConst
+			x.EnumVal = v
+			return setType(x, ctypes.IntType)
+		}
+		sym := c.lookup(x.Name)
+		if sym == nil {
+			c.errorf(x.Pos(), "undeclared identifier %q", x.Name)
+			return nil
+		}
+		c.info.Refs[x] = sym
+		switch sym.Kind {
+		case SymLocal:
+			x.Kind = cast.VarLocal
+		case SymParam:
+			x.Kind = cast.VarParam
+		case SymGlobal:
+			x.Kind = cast.VarGlobal
+		case SymFunc:
+			x.Kind = cast.VarFunc
+		}
+		return setType(x, sym.Type)
+
+	case *cast.Unary:
+		return c.typeUnary(x)
+
+	case *cast.Postfix:
+		t := c.typeExpr(x.X)
+		if t == nil {
+			return nil
+		}
+		if !c.isLvalue(x.X) {
+			c.errorf(x.Pos(), "operand of %s must be an lvalue", x.Op)
+		}
+		if !t.IsScalar() {
+			c.errorf(x.Pos(), "operand of %s must be scalar, have %s", x.Op, t)
+		}
+		return setType(x, t)
+
+	case *cast.Binary:
+		return c.typeBinary(x)
+
+	case *cast.Assign:
+		lt := c.typeExpr(x.L)
+		rt := c.typeExpr(x.R)
+		if lt == nil || rt == nil {
+			return nil
+		}
+		if !c.isLvalue(x.L) {
+			c.errorf(x.Pos(), "assignment target is not an lvalue")
+		}
+		if x.Op == ctoken.Assign {
+			if !ctypes.AssignCompatible(lt, rt) {
+				c.errorf(x.Pos(), "cannot assign %s to %s", rt, lt)
+			}
+		} else {
+			// Compound assignment: pointer += int is legal; otherwise
+			// both sides must be arithmetic (or integer for bit ops).
+			op := compoundBase(x.Op)
+			if lt.IsPointer() {
+				if op != ctoken.Plus && op != ctoken.Minus || !rt.IsInteger() {
+					c.errorf(x.Pos(), "invalid compound assignment on pointer")
+				}
+			} else if !lt.IsArithmetic() || !rt.IsArithmetic() {
+				c.errorf(x.Pos(), "invalid operands to compound assignment: %s, %s", lt, rt)
+			}
+		}
+		return setType(x, lt)
+
+	case *cast.Cond:
+		c.checkCond(x.C)
+		tt := c.typeExpr(x.Then)
+		et := c.typeExpr(x.Else)
+		if tt == nil || et == nil {
+			return nil
+		}
+		switch {
+		case tt.IsArithmetic() && et.IsArithmetic():
+			return setType(x, ctypes.UsualArithmetic(tt, et))
+		case tt.IsPointer():
+			return setType(x, tt)
+		case et.IsPointer():
+			return setType(x, et)
+		default:
+			return setType(x, tt)
+		}
+
+	case *cast.Comma:
+		c.typeExpr(x.X)
+		t := c.typeExpr(x.Y)
+		if t == nil {
+			return nil
+		}
+		return setType(x, t)
+
+	case *cast.Cast:
+		st := c.typeExpr(x.X)
+		if st == nil {
+			return nil
+		}
+		// SoftBound supports arbitrary casts; the checker allows every
+		// scalar-to-scalar conversion (wild casts included).
+		if !x.To.IsScalar() && x.To.Kind != ctypes.Void && !ctypes.Equal(x.To, st) {
+			c.errorf(x.Pos(), "invalid cast from %s to %s", st, x.To)
+		}
+		return setType(x, x.To)
+
+	case *cast.SizeofType:
+		if x.OfEx != nil {
+			c.typeExpr(x.OfEx)
+			x.Of = c.undecayedType(x.OfEx)
+			if x.Of == nil {
+				return nil
+			}
+		}
+		return setType(x, ctypes.ULongType)
+
+	case *cast.Index:
+		xt := c.typeExpr(x.X)
+		it := c.typeExpr(x.I)
+		if xt == nil || it == nil {
+			return nil
+		}
+		// C allows i[p] as well as p[i].
+		if !xt.IsPointer() && it.IsPointer() {
+			xt, it = it, xt
+			x.X, x.I = x.I, x.X
+		}
+		if !xt.IsPointer() {
+			c.errorf(x.Pos(), "indexed expression is not a pointer or array (%s)", xt)
+			return nil
+		}
+		if !it.IsInteger() {
+			c.errorf(x.Pos(), "array index must be integer, have %s", it)
+		}
+		return setType(x, xt.Elem)
+
+	case *cast.Member:
+		xt := c.typeExpr(x.X)
+		if xt == nil {
+			return nil
+		}
+		var st *ctypes.Type
+		if x.Arrow {
+			if !xt.IsPointer() || xt.Elem.Kind != ctypes.Struct {
+				c.errorf(x.Pos(), "-> on non-pointer-to-struct (%s)", xt)
+				return nil
+			}
+			st = xt.Elem
+		} else {
+			// x.X may have pointer type here if it is an array member
+			// access chain; require struct.
+			if u := c.undecayedType(x.X); u != nil && u.Kind == ctypes.Struct {
+				st = u
+			} else {
+				c.errorf(x.Pos(), ". on non-struct (%s)", xt)
+				return nil
+			}
+		}
+		f := st.FieldByName(x.Name)
+		if f == nil {
+			c.errorf(x.Pos(), "no field %q in %s", x.Name, st)
+			return nil
+		}
+		x.Field = f
+		x.Struct = st
+		return setType(x, f.Type)
+
+	case *cast.Call:
+		return c.typeCall(x)
+	}
+	c.errorf(e.Pos(), "internal: unknown expression %T", e)
+	return nil
+}
+
+func compoundBase(k ctoken.Kind) ctoken.Kind {
+	switch k {
+	case ctoken.PlusAssign:
+		return ctoken.Plus
+	case ctoken.MinusAssign:
+		return ctoken.Minus
+	case ctoken.StarAssign:
+		return ctoken.Star
+	case ctoken.SlashAssign:
+		return ctoken.Slash
+	case ctoken.PercentAssign:
+		return ctoken.Percent
+	case ctoken.AmpAssign:
+		return ctoken.Amp
+	case ctoken.PipeAssign:
+		return ctoken.Pipe
+	case ctoken.CaretAssign:
+		return ctoken.Caret
+	case ctoken.ShlAssign:
+		return ctoken.Shl
+	case ctoken.ShrAssign:
+		return ctoken.Shr
+	}
+	return k
+}
+
+func (c *checker) typeUnary(x *cast.Unary) *ctypes.Type {
+	switch x.Op {
+	case ctoken.Amp:
+		t := c.typeExpr(x.X)
+		if t == nil {
+			return nil
+		}
+		if !c.isLvalue(x.X) {
+			// &func is allowed: function designators are not lvalues
+			// but their address may be taken.
+			if id, ok := x.X.(*cast.Ident); !ok || id.Kind != cast.VarFunc {
+				c.errorf(x.Pos(), "cannot take address of non-lvalue")
+				return nil
+			}
+		}
+		u := c.undecayedType(x.X)
+		if u == nil {
+			u = t
+		}
+		return setType(x, ctypes.PointerTo(u))
+	case ctoken.Star:
+		t := c.typeExpr(x.X)
+		if t == nil {
+			return nil
+		}
+		if !t.IsPointer() {
+			c.errorf(x.Pos(), "cannot dereference non-pointer (%s)", t)
+			return nil
+		}
+		if t.Elem.Kind == ctypes.Func {
+			return setType(x, t.Elem) // *fp is the function itself
+		}
+		return setType(x, t.Elem)
+	case ctoken.Minus, ctoken.Plus:
+		t := c.typeExpr(x.X)
+		if t == nil {
+			return nil
+		}
+		if !t.IsArithmetic() {
+			c.errorf(x.Pos(), "unary %s on non-arithmetic type %s", x.Op, t)
+			return nil
+		}
+		return setType(x, t.Promote())
+	case ctoken.Tilde:
+		t := c.typeExpr(x.X)
+		if t == nil {
+			return nil
+		}
+		if !t.IsInteger() {
+			c.errorf(x.Pos(), "~ on non-integer type %s", t)
+			return nil
+		}
+		return setType(x, t.Promote())
+	case ctoken.Not:
+		t := c.typeExpr(x.X)
+		if t == nil {
+			return nil
+		}
+		if !t.IsScalar() {
+			c.errorf(x.Pos(), "! on non-scalar type %s", t)
+		}
+		return setType(x, ctypes.IntType)
+	case ctoken.Inc, ctoken.Dec:
+		t := c.typeExpr(x.X)
+		if t == nil {
+			return nil
+		}
+		if !c.isLvalue(x.X) {
+			c.errorf(x.Pos(), "operand of %s must be an lvalue", x.Op)
+		}
+		if !t.IsScalar() {
+			c.errorf(x.Pos(), "operand of %s must be scalar, have %s", x.Op, t)
+		}
+		return setType(x, t)
+	}
+	c.errorf(x.Pos(), "internal: unknown unary op %s", x.Op)
+	return nil
+}
+
+func (c *checker) typeBinary(x *cast.Binary) *ctypes.Type {
+	lt := c.typeExpr(x.X)
+	rt := c.typeExpr(x.Y)
+	if lt == nil || rt == nil {
+		return nil
+	}
+	switch x.Op {
+	case ctoken.Plus:
+		switch {
+		case lt.IsPointer() && rt.IsInteger():
+			return setType(x, lt)
+		case lt.IsInteger() && rt.IsPointer():
+			return setType(x, rt)
+		case lt.IsArithmetic() && rt.IsArithmetic():
+			return setType(x, ctypes.UsualArithmetic(lt, rt))
+		}
+		c.errorf(x.Pos(), "invalid operands to +: %s, %s", lt, rt)
+		return nil
+	case ctoken.Minus:
+		switch {
+		case lt.IsPointer() && rt.IsInteger():
+			return setType(x, lt)
+		case lt.IsPointer() && rt.IsPointer():
+			return setType(x, ctypes.LongType)
+		case lt.IsArithmetic() && rt.IsArithmetic():
+			return setType(x, ctypes.UsualArithmetic(lt, rt))
+		}
+		c.errorf(x.Pos(), "invalid operands to -: %s, %s", lt, rt)
+		return nil
+	case ctoken.Star, ctoken.Slash:
+		if !lt.IsArithmetic() || !rt.IsArithmetic() {
+			c.errorf(x.Pos(), "invalid operands to %s: %s, %s", x.Op, lt, rt)
+			return nil
+		}
+		return setType(x, ctypes.UsualArithmetic(lt, rt))
+	case ctoken.Percent, ctoken.Amp, ctoken.Pipe, ctoken.Caret,
+		ctoken.Shl, ctoken.Shr:
+		if !lt.IsInteger() || !rt.IsInteger() {
+			c.errorf(x.Pos(), "invalid operands to %s: %s, %s", x.Op, lt, rt)
+			return nil
+		}
+		if x.Op == ctoken.Shl || x.Op == ctoken.Shr {
+			return setType(x, lt.Promote())
+		}
+		return setType(x, ctypes.UsualArithmetic(lt, rt))
+	case ctoken.Lt, ctoken.Gt, ctoken.Le, ctoken.Ge, ctoken.Eq, ctoken.Ne:
+		ok := (lt.IsArithmetic() && rt.IsArithmetic()) ||
+			(lt.IsPointer() && rt.IsPointer()) ||
+			(lt.IsPointer() && rt.IsInteger()) || // p == 0
+			(lt.IsInteger() && rt.IsPointer())
+		if !ok {
+			c.errorf(x.Pos(), "invalid comparison: %s %s %s", lt, x.Op, rt)
+		}
+		return setType(x, ctypes.IntType)
+	case ctoken.AndAnd, ctoken.OrOr:
+		if !lt.IsScalar() || !rt.IsScalar() {
+			c.errorf(x.Pos(), "invalid operands to %s: %s, %s", x.Op, lt, rt)
+		}
+		return setType(x, ctypes.IntType)
+	}
+	c.errorf(x.Pos(), "internal: unknown binary op %s", x.Op)
+	return nil
+}
+
+func (c *checker) typeCall(x *cast.Call) *ctypes.Type {
+	var ft *ctypes.Type
+	if id, ok := x.Target.(*cast.Ident); ok {
+		if sym := c.lookup(id.Name); sym != nil && sym.Kind == SymFunc {
+			id.Kind = cast.VarFunc
+			c.info.Refs[id] = sym
+			setType(id, sym.Type)
+			x.Direct = id.Name
+			ft = sym.Type
+		} else if sym == nil {
+			// Implicitly declared function: int f(...). This mirrors
+			// the paper's observation that incomplete prototypes are
+			// common; the call-site transformation still works.
+			fnType := ctypes.FuncOf(ctypes.IntType, nil, true)
+			fsym := &Symbol{Name: id.Name, Kind: SymFunc, Type: fnType}
+			c.scopes[0][id.Name] = fsym
+			c.info.FuncSyms[id.Name] = fsym
+			c.info.Refs[id] = fsym
+			id.Kind = cast.VarFunc
+			setType(id, fnType)
+			x.Direct = id.Name
+			ft = fnType
+		}
+	}
+	if ft == nil {
+		t := c.typeExpr(x.Target)
+		if t == nil {
+			return nil
+		}
+		switch {
+		case t.Kind == ctypes.Func:
+			ft = t
+		case t.IsFuncPointer():
+			ft = t.Elem
+		default:
+			c.errorf(x.Pos(), "called object is not a function (%s)", t)
+			return nil
+		}
+	}
+	// Check arguments.
+	nParams := len(ft.Params)
+	if len(x.Args) < nParams || (!ft.Variadic && len(x.Args) > nParams) {
+		c.errorf(x.Pos(), "call has %d args, function takes %d%s",
+			len(x.Args), nParams, variadicSuffix(ft.Variadic))
+	}
+	for i, a := range x.Args {
+		at := c.typeExpr(a)
+		if at == nil {
+			continue
+		}
+		if i < nParams && !ctypes.AssignCompatible(ft.Params[i], at) {
+			c.errorf(a.Pos(), "argument %d: cannot pass %s as %s", i+1, at, ft.Params[i])
+		}
+	}
+	return setType(x, ft.Elem)
+}
+
+func variadicSuffix(v bool) string {
+	if v {
+		return "+"
+	}
+	return ""
+}
+
+// isLvalue reports whether e designates an object.
+func (c *checker) isLvalue(e cast.Expr) bool {
+	switch x := e.(type) {
+	case *cast.Ident:
+		return x.Kind == cast.VarLocal || x.Kind == cast.VarParam || x.Kind == cast.VarGlobal
+	case *cast.Unary:
+		return x.Op == ctoken.Star
+	case *cast.Index:
+		return true
+	case *cast.Member:
+		if x.Arrow {
+			return true
+		}
+		return c.isLvalue(x.X)
+	case *cast.StringLit:
+		return true
+	}
+	return false
+}

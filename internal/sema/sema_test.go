@@ -1,0 +1,185 @@
+package sema
+
+import (
+	"strings"
+	"testing"
+
+	"softbound/internal/cparser"
+)
+
+func analyze(t *testing.T, src string) (*Info, error) {
+	t.Helper()
+	unit, err := cparser.Parse("test.c", src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	return Analyze(unit)
+}
+
+func mustAnalyze(t *testing.T, src string) *Info {
+	t.Helper()
+	info, err := analyze(t, src)
+	if err != nil {
+		t.Fatalf("analyze: %v", err)
+	}
+	return info
+}
+
+func wantError(t *testing.T, src, frag string) {
+	t.Helper()
+	_, err := analyze(t, src)
+	if err == nil {
+		t.Fatalf("expected error containing %q", frag)
+	}
+	if !strings.Contains(err.Error(), frag) {
+		t.Fatalf("error %q does not contain %q", err, frag)
+	}
+}
+
+func TestScoping(t *testing.T) {
+	info := mustAnalyze(t, `
+int x;
+int f(int x) {
+    int y = x;
+    {
+        int x = 2;
+        y += x;
+    }
+    return y + x;
+}`)
+	fi := info.Funcs["f"]
+	if fi == nil || len(fi.Locals) != 2 {
+		t.Fatalf("locals: %+v", fi)
+	}
+}
+
+func TestUndeclaredIdentifier(t *testing.T) {
+	wantError(t, `int f(void) { return zz; }`, "undeclared")
+}
+
+func TestRedeclaration(t *testing.T) {
+	wantError(t, `int f(void) { int a; int a; return 0; }`, "redeclared")
+}
+
+func TestImplicitFunctionDeclaration(t *testing.T) {
+	// Calling an undeclared function implicitly declares int(...)
+	// (paper: incomplete prototypes are common; the transformation
+	// still works).
+	info := mustAnalyze(t, `int f(void) { return g(1, 2); }`)
+	if info.FuncSyms["g"] == nil {
+		t.Fatal("implicit declaration missing")
+	}
+}
+
+func TestPointerTypeRules(t *testing.T) {
+	mustAnalyze(t, `
+int f(void) {
+    int a[10];
+    int* p = a;          /* decay */
+    int* q = p + 3;      /* ptr + int */
+    long d = q - p;      /* ptr - ptr */
+    int v = *q;
+    char* c = (char*)p;  /* wild cast ok */
+    p = (int*)c;
+    return v + (int)d + (p == q);
+}`)
+	wantError(t, `int f(int* p, int* q) { return (int)(p + q); }`, "invalid operands")
+	wantError(t, `double g; int f(void) { return g % 2; }`, "invalid operands")
+}
+
+func TestLvalueChecking(t *testing.T) {
+	wantError(t, `int f(int x) { x + 1 = 2; return x; }`, "lvalue")
+	wantError(t, `int f(int x) { &(x + 1); return x; }`, "address")
+	mustAnalyze(t, `
+struct s { int a; };
+int f(void) {
+    struct s v;
+    struct s* p = &v;
+    v.a = 1;
+    p->a = 2;
+    (*p).a = 3;
+    return v.a;
+}`)
+}
+
+func TestMemberResolution(t *testing.T) {
+	wantError(t, `
+struct s { int a; };
+int f(void) { struct s v; return v.b; }`, "no field")
+	wantError(t, `int f(int x) { return x.a; }`, "non-struct")
+}
+
+func TestCallChecking(t *testing.T) {
+	wantError(t, `
+int g(int a, int b);
+int f(void) { return g(1); }`, "call has 1 args")
+	mustAnalyze(t, `
+int g(char* fmt, ...);
+int f(void) { return g("x", 1, 2, 3); }`)
+	wantError(t, `int f(void) { int x; return x(1); }`, "not a function")
+}
+
+func TestVoidReturn(t *testing.T) {
+	wantError(t, `void f(void) { return 3; }`, "void function")
+	mustAnalyze(t, `int f(void) { return; }`) // legacy C allows
+}
+
+func TestSwitchChecks(t *testing.T) {
+	wantError(t, `
+int f(int x) {
+    switch (x) {
+    case 1: return 1;
+    case 1: return 2;
+    }
+    return 0;
+}`, "duplicate case")
+	wantError(t, `
+double d;
+int f(void) { switch (d) { default: return 0; } }`, "integer")
+}
+
+func TestGotoUndefinedLabel(t *testing.T) {
+	wantError(t, `int f(void) { goto nowhere; return 0; }`, "undefined label")
+}
+
+func TestSeparateCompilationImports(t *testing.T) {
+	libUnit, err := cparser.Parse("lib.c", `
+int helper(int* p, int n) { return p[0] + n; }
+int shared_global;
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	libInfo, err := Analyze(libUnit)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mainUnit, err := cparser.Parse("main.c", `
+int main(void) {
+    int a[4];
+    shared_global = 2;
+    return helper(a, shared_global);
+}`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Analyze(mainUnit, libInfo); err != nil {
+		t.Fatalf("cross-unit analysis: %v", err)
+	}
+}
+
+func TestIncompleteArrayCompletion(t *testing.T) {
+	info := mustAnalyze(t, `
+int f(void) {
+    char s[] = "hello";
+    int a[] = {1, 2, 3, 4};
+    return (int)sizeof(s) + (int)sizeof(a);
+}`)
+	fi := info.Funcs["f"]
+	if fi.Locals[0].Type.ArrayLen != 6 {
+		t.Errorf("s len %d want 6", fi.Locals[0].Type.ArrayLen)
+	}
+	if fi.Locals[1].Type.ArrayLen != 4 {
+		t.Errorf("a len %d want 4", fi.Locals[1].Type.ArrayLen)
+	}
+}

@@ -1,0 +1,195 @@
+// Package splay implements a top-down splay tree over address ranges.
+// It is the lookup structure used by object-table bounds checkers in the
+// Jones–Kelly lineage (paper §2.1): object-based approaches keep every
+// allocation in such a tree and map any address to its containing object.
+// The splay property keeps recently touched objects at the root, which is
+// why those systems perform acceptably despite a per-access tree lookup —
+// and why the tree is their bottleneck (overheads of 5x+, §2.1).
+package splay
+
+// Range is a stored object: [Start, End).
+type Range struct {
+	Start uint64
+	End   uint64
+	// Tag carries caller data (e.g. allocation zone).
+	Tag string
+}
+
+type node struct {
+	r           Range
+	left, right *node
+}
+
+// Tree is a splay tree of disjoint address ranges.
+type Tree struct {
+	root *node
+	size int
+	// Rotations counts splay rotations (exposed for benchmarks).
+	Rotations uint64
+}
+
+// New returns an empty tree.
+func New() *Tree { return &Tree{} }
+
+// Len returns the number of stored ranges.
+func (t *Tree) Len() int { return t.size }
+
+// splay moves the node containing key (or the closest node on the search
+// path) to the root using top-down splaying.
+func (t *Tree) splay(key uint64) {
+	if t.root == nil {
+		return
+	}
+	var header node
+	l, r := &header, &header
+	cur := t.root
+	for {
+		if key < cur.r.Start {
+			if cur.left == nil {
+				break
+			}
+			if key < cur.left.r.Start {
+				// Rotate right.
+				y := cur.left
+				cur.left = y.right
+				y.right = cur
+				cur = y
+				t.Rotations++
+				if cur.left == nil {
+					break
+				}
+			}
+			r.left = cur
+			r = cur
+			cur = cur.left
+		} else if key >= cur.r.End {
+			if cur.right == nil {
+				break
+			}
+			if key >= cur.right.r.End {
+				// Rotate left.
+				y := cur.right
+				cur.right = y.left
+				y.left = cur
+				cur = y
+				t.Rotations++
+				if cur.right == nil {
+					break
+				}
+			}
+			l.right = cur
+			l = cur
+			cur = cur.right
+		} else {
+			break
+		}
+	}
+	l.right = cur.left
+	r.left = cur.right
+	cur.left = header.right
+	cur.right = header.left
+	t.root = cur
+}
+
+// Insert adds a range. Overlapping ranges are rejected (objects are
+// disjoint by construction).
+func (t *Tree) Insert(r Range) bool {
+	if r.End <= r.Start {
+		return false
+	}
+	if t.root == nil {
+		t.root = &node{r: r}
+		t.size++
+		return true
+	}
+	t.splay(r.Start)
+	// An overlapping range either contains r.Start, or starts within
+	// [r.Start, r.End): check the containing range and the successor.
+	if t.root.r.Start <= r.Start && r.Start < t.root.r.End {
+		return false
+	}
+	if succ, ok := t.successor(r.Start); ok && succ.Start < r.End {
+		return false
+	}
+	n := &node{r: r}
+	if r.Start < t.root.r.Start {
+		n.left = t.root.left
+		n.right = t.root
+		t.root.left = nil
+	} else {
+		n.right = t.root.right
+		n.left = t.root
+		t.root.right = nil
+	}
+	t.root = n
+	t.size++
+	return true
+}
+
+// successor returns the stored range with the smallest Start >= key.
+// The caller must have splayed key to the root.
+func (t *Tree) successor(key uint64) (Range, bool) {
+	if t.root == nil {
+		return Range{}, false
+	}
+	if t.root.r.Start >= key {
+		return t.root.r, true
+	}
+	n := t.root.right
+	if n == nil {
+		return Range{}, false
+	}
+	for n.left != nil {
+		n = n.left
+	}
+	return n.r, true
+}
+
+// Find returns the range containing addr, if any.
+func (t *Tree) Find(addr uint64) (Range, bool) {
+	if t.root == nil {
+		return Range{}, false
+	}
+	t.splay(addr)
+	r := t.root.r
+	if addr >= r.Start && addr < r.End {
+		return r, true
+	}
+	return Range{}, false
+}
+
+// Remove deletes the range containing addr, returning it.
+func (t *Tree) Remove(addr uint64) (Range, bool) {
+	if t.root == nil {
+		return Range{}, false
+	}
+	t.splay(addr)
+	r := t.root.r
+	if addr < r.Start || addr >= r.End {
+		return Range{}, false
+	}
+	if t.root.left == nil {
+		t.root = t.root.right
+	} else {
+		right := t.root.right
+		t.root = t.root.left
+		t.splay(addr) // largest element of left subtree becomes root
+		t.root.right = right
+	}
+	t.size--
+	return r, true
+}
+
+// Walk visits every range in address order.
+func (t *Tree) Walk(fn func(Range)) {
+	var rec func(n *node)
+	rec = func(n *node) {
+		if n == nil {
+			return
+		}
+		rec(n.left)
+		fn(n.r)
+		rec(n.right)
+	}
+	rec(t.root)
+}

@@ -1,0 +1,155 @@
+package splay
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestInsertFind(t *testing.T) {
+	tr := New()
+	if !tr.Insert(Range{Start: 100, End: 200, Tag: "a"}) {
+		t.Fatal("insert failed")
+	}
+	if !tr.Insert(Range{Start: 300, End: 350, Tag: "b"}) {
+		t.Fatal("insert failed")
+	}
+	if r, ok := tr.Find(150); !ok || r.Tag != "a" {
+		t.Errorf("Find(150) = %+v %v", r, ok)
+	}
+	if r, ok := tr.Find(300); !ok || r.Tag != "b" {
+		t.Errorf("Find(300) = %+v %v", r, ok)
+	}
+	if _, ok := tr.Find(250); ok {
+		t.Error("found a gap")
+	}
+	if _, ok := tr.Find(200); ok {
+		t.Error("End is exclusive")
+	}
+	if _, ok := tr.Find(99); ok {
+		t.Error("below Start")
+	}
+}
+
+func TestOverlapRejected(t *testing.T) {
+	tr := New()
+	tr.Insert(Range{Start: 100, End: 200})
+	if tr.Insert(Range{Start: 150, End: 250}) {
+		t.Error("overlap accepted")
+	}
+	if tr.Insert(Range{Start: 50, End: 101}) {
+		t.Error("overlap accepted")
+	}
+	if !tr.Insert(Range{Start: 200, End: 210}) {
+		t.Error("adjacent rejected")
+	}
+	if tr.Insert(Range{Start: 5, End: 5}) {
+		t.Error("empty range accepted")
+	}
+}
+
+func TestRemove(t *testing.T) {
+	tr := New()
+	for i := uint64(0); i < 10; i++ {
+		tr.Insert(Range{Start: i * 100, End: i*100 + 50})
+	}
+	if r, ok := tr.Remove(325); !ok || r.Start != 300 {
+		t.Fatalf("Remove(325) = %+v %v", r, ok)
+	}
+	if _, ok := tr.Find(325); ok {
+		t.Error("still found after removal")
+	}
+	if tr.Len() != 9 {
+		t.Errorf("Len = %d", tr.Len())
+	}
+	if _, ok := tr.Remove(325); ok {
+		t.Error("double removal succeeded")
+	}
+	// Others untouched.
+	for i := uint64(0); i < 10; i++ {
+		_, ok := tr.Find(i*100 + 25)
+		if (i == 3) == ok {
+			t.Errorf("range %d presence wrong", i)
+		}
+	}
+}
+
+func TestWalkInOrder(t *testing.T) {
+	tr := New()
+	for _, s := range []uint64{500, 100, 300, 200, 400} {
+		tr.Insert(Range{Start: s, End: s + 10})
+	}
+	var starts []uint64
+	tr.Walk(func(r Range) { starts = append(starts, r.Start) })
+	for i := 1; i < len(starts); i++ {
+		if starts[i] <= starts[i-1] {
+			t.Fatalf("walk out of order: %v", starts)
+		}
+	}
+	if len(starts) != 5 {
+		t.Fatalf("walked %d", len(starts))
+	}
+}
+
+// TestMatchesReferenceModel drives the tree and a brute-force slice
+// model with the same random operations.
+func TestMatchesReferenceModel(t *testing.T) {
+	f := func(seed int64, nOps uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		tr := New()
+		var model []Range
+		find := func(addr uint64) (Range, bool) {
+			for _, r := range model {
+				if addr >= r.Start && addr < r.End {
+					return r, true
+				}
+			}
+			return Range{}, false
+		}
+		for i := 0; i < int(nOps); i++ {
+			addr := uint64(rng.Intn(2000))
+			switch rng.Intn(3) {
+			case 0:
+				size := uint64(rng.Intn(30) + 1)
+				r := Range{Start: addr, End: addr + size}
+				overlaps := false
+				for _, m := range model {
+					if m.Start < r.End && r.Start < m.End {
+						overlaps = true
+					}
+				}
+				got := tr.Insert(r)
+				if got == overlaps {
+					return false // Insert must succeed iff no overlap
+				}
+				if got {
+					model = append(model, r)
+				}
+			case 1:
+				mr, mok := find(addr)
+				gr, gok := tr.Find(addr)
+				if mok != gok || (mok && mr.Start != gr.Start) {
+					return false
+				}
+			case 2:
+				mr, mok := find(addr)
+				gr, gok := tr.Remove(addr)
+				if mok != gok || (mok && mr.Start != gr.Start) {
+					return false
+				}
+				if mok {
+					for j, m := range model {
+						if m.Start == mr.Start {
+							model = append(model[:j], model[j+1:]...)
+							break
+						}
+					}
+				}
+			}
+		}
+		return tr.Len() == len(model)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 400}); err != nil {
+		t.Fatal(err)
+	}
+}

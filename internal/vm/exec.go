@@ -1,0 +1,611 @@
+package vm
+
+import (
+	"fmt"
+	"math"
+
+	"softbound/internal/ir"
+	"softbound/internal/meta"
+)
+
+// Simulated x86 instruction costs per IR operation. Metadata costs come
+// from the facility (paper §5.1).
+const (
+	costALU    = 1
+	costMem    = 1
+	costBr     = 1
+	costCondBr = 2
+	costCall   = 3
+	costRet    = 3
+	costCheck  = 3
+)
+
+// eval resolves an operand against the current frame.
+func (v *VM) eval(f *frame, val ir.Value) uint64 {
+	switch val.Kind {
+	case ir.VReg:
+		return f.regs[val.Reg]
+	case ir.VConstInt:
+		return uint64(val.Int)
+	case ir.VConstFloat:
+		return math.Float64bits(val.Float)
+	case ir.VGlobal:
+		return v.globalAddrs[val.Sym] + uint64(val.Off)
+	case ir.VFunc:
+		return v.funcAddrs[val.Sym]
+	}
+	return 0
+}
+
+// loop runs until the outermost frame returns, exit() is called, or an
+// error occurs.
+func (v *VM) loop() error {
+	for !v.halted && len(v.stack) > 0 {
+		if err := v.step(); err != nil {
+			// Attach the faulting site for diagnostics; callers unwrap
+			// with errors.As to classify the failure.
+			if f := &v.stack[len(v.stack)-1]; len(f.fn.Blocks) > f.block &&
+				f.ip < len(f.fn.Blocks[f.block].Insts) {
+				in := &f.fn.Blocks[f.block].Insts[f.ip]
+				return fmt.Errorf("at %s b%d#%d [%s]: %w",
+					f.fn.Name, f.block, f.ip, in.String(), err)
+			}
+			return err
+		}
+	}
+	return nil
+}
+
+func (v *VM) step() error {
+	v.steps++
+	if v.steps > v.limit {
+		return &RuntimeError{Msg: "step limit exceeded (possible runaway program)"}
+	}
+	f := &v.stack[len(v.stack)-1]
+	blk := f.fn.Blocks[f.block]
+	if f.ip >= len(blk.Insts) {
+		return &RuntimeError{Msg: fmt.Sprintf("fell off block b%d in %s", f.block, f.fn.Name)}
+	}
+	in := &blk.Insts[f.ip]
+	v.stats.Insts++
+
+	switch in.Kind {
+	case ir.KConst, ir.KMov:
+		f.regs[in.Dst] = v.eval(f, in.A)
+		v.stats.SimInsts += costALU
+
+	case ir.KBin:
+		r, err := v.execBin(f, in)
+		if err != nil {
+			return err
+		}
+		f.regs[in.Dst] = r
+		v.stats.SimInsts += costALU
+
+	case ir.KUn:
+		a := v.eval(f, in.A)
+		switch in.Op {
+		case ir.OpNeg:
+			f.regs[in.Dst] = wrapInt(-a, in.IntWidth, in.Signed)
+		case ir.OpNot:
+			f.regs[in.Dst] = wrapInt(^a, in.IntWidth, in.Signed)
+		case ir.OpFNeg:
+			f.regs[in.Dst] = floatOp(a, 0, in.IntWidth, func(x, _ float64) float64 { return -x })
+		}
+		v.stats.SimInsts += costALU
+
+	case ir.KCmp:
+		f.regs[in.Dst] = v.execCmp(f, in)
+		v.stats.SimInsts += costALU
+
+	case ir.KConv:
+		f.regs[in.Dst] = execConv(v.eval(f, in.A), in)
+		v.stats.SimInsts += costALU
+		if in.Mem == ir.MemPtr {
+			// int→pointer: metadata becomes NULL bounds; handled by
+			// the instrumentation (it emits no metadata copy), cost
+			// only here.
+			_ = in
+		}
+
+	case ir.KAlloca:
+		f.regs[in.Dst] = f.fp + uint64(in.C.Int)
+		if v.cfg.Checker != nil {
+			v.cfg.Checker.OnAlloc(f.regs[in.Dst], uint64(in.Size), "stack")
+		}
+		v.stats.SimInsts += costALU
+
+	case ir.KLoad:
+		addr := v.eval(f, in.A)
+		if v.cfg.Checker != nil {
+			if err := v.cfg.Checker.OnLoad(addr, uint64(in.Mem.Size())); err != nil {
+				return err
+			}
+		}
+		val, err := v.loadMem(addr, in.Mem)
+		if err != nil {
+			return err
+		}
+		f.regs[in.Dst] = val
+		v.stats.Loads++
+		if in.Mem == ir.MemPtr {
+			v.stats.PtrLoads++
+		}
+		v.stats.SimInsts += costMem
+
+	case ir.KStore:
+		addr := v.eval(f, in.A)
+		if v.cfg.Checker != nil {
+			if err := v.cfg.Checker.OnStore(addr, uint64(in.Mem.Size())); err != nil {
+				return err
+			}
+		}
+		if err := v.storeMem(addr, v.eval(f, in.B), in.Mem); err != nil {
+			return err
+		}
+		v.stats.Stores++
+		if in.Mem == ir.MemPtr {
+			v.stats.PtrStores++
+		}
+		v.stats.SimInsts += costMem
+
+	case ir.KGEP:
+		base := v.eval(f, in.A)
+		idx := v.eval(f, in.B)
+		f.regs[in.Dst] = base + idx*uint64(in.Size) + uint64(in.C.Int)
+		v.stats.SimInsts += costALU
+
+	case ir.KCheck:
+		ptr := v.eval(f, in.A)
+		base := v.eval(f, in.Base)
+		bound := v.eval(f, in.Bound)
+		v.stats.Checks++
+		v.stats.SimInsts += v.cfg.CheckCost
+		switch in.CheckK {
+		case ir.CheckLoad:
+			v.stats.LoadChecks++
+		case ir.CheckStore:
+			v.stats.StoreChecks++
+		case ir.CheckCall:
+			v.stats.CallChecks++
+			// Function pointers use the base==ptr==bound encoding
+			// (paper §5.2 "function pointers").
+			if base != ptr || bound != ptr || v.funcByAddr(ptr) == nil {
+				return &SpatialViolation{Kind: in.CheckK, Ptr: ptr, Base: base,
+					Bound: bound, Func: f.fn.Name}
+			}
+			f.ip++
+			return nil
+		}
+		size := uint64(in.AccessSize)
+		if ptr < base || ptr+size > bound {
+			return &SpatialViolation{Kind: in.CheckK, Ptr: ptr, Base: base,
+				Bound: bound, Size: size, Func: f.fn.Name}
+		}
+
+	case ir.KMetaLoad:
+		addr := v.eval(f, in.A)
+		e := v.fac.Lookup(addr)
+		f.regs[in.DstBaseR] = e.Base
+		f.regs[in.DstBndR] = e.Bound
+		v.stats.MetaLoads++
+		v.stats.SimInsts += uint64(v.fac.Costs().Lookup)
+
+	case ir.KMetaStore:
+		addr := v.eval(f, in.A)
+		v.fac.Update(addr, meta.Entry{
+			Base:  v.eval(f, in.SrcBase),
+			Bound: v.eval(f, in.SrcBound),
+		})
+		v.stats.MetaStores++
+		v.stats.SimInsts += uint64(v.fac.Costs().Update)
+
+	case ir.KMetaClear:
+		addr := v.eval(f, in.A)
+		size := v.eval(f, in.MemSize)
+		v.fac.Clear(addr, size)
+		v.stats.MetaClears++
+		v.stats.SimInsts += 2 * (size/8 + 1)
+
+	case ir.KBr:
+		f.block = in.Target
+		f.ip = 0
+		v.stats.SimInsts += costBr
+		return nil
+
+	case ir.KCondBr:
+		if v.eval(f, in.A) != 0 {
+			f.block = in.Target
+		} else {
+			f.block = in.Else
+		}
+		f.ip = 0
+		v.stats.SimInsts += costCondBr
+		return nil
+
+	case ir.KCall:
+		return v.execCall(f, in)
+
+	case ir.KRet:
+		return v.execRet(f, in)
+
+	case ir.KUnreachable:
+		return &RuntimeError{Msg: "reached unreachable code in " + f.fn.Name}
+
+	default:
+		return &RuntimeError{Msg: fmt.Sprintf("unknown instruction kind %v", in.Kind)}
+	}
+	f.ip++
+	return nil
+}
+
+func (v *VM) loadMem(addr uint64, mt ir.MemType) (uint64, error) {
+	switch mt {
+	case ir.MemI8:
+		b, err := v.mem.ReadU8(addr)
+		return uint64(int64(int8(b))), err
+	case ir.MemU8:
+		b, err := v.mem.ReadU8(addr)
+		return uint64(b), err
+	case ir.MemI16:
+		x, err := v.mem.ReadU16(addr)
+		return uint64(int64(int16(x))), err
+	case ir.MemU16:
+		x, err := v.mem.ReadU16(addr)
+		return uint64(x), err
+	case ir.MemI32:
+		x, err := v.mem.ReadU32(addr)
+		return uint64(int64(int32(x))), err
+	case ir.MemU32:
+		x, err := v.mem.ReadU32(addr)
+		return uint64(x), err
+	case ir.MemF32:
+		x, err := v.mem.ReadU32(addr)
+		return math.Float64bits(float64(math.Float32frombits(x))), err
+	case ir.MemF64, ir.MemI64, ir.MemPtr:
+		return v.mem.ReadU64(addr)
+	}
+	return 0, &RuntimeError{Msg: "bad memory type"}
+}
+
+func (v *VM) storeMem(addr, val uint64, mt ir.MemType) error {
+	switch mt {
+	case ir.MemI8, ir.MemU8:
+		return v.mem.WriteU8(addr, byte(val))
+	case ir.MemI16, ir.MemU16:
+		return v.mem.WriteU16(addr, uint16(val))
+	case ir.MemI32, ir.MemU32:
+		return v.mem.WriteU32(addr, uint32(val))
+	case ir.MemF32:
+		f := math.Float64frombits(val)
+		return v.mem.WriteU32(addr, math.Float32bits(float32(f)))
+	case ir.MemF64, ir.MemI64, ir.MemPtr:
+		return v.mem.WriteU64(addr, val)
+	}
+	return &RuntimeError{Msg: "bad memory type"}
+}
+
+// wrapInt truncates v to width bits then extends per signedness.
+func wrapInt(v uint64, width int, signed bool) uint64 {
+	if width == 0 || width >= 64 {
+		return v
+	}
+	mask := (uint64(1) << uint(width)) - 1
+	v &= mask
+	if signed && v&(1<<uint(width-1)) != 0 {
+		v |= ^mask
+	}
+	return v
+}
+
+func floatOp(a, b uint64, width int, op func(x, y float64) float64) uint64 {
+	x, y := math.Float64frombits(a), math.Float64frombits(b)
+	r := op(x, y)
+	if width == 32 {
+		r = float64(float32(r))
+	}
+	return math.Float64bits(r)
+}
+
+func (v *VM) execBin(f *frame, in *ir.Inst) (uint64, error) {
+	a := v.eval(f, in.A)
+	b := v.eval(f, in.B)
+	switch in.Op {
+	case ir.OpFAdd:
+		return floatOp(a, b, in.IntWidth, func(x, y float64) float64 { return x + y }), nil
+	case ir.OpFSub:
+		return floatOp(a, b, in.IntWidth, func(x, y float64) float64 { return x - y }), nil
+	case ir.OpFMul:
+		return floatOp(a, b, in.IntWidth, func(x, y float64) float64 { return x * y }), nil
+	case ir.OpFDiv:
+		return floatOp(a, b, in.IntWidth, func(x, y float64) float64 { return x / y }), nil
+	}
+	var r uint64
+	switch in.Op {
+	case ir.OpAdd:
+		r = a + b
+	case ir.OpSub:
+		r = a - b
+	case ir.OpMul:
+		r = a * b
+	case ir.OpDiv:
+		if b == 0 {
+			return 0, &RuntimeError{Msg: "division by zero in " + f.fn.Name}
+		}
+		if in.Signed {
+			r = uint64(int64(a) / int64(b))
+		} else {
+			r = a / b
+		}
+	case ir.OpRem:
+		if b == 0 {
+			return 0, &RuntimeError{Msg: "modulo by zero in " + f.fn.Name}
+		}
+		if in.Signed {
+			r = uint64(int64(a) % int64(b))
+		} else {
+			r = a % b
+		}
+	case ir.OpAnd:
+		r = a & b
+	case ir.OpOr:
+		r = a | b
+	case ir.OpXor:
+		r = a ^ b
+	case ir.OpShl:
+		r = a << (b & 63)
+	case ir.OpShr:
+		if in.Signed {
+			r = uint64(int64(a) >> (b & 63))
+		} else {
+			width := in.IntWidth
+			if width == 0 {
+				width = 64
+			}
+			// Logical shift of the width-masked value.
+			if width < 64 {
+				a &= (uint64(1) << uint(width)) - 1
+			}
+			r = a >> (b & 63)
+		}
+	default:
+		return 0, &RuntimeError{Msg: "bad binary op"}
+	}
+	return wrapInt(r, in.IntWidth, in.Signed), nil
+}
+
+func (v *VM) execCmp(f *frame, in *ir.Inst) uint64 {
+	a := v.eval(f, in.A)
+	b := v.eval(f, in.B)
+	var res bool
+	switch in.Pred {
+	case ir.PredEQ:
+		res = a == b
+	case ir.PredNE:
+		res = a != b
+	case ir.PredLT:
+		if in.Signed {
+			res = int64(a) < int64(b)
+		} else {
+			res = a < b
+		}
+	case ir.PredLE:
+		if in.Signed {
+			res = int64(a) <= int64(b)
+		} else {
+			res = a <= b
+		}
+	case ir.PredGT:
+		if in.Signed {
+			res = int64(a) > int64(b)
+		} else {
+			res = a > b
+		}
+	case ir.PredGE:
+		if in.Signed {
+			res = int64(a) >= int64(b)
+		} else {
+			res = a >= b
+		}
+	default:
+		x, y := math.Float64frombits(a), math.Float64frombits(b)
+		switch in.Pred {
+		case ir.PredFEQ:
+			res = x == y
+		case ir.PredFNE:
+			res = x != y
+		case ir.PredFLT:
+			res = x < y
+		case ir.PredFLE:
+			res = x <= y
+		case ir.PredFGT:
+			res = x > y
+		case ir.PredFGE:
+			res = x >= y
+		}
+	}
+	if res {
+		return 1
+	}
+	return 0
+}
+
+// execConv implements KConv per destination Mem and source ConvSrc.
+func execConv(a uint64, in *ir.Inst) uint64 {
+	switch in.Mem {
+	case ir.MemF64, ir.MemF32:
+		switch in.ConvSrc {
+		case ir.MemF64, ir.MemF32:
+			f := math.Float64frombits(a)
+			if in.Mem == ir.MemF32 {
+				f = float64(float32(f))
+			}
+			return math.Float64bits(f)
+		default:
+			var f float64
+			if in.Signed {
+				f = float64(int64(a))
+			} else {
+				f = float64(a)
+			}
+			if in.Mem == ir.MemF32 {
+				f = float64(float32(f))
+			}
+			return math.Float64bits(f)
+		}
+	case ir.MemPtr:
+		return a // integer reinterpreted as address
+	default:
+		// Destination is an integer type.
+		if in.ConvSrc == ir.MemF64 || in.ConvSrc == ir.MemF32 {
+			f := math.Float64frombits(a)
+			if math.IsNaN(f) {
+				return 0
+			}
+			// Clamp to avoid implementation-defined conversion.
+			if f >= 9.22e18 {
+				return wrapInt(uint64(math.MaxInt64), in.IntWidth, in.Signed)
+			}
+			if f <= -9.22e18 {
+				minI := int64(math.MinInt64)
+				return wrapInt(uint64(minI), in.IntWidth, in.Signed)
+			}
+			return wrapInt(uint64(int64(f)), in.IntWidth, in.Signed)
+		}
+		return wrapInt(a, in.IntWidth, in.Signed)
+	}
+}
+
+// execCall dispatches direct, indirect, and builtin calls.
+func (v *VM) execCall(f *frame, in *ir.Inst) error {
+	v.stats.Calls++
+	v.stats.SimInsts += costCall + uint64(len(in.Args))
+
+	// Evaluate arguments and metadata in the caller's frame.
+	args := make([]uint64, len(in.Args))
+	for i, a := range in.Args {
+		args[i] = v.eval(f, a)
+	}
+	metas := make([]meta.Entry, len(in.Args))
+	for i := range in.MetaArgs {
+		if i < len(metas) && in.MetaArgs[i].Valid {
+			metas[i] = meta.Entry{
+				Base:  v.eval(f, in.MetaArgs[i].Base),
+				Bound: v.eval(f, in.MetaArgs[i].Bound),
+			}
+		}
+	}
+
+	var callee *ir.Func
+	var name string
+	switch in.Callee.Kind {
+	case ir.VFunc:
+		name = in.Callee.Sym
+		callee = v.mod.Lookup(name)
+	case ir.VReg:
+		addr := f.regs[in.Callee.Reg]
+		callee = v.funcByAddr(addr)
+		if callee == nil {
+			return &RuntimeError{Msg: fmt.Sprintf(
+				"wild jump: call through corrupted function pointer 0x%x in %s", addr, f.fn.Name)}
+		}
+		name = callee.Name
+	default:
+		return &RuntimeError{Msg: "bad call target"}
+	}
+
+	if callee == nil {
+		// Control-transfer builtins need the raw frame.
+		switch name {
+		case "setjmp", "_setjmp":
+			return v.doSetjmp(f, in, args)
+		case "longjmp", "_longjmp":
+			return v.doLongjmp(f, args)
+		}
+		// Builtin (libc/runtime) call.
+		ret, retMeta, err := v.callBuiltin(name, f, in, args, metas)
+		if err != nil {
+			return err
+		}
+		if in.Dst != ir.NoReg {
+			f.regs[in.Dst] = ret
+		}
+		if in.DstBase != ir.NoReg {
+			f.regs[in.DstBase] = retMeta.Base
+			f.regs[in.DstBound] = retMeta.Bound
+		}
+		f.ip++
+		return nil
+	}
+
+	// User function: flatten metadata args after regular args when the
+	// callee was transformed (paper §3.3 calling convention). Metadata
+	// travels for each pointer argument among the original parameters.
+	// For variadic callees (paper §5.2), arguments beyond the fixed
+	// parameters go to the frame's vararg area with their metadata.
+	callArgs := args
+	var varargs []uint64
+	var varMetas []meta.Entry
+	if callee.Variadic && len(args) > callee.OrigParams {
+		varargs = args[callee.OrigParams:]
+		varMetas = metas[callee.OrigParams:]
+		callArgs = args[:callee.OrigParams]
+	}
+	if callee.Transformed {
+		callArgs = callArgs[:len(callArgs):len(callArgs)]
+		for i, m := range in.MetaArgs {
+			if i < len(in.Args) && i < callee.OrigParams && m.Valid {
+				callArgs = append(callArgs, v.eval(f, m.Base), v.eval(f, m.Bound))
+			}
+		}
+	}
+	f.ip++ // resume after the call upon return
+	if err := v.pushFrame(callee, callArgs, metas, in.Dst, in.DstBase, in.DstBound); err != nil {
+		return err
+	}
+	top := &v.stack[len(v.stack)-1]
+	top.varargs = varargs
+	top.varMetas = varMetas
+	return nil
+}
+
+func (v *VM) execRet(f *frame, in *ir.Inst) error {
+	v.stats.SimInsts += costRet
+	var retVal uint64
+	var retBase, retBound uint64
+	if in.HasVal {
+		retVal = v.eval(f, in.A)
+	}
+	if in.RetMetaValid {
+		retBase = v.eval(f, in.RetBase)
+		retBound = v.eval(f, in.RetBound)
+	}
+	popped, err := v.popFrame()
+	if err != nil {
+		return err
+	}
+	if popped == nil {
+		return nil // control was hijacked; a new frame is active
+	}
+	if v.cfg.Checker != nil {
+		for _, slot := range popped.fn.Allocas {
+			v.cfg.Checker.OnFree(popped.fp + uint64(slot.Offset))
+		}
+	}
+	if len(v.stack) == 0 {
+		if in.HasVal {
+			v.exitCode = int64(retVal)
+		}
+		v.halted = true
+		return nil
+	}
+	caller := &v.stack[len(v.stack)-1]
+	if popped.retDst != ir.NoReg && in.HasVal {
+		caller.regs[popped.retDst] = retVal
+	}
+	if popped.retBase != ir.NoReg {
+		caller.regs[popped.retBase] = retBase
+		caller.regs[popped.retBound] = retBound
+	}
+	return nil
+}

@@ -1,0 +1,71 @@
+package vm
+
+import (
+	"fmt"
+
+	"softbound/internal/ir"
+	"softbound/internal/meta"
+)
+
+// setjmp/longjmp support. The jmp_buf lives in ordinary user memory, so a
+// buffer overflow can overwrite the saved context — exactly the attack
+// surface in the Wilander suite's longjmp tests (Table 3). The first word
+// of the jmp_buf holds a checkpoint token; longjmp through a token that
+// has been replaced by a function address transfers control there (a
+// successful hijack), and any other corruption crashes.
+
+func (v *VM) doSetjmp(f *frame, in *ir.Inst, args []uint64) error {
+	env := args[0]
+	tok := JmpTokenBase + v.nextJmp*16
+	v.nextJmp++
+	v.jmpPoints[tok] = &jmpCheckpoint{
+		depth:  len(v.stack),
+		block:  f.block,
+		ip:     f.ip,
+		retDst: in.Dst,
+	}
+	v.jmpSPs[tok] = v.sp
+	if err := v.mem.WriteU64(env, tok); err != nil {
+		return err
+	}
+	if in.Dst != ir.NoReg {
+		f.regs[in.Dst] = 0
+	}
+	v.stats.SimInsts += 10
+	f.ip++
+	return nil
+}
+
+func (v *VM) doLongjmp(f *frame, args []uint64) error {
+	env, val := args[0], uint64(1)
+	if len(args) > 1 {
+		val = args[1]
+	}
+	if val == 0 {
+		val = 1
+	}
+	tok, err := v.mem.ReadU64(env)
+	if err != nil {
+		return err
+	}
+	v.stats.SimInsts += 10
+	if cp, ok := v.jmpPoints[tok]; ok && cp.depth <= len(v.stack) {
+		v.stack = v.stack[:cp.depth]
+		v.sp = v.jmpSPs[tok]
+		top := &v.stack[len(v.stack)-1]
+		top.block = cp.block
+		top.ip = cp.ip
+		if cp.retDst != ir.NoReg {
+			top.regs[cp.retDst] = val
+		}
+		top.ip++ // resume after the setjmp call
+		return nil
+	}
+	if target := v.funcByAddr(tok); target != nil {
+		// Corrupted jmp_buf redirected control: the attack succeeded.
+		v.Hijacks = append(v.Hijacks, ControlHijack{Via: "longjmp", Target: target.Name})
+		metas := make([]meta.Entry, len(target.Params))
+		return v.pushFrame(target, nil, metas, ir.NoReg, ir.NoReg, ir.NoReg)
+	}
+	return &RuntimeError{Msg: fmt.Sprintf("longjmp through corrupted jmp_buf (token 0x%x)", tok)}
+}

@@ -1,0 +1,457 @@
+package vm
+
+import (
+	"fmt"
+	"io"
+
+	"softbound/internal/ir"
+	"softbound/internal/meta"
+	"softbound/internal/metrics"
+)
+
+// CheckMode selects which accesses the instrumented program checks. The
+// IR carries the checks; the mode also informs library wrappers.
+type CheckMode int
+
+// Check modes (paper §1: full checking vs store-only checking).
+const (
+	CheckNone CheckMode = iota
+	CheckStoreOnly
+	CheckFull
+)
+
+func (m CheckMode) String() string {
+	return [...]string{"none", "store-only", "full"}[m]
+}
+
+// Checker is a runtime checking hook used by the object-based baseline
+// tools (Jones–Kelly object table, Valgrind- and Mudflap-style checkers),
+// which check uninstrumented programs at object granularity.
+type Checker interface {
+	Name() string
+	OnAlloc(addr, size uint64, zone string)
+	OnFree(addr uint64)
+	OnLoad(addr, size uint64) error
+	OnStore(addr, size uint64) error
+}
+
+// Config parameterizes a VM run.
+type Config struct {
+	Mode      CheckMode
+	Meta      meta.Facility // nil selects a shadow space
+	Checker   Checker       // optional baseline checker
+	Stdout    io.Writer     // nil discards output
+	StepLimit uint64        // max executed instructions (0 = default 4e9)
+	HeapSize  uint64
+	StackSize uint64
+	Args      []string // argv for main
+	// CheckCost overrides the modeled instruction cost of one spatial
+	// check (default 3: two compares and a branch). Related-scheme
+	// emulation (MSCC) uses heavier sequences.
+	CheckCost uint64
+}
+
+// SpatialViolation is a bounds-check failure: SoftBound aborts the
+// program (paper §3.1 check()).
+type SpatialViolation struct {
+	Kind  ir.CheckKind
+	Ptr   uint64
+	Base  uint64
+	Bound uint64
+	Size  uint64
+	Func  string
+}
+
+func (e *SpatialViolation) Error() string {
+	return fmt.Sprintf("softbound: spatial violation (%s) in %s: ptr=0x%x size=%d not within [0x%x,0x%x)",
+		e.Kind, e.Func, e.Ptr, e.Size, e.Base, e.Bound)
+}
+
+// BaselineViolation is a violation reported by a baseline Checker.
+type BaselineViolation struct {
+	Tool string
+	Msg  string
+}
+
+func (e *BaselineViolation) Error() string { return e.Tool + ": " + e.Msg }
+
+// ControlHijack is recorded when corrupted control data (return token,
+// function pointer used via ret, or longjmp buffer) transferred control
+// somewhere a legitimate execution never would. The VM continues running
+// at the hijacked target — the attack has succeeded.
+type ControlHijack struct {
+	Via    string // "return-address", "longjmp", "frame-pointer"
+	Target string // function name reached
+}
+
+// RuntimeError is any other execution error (wild jump, division by zero,
+// step limit, stack overflow).
+type RuntimeError struct{ Msg string }
+
+func (e *RuntimeError) Error() string { return e.Msg }
+
+// frame is one activation record. Register contents are Go-side (they
+// model machine registers); fp points at the frame's memory block, which
+// holds allocas plus saved fp and the return token.
+type frame struct {
+	fn   *ir.Func
+	regs []uint64
+	fp   uint64
+	// fpEff is the frame pointer used to locate the saved-FP/return
+	// slots at return time. Normally equal to fp; a corrupted saved
+	// frame pointer in a callee redirects it (the classic two-stage
+	// old-base-pointer attack).
+	fpEff uint64
+	block int
+	ip    int
+	// retDst is the caller register receiving the return value.
+	retDst            ir.Reg
+	retBase, retBound ir.Reg
+	token             uint64 // the return token written at call time
+
+	// Variadic support (paper §5.2): arguments beyond the fixed
+	// parameters, with their metadata, plus the va_arg cursor. The
+	// SoftBound vararg convention passes the argument count and pointer
+	// count so decoding can be checked; here both are implied by the
+	// slice lengths, and the checked builtins enforce them.
+	varargs  []uint64
+	varMetas []meta.Entry
+	vaCursor int
+}
+
+// jmpCheckpoint is a setjmp capture.
+type jmpCheckpoint struct {
+	depth  int
+	block  int
+	ip     int // index of the setjmp call instruction
+	retDst ir.Reg
+}
+
+// VM executes a linked module.
+type VM struct {
+	mod   *ir.Module
+	mem   *Mem
+	alloc *heapAllocator
+	cfg   Config
+	fac   meta.Facility
+	stats metrics.Stats
+
+	globalAddrs map[string]uint64
+	globalSizes map[string]uint64
+	funcs       []*ir.Func
+	funcAddrs   map[string]uint64
+
+	stack   []frame
+	sp      uint64
+	nextTok uint64
+
+	jmpPoints map[uint64]*jmpCheckpoint
+	jmpSPs    map[uint64]uint64
+	nextJmp   uint64
+
+	rngState uint64
+
+	// Hijacks records successful control-flow attacks (empty in healthy
+	// runs). Table 3 asserts on these.
+	Hijacks []ControlHijack
+
+	stdout   io.Writer
+	halted   bool
+	exitCode int64
+	steps    uint64
+	limit    uint64
+}
+
+// New builds a VM for the module. The module must already be linked and,
+// if desired, instrumented.
+func New(mod *ir.Module, cfg Config) (*VM, error) {
+	fac := cfg.Meta
+	if fac == nil {
+		fac = meta.NewShadowSpace()
+	}
+	v := &VM{
+		mod:         mod,
+		cfg:         cfg,
+		fac:         fac,
+		globalAddrs: make(map[string]uint64),
+		globalSizes: make(map[string]uint64),
+		funcAddrs:   make(map[string]uint64),
+		jmpPoints:   make(map[uint64]*jmpCheckpoint),
+		jmpSPs:      make(map[uint64]uint64),
+		rngState:    0x9e3779b97f4a7c15,
+		stdout:      cfg.Stdout,
+		limit:       cfg.StepLimit,
+	}
+	if v.stdout == nil {
+		v.stdout = io.Discard
+	}
+	if v.limit == 0 {
+		v.limit = 4_000_000_000
+	}
+	if v.cfg.CheckCost == 0 {
+		v.cfg.CheckCost = costCheck
+	}
+
+	// Lay out globals.
+	var off uint64
+	for _, g := range mod.Globals {
+		align := uint64(g.Align)
+		if align == 0 {
+			align = 8
+		}
+		off = (off + align - 1) &^ (align - 1)
+		v.globalAddrs[g.Name] = GlobalBase + off
+		v.globalSizes[g.Name] = uint64(g.Size)
+		off += uint64(g.Size)
+	}
+	v.mem = NewMem(off, cfg.HeapSize, cfg.StackSize)
+	v.alloc = newHeapAllocator(v.mem.heapEnd)
+	v.sp = StackTop
+
+	// Function addresses.
+	for i, f := range mod.Funcs {
+		v.funcs = append(v.funcs, f)
+		v.funcAddrs[f.Name] = FuncBase + uint64(i)*FuncSlot
+		_ = i
+	}
+
+	// Initialize global contents and relocations.
+	for _, g := range mod.Globals {
+		addr := v.globalAddrs[g.Name]
+		if len(g.Init) > 0 {
+			if err := v.mem.WriteBytes(addr, g.Init); err != nil {
+				return nil, err
+			}
+		}
+		if v.cfg.Checker != nil {
+			v.cfg.Checker.OnAlloc(addr, uint64(g.Size), "global")
+		}
+	}
+	for _, g := range mod.Globals {
+		addr := v.globalAddrs[g.Name]
+		for _, pi := range g.PtrInits {
+			var target uint64
+			var base, bound uint64
+			if pi.Func != "" {
+				target = v.funcAddrs[pi.Func]
+				base, bound = target, target // function-pointer encoding
+				if target == 0 {
+					return nil, fmt.Errorf("vm: undefined function %q in initializer of %q", pi.Func, g.Name)
+				}
+			} else {
+				t, ok := v.globalAddrs[pi.Sym]
+				if !ok {
+					return nil, fmt.Errorf("vm: undefined global %q in initializer of %q", pi.Sym, g.Name)
+				}
+				target = t + uint64(pi.Addend)
+				base = t
+				bound = t + v.globalSizes[pi.Sym]
+			}
+			if err := v.mem.WriteU64(addr+uint64(pi.Offset), target); err != nil {
+				return nil, err
+			}
+			// Seed metadata for statically initialized pointers
+			// (paper §5.2 "global variables": SoftBound emits
+			// constructor code to do this).
+			v.fac.Update(addr+uint64(pi.Offset), meta.Entry{Base: base, Bound: bound})
+		}
+	}
+	return v, nil
+}
+
+// Stats returns the accumulated execution statistics.
+func (v *VM) Stats() *metrics.Stats {
+	v.stats.MetaBytes = v.fac.Footprint()
+	v.stats.MaxHeap = v.alloc.maxInUse
+	return &v.stats
+}
+
+// Mem exposes the memory (tests inspect corruption effects).
+func (v *VM) Mem() *Mem { return v.mem }
+
+// GlobalAddr returns the simulated address of a global, 0 if absent.
+func (v *VM) GlobalAddr(name string) uint64 { return v.globalAddrs[name] }
+
+// FuncAddr returns the simulated address of a function, 0 if absent.
+func (v *VM) FuncAddr(name string) uint64 { return v.funcAddrs[name] }
+
+// ExitCode returns the program's exit status after Run.
+func (v *VM) ExitCode() int64 { return v.exitCode }
+
+// funcByAddr resolves a function-segment address.
+func (v *VM) funcByAddr(addr uint64) *ir.Func {
+	if addr < FuncBase {
+		return nil
+	}
+	idx := (addr - FuncBase) / FuncSlot
+	if (addr-FuncBase)%FuncSlot != 0 || idx >= uint64(len(v.funcs)) {
+		return nil
+	}
+	return v.funcs[idx]
+}
+
+// Run executes main (argc/argv are synthesized from cfg.Args) and returns
+// the program's exit code.
+func (v *VM) Run() (int64, error) {
+	entry := "main"
+	if v.mod.Lookup("main") == nil {
+		return -1, &RuntimeError{Msg: "vm: no main function"}
+	}
+	mainFn := v.mod.Lookup(entry)
+
+	// Build argv in heap memory.
+	args := append([]string{"prog"}, v.cfg.Args...)
+	argvAddr := v.alloc.alloc(uint64(8 * len(args)))
+	for i, a := range args {
+		sAddr := v.alloc.alloc(uint64(len(a) + 1))
+		if err := v.mem.WriteBytes(sAddr, append([]byte(a), 0)); err != nil {
+			return -1, err
+		}
+		if err := v.mem.WriteU64(argvAddr+uint64(8*i), sAddr); err != nil {
+			return -1, err
+		}
+		v.fac.Update(argvAddr+uint64(8*i), meta.Entry{Base: sAddr, Bound: sAddr + uint64(len(a)+1)})
+	}
+
+	callArgs := []uint64{uint64(len(args)), argvAddr}
+	callMeta := []meta.Entry{{}, {Base: argvAddr, Bound: argvAddr + uint64(8*len(args))}}
+	if mainFn.OrigParams < len(callArgs) {
+		callArgs = callArgs[:mainFn.OrigParams]
+		callMeta = callMeta[:mainFn.OrigParams]
+	}
+	if mainFn.Transformed {
+		for i := range callArgs {
+			if i < mainFn.OrigParams && mainFn.Params[i].IsPtr {
+				callArgs = append(callArgs, callMeta[i].Base, callMeta[i].Bound)
+			}
+		}
+	}
+	if err := v.pushFrame(mainFn, callArgs, callMeta, ir.NoReg, ir.NoReg, ir.NoReg); err != nil {
+		return -1, err
+	}
+	if err := v.loop(); err != nil {
+		return v.exitCode, err
+	}
+	return v.exitCode, nil
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// CallFunction invokes an arbitrary function with integer arguments (test
+// and harness helper); the VM must be freshly constructed.
+func (v *VM) CallFunction(name string, args ...uint64) (int64, error) {
+	fn := v.mod.Lookup(name)
+	if fn == nil {
+		return -1, &RuntimeError{Msg: "vm: no function " + name}
+	}
+	metas := make([]meta.Entry, len(args))
+	if err := v.pushFrame(fn, args, metas, ir.NoReg, ir.NoReg, ir.NoReg); err != nil {
+		return -1, err
+	}
+	if err := v.loop(); err != nil {
+		return v.exitCode, err
+	}
+	return v.exitCode, nil
+}
+
+// pushFrame establishes an activation record: reserve the frame in stack
+// memory, write the saved frame pointer and the return token into
+// simulated memory, and seed parameter registers.
+func (v *VM) pushFrame(fn *ir.Func, args []uint64, metas []meta.Entry, retDst, retBase, retBound ir.Reg) error {
+	frameBytes := uint64(fn.FrameSize) + 16
+	if v.sp < v.mem.stackBase+frameBytes {
+		return &RuntimeError{Msg: "stack overflow in " + fn.Name}
+	}
+	v.sp -= frameBytes
+	fp := v.sp
+
+	var callerFP uint64
+	if len(v.stack) > 0 {
+		callerFP = v.stack[len(v.stack)-1].fp
+	}
+	tok := RetTokenBase + v.nextTok*16
+	v.nextTok++
+
+	// Saved FP at fp+FrameSize, return token at fp+FrameSize+8 — above
+	// the locals, so an upward overflow reaches them (x86 layout).
+	if err := v.mem.WriteU64(fp+uint64(fn.FrameSize), callerFP); err != nil {
+		return err
+	}
+	if err := v.mem.WriteU64(fp+uint64(fn.FrameSize)+8, tok); err != nil {
+		return err
+	}
+
+	f := frame{
+		fn:       fn,
+		regs:     make([]uint64, fn.NumRegs),
+		fp:       fp,
+		fpEff:    fp,
+		retDst:   retDst,
+		retBase:  retBase,
+		retBound: retBound,
+		token:    tok,
+	}
+	for i, r := range fn.ParamRegs {
+		if i < len(args) {
+			f.regs[r] = args[i]
+		}
+	}
+	v.stack = append(v.stack, f)
+	return nil
+}
+
+// popFrame validates the in-memory return token and unwinds, using the
+// effective frame pointer like an x86 epilogue uses %rbp. A corrupted
+// token pointing at a function is a successful control-flow hijack; a
+// corrupted saved frame pointer redirects where the *caller's* epilogue
+// will look for its own return slot (two-stage frame-pointer attack).
+func (v *VM) popFrame() (*frame, error) {
+	f := &v.stack[len(v.stack)-1]
+	tokAddr := f.fpEff + uint64(f.fn.FrameSize) + 8
+	tok, err := v.mem.ReadU64(tokAddr)
+	if err != nil {
+		return nil, err
+	}
+	savedFP, err := v.mem.ReadU64(f.fpEff + uint64(f.fn.FrameSize))
+	if err != nil {
+		return nil, err
+	}
+	frameBytes := uint64(f.fn.FrameSize) + 16
+
+	if tok != f.token {
+		if target := v.funcByAddr(tok); target != nil {
+			// The attacker redirected the return: transfer control.
+			v.Hijacks = append(v.Hijacks, ControlHijack{
+				Via: "return-address", Target: target.Name,
+			})
+			v.stack = v.stack[:len(v.stack)-1]
+			v.sp += frameBytes
+			metas := make([]meta.Entry, len(target.Params))
+			if err := v.pushFrame(target, nil, metas, ir.NoReg, ir.NoReg, ir.NoReg); err != nil {
+				return nil, err
+			}
+			return nil, nil // control continues in the hijacked target
+		}
+		return nil, &RuntimeError{Msg: fmt.Sprintf(
+			"return to corrupted address 0x%x in %s (smashed stack)", tok, f.fn.Name)}
+	}
+	v.stack = v.stack[:len(v.stack)-1]
+	v.sp += frameBytes
+	// Propagate a corrupted saved FP into the caller's epilogue.
+	if len(v.stack) > 0 {
+		caller := &v.stack[len(v.stack)-1]
+		if savedFP != caller.fp && savedFP != caller.fpEff &&
+			savedFP >= v.mem.stackBase && savedFP < StackTop {
+			caller.fpEff = savedFP
+			v.Hijacks = append(v.Hijacks, ControlHijack{
+				Via: "frame-pointer", Target: caller.fn.Name,
+			})
+		}
+	}
+	return f, nil
+}

@@ -1,0 +1,83 @@
+// Package softbound is a complete implementation of SoftBound
+// (Nagarakatte, Zhao, Martin, Zdancewic — "SoftBound: Highly Compatible
+// and Complete Spatial Memory Safety for C", PLDI 2009), together with
+// the full substrate its evaluation requires: a C-subset compiler, a
+// typed IR and optimizer, an execution VM over simulated flat memory,
+// two disjoint-metadata facilities (hash table and shadow space), the
+// baseline checkers it is compared against, the Wilander attack testbed,
+// the BugBench programs, and the 15 SPEC/Olden-style workloads of the
+// paper's performance evaluation.
+//
+// # Quick start
+//
+//	res, err := softbound.RunSource(`
+//	    int main(void) {
+//	        int* a = (int*)malloc(10 * sizeof(int));
+//	        a[10] = 1;   /* off-by-one write */
+//	        return 0;
+//	    }`, softbound.DefaultConfig(softbound.ModeFull))
+//	// err == nil; res.Violation describes the detected overflow.
+//
+// The pipeline is: parse → typecheck → lower to IR → optimize →
+// SoftBound-instrument each translation unit (intra-procedurally, as in
+// the paper) → link → cleanup-optimize → execute on the VM.
+//
+// # Checking modes
+//
+//   - ModeNone: uninstrumented baseline. Overflows silently corrupt the
+//     simulated memory; attack programs genuinely hijack control flow.
+//   - ModeFull: every load and store is bounds-checked — complete
+//     spatial safety (paper §3).
+//   - ModeStoreOnly: all metadata is propagated but only writes are
+//     checked — the low-overhead mode that still stops security
+//     vulnerabilities (paper §6.3).
+package softbound
+
+import (
+	"softbound/internal/driver"
+	"softbound/internal/meta"
+)
+
+// Mode selects the end-to-end checking mode.
+type Mode = driver.Mode
+
+// Checking modes.
+const (
+	ModeNone      = driver.ModeNone
+	ModeStoreOnly = driver.ModeStoreOnly
+	ModeFull      = driver.ModeFull
+)
+
+// MetaKind selects the disjoint metadata organization (paper §5.1).
+type MetaKind = meta.Kind
+
+// Metadata facility kinds.
+const (
+	MetaHashTable   = meta.KindHashTable
+	MetaShadowSpace = meta.KindShadowSpace
+)
+
+// Source is one C translation unit.
+type Source = driver.Source
+
+// Config controls compilation and execution.
+type Config = driver.Config
+
+// Result is the outcome of running a program.
+type Result = driver.Result
+
+// DefaultConfig returns the standard configuration for a checking mode:
+// shadow-space metadata, optimizer on, bounds shrinking on, C libc
+// linked.
+func DefaultConfig(mode Mode) Config { return driver.DefaultConfig(mode) }
+
+// Run compiles the translation units (each instrumented separately, then
+// linked) and executes the result.
+func Run(sources []Source, cfg Config) (*Result, error) {
+	return driver.Run(sources, cfg)
+}
+
+// RunSource compiles and runs a single-file program.
+func RunSource(src string, cfg Config) (*Result, error) {
+	return driver.RunSource(src, cfg)
+}
