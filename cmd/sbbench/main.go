@@ -2,25 +2,58 @@
 // table and figure of §6, plus the compatibility case study, the related
 // scheme comparison, and the ablations called out in DESIGN.md.
 //
+// It also hosts the parallel benchmark harness, which runs the full
+// program × metadata-scheme × protection-mode matrix on a bounded worker
+// pool and serializes per-run statistics and overhead-versus-baseline
+// figures to the stable BENCH.json schema.
+//
 // Usage:
 //
 //	sbbench -experiment=all|table1|table3|table4|figure1|figure2|compat|related
 //	        [-scale=N]
+//	sbbench -parallel [-json=BENCH.json] [-schemes=hashtable,shadowspace]
+//	        [-progs=go,treeadd,...] [-workers=N] [-scale=N]
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"strings"
 
+	"softbound/internal/bench"
 	"softbound/internal/experiments"
+	"softbound/internal/meta"
 )
 
 func main() {
 	exp := flag.String("experiment", "all",
-		"which experiment to run: all, table1, table3, table4, figure1, figure2, compat, related")
+		"which experiment to run: all, table1, table3, table4, figure1, figure2, compat, related, bench")
 	scale := flag.Int("scale", 0, "benchmark problem size (0 = default)")
+	parallel := flag.Bool("parallel", false,
+		"run the benchmark matrix on a worker pool sized to the CPU count")
+	workers := flag.Int("workers", 0,
+		"worker pool size for the benchmark matrix (0 = NumCPU with -parallel, else 1)")
+	jsonOut := flag.String("json", "",
+		"write the benchmark matrix report to this file (BENCH.json schema)")
+	schemes := flag.String("schemes", "",
+		"comma-separated metadata schemes for the matrix (default: all registered: "+
+			strings.Join(meta.SchemeNames(), ", ")+")")
+	progList := flag.String("progs", "",
+		"comma-separated benchmark subset for the matrix (default: all 15)")
 	flag.Parse()
+
+	// The harness path: any of its flags (or -experiment=bench) selects it.
+	if *parallel || *jsonOut != "" || *workers > 0 || *schemes != "" ||
+		*progList != "" || *exp == "bench" {
+		if err := runBench(*scale, *parallel, *workers, *jsonOut, *schemes, *progList); err != nil {
+			fmt.Fprintf(os.Stderr, "sbbench: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	run := func(name string, fn func() error) {
 		if *exp != "all" && *exp != name {
@@ -85,4 +118,50 @@ func main() {
 		fmt.Print(experiments.FormatRelated(rows))
 		return nil
 	})
+}
+
+// runBench executes the benchmark matrix and writes the human summary to
+// stdout and, if requested, the JSON report to jsonPath.
+func runBench(scale int, parallel bool, workers int, jsonPath, schemeList, progList string) error {
+	schemes, err := meta.ParseSchemes(schemeList)
+	if err != nil {
+		return err
+	}
+	var programs []string
+	for _, p := range strings.Split(progList, ",") {
+		if p = strings.TrimSpace(p); p != "" {
+			programs = append(programs, p)
+		}
+	}
+	if workers <= 0 {
+		if parallel {
+			workers = runtime.NumCPU()
+		} else {
+			workers = 1
+		}
+	}
+
+	rep, err := bench.Execute(bench.Config{
+		Workers:  workers,
+		Scale:    scale,
+		Programs: programs,
+		Schemes:  schemes,
+		Log:      os.Stderr,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Print(bench.Format(rep))
+
+	if jsonPath != "" {
+		blob, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(jsonPath, append(blob, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("\nwrote %s (schema v%d, %d runs)\n", jsonPath, rep.Schema, len(rep.Runs))
+	}
+	return nil
 }

@@ -238,14 +238,49 @@ type OverheadConfig struct {
 	Meta meta.Kind
 }
 
-// Figure2Configs returns the four configurations of Figure 2.
+// Figure2Configs returns the four configurations of Figure 2, enumerated
+// from the metadata scheme registry: every registered backend under both
+// checking modes.
 func Figure2Configs() []OverheadConfig {
-	return []OverheadConfig{
-		{Name: "HashTable-Complete", Mode: driver.ModeFull, Meta: meta.KindHashTable},
-		{Name: "ShadowSpace-Complete", Mode: driver.ModeFull, Meta: meta.KindShadowSpace},
-		{Name: "HashTable-Stores", Mode: driver.ModeStoreOnly, Meta: meta.KindHashTable},
-		{Name: "ShadowSpace-Stores", Mode: driver.ModeStoreOnly, Meta: meta.KindShadowSpace},
+	return MatrixConfigs(meta.Schemes(), []driver.Mode{driver.ModeFull, driver.ModeStoreOnly})
+}
+
+// MatrixConfigs expands schemes × modes into instrumentation configs with
+// the paper's display names ("HashTable-Complete", ...). The benchmark
+// harness and Figure 2 share this enumeration, so a newly registered
+// metadata backend shows up in both without further wiring.
+func MatrixConfigs(schemes []meta.Scheme, modes []driver.Mode) []OverheadConfig {
+	var out []OverheadConfig
+	for _, m := range modes {
+		if m == driver.ModeNone {
+			continue
+		}
+		for _, s := range schemes {
+			out = append(out, OverheadConfig{
+				Name: schemeDisplay(s.Name) + "-" + modeDisplay(m),
+				Mode: m,
+				Meta: s.Kind,
+			})
+		}
 	}
+	return out
+}
+
+func schemeDisplay(name string) string {
+	switch name {
+	case "hashtable":
+		return "HashTable"
+	case "shadowspace":
+		return "ShadowSpace"
+	}
+	return name
+}
+
+func modeDisplay(m driver.Mode) string {
+	if m == driver.ModeStoreOnly {
+		return "Stores"
+	}
+	return "Complete"
 }
 
 // OverheadResult is one benchmark's Figure 2 bar group.

@@ -34,8 +34,11 @@ func NewHashTable(entries int) *HashTable {
 // the table size (shift and mask).
 func (h *HashTable) hash(addr uint64) uint64 { return (addr >> 3) & h.mask }
 
-// Lookup finds the entry for addr, or the zero entry.
+// Lookup finds the entry for addr, or the zero entry. The key is the
+// double-word address (paper §5.1): the low three bits do not participate,
+// so all byte addresses within one pointer slot share an entry.
 func (h *HashTable) Lookup(addr uint64) Entry {
+	addr &^= 7
 	key := addr + 1
 	i := h.hash(addr)
 	for {
@@ -52,10 +55,13 @@ func (h *HashTable) Lookup(addr uint64) Entry {
 }
 
 // Update inserts or replaces the entry for addr, growing at 70% load.
+// Like Lookup, the key is the double-word address, so an update through an
+// unaligned byte address lands on the same entry Lookup and Clear use.
 func (h *HashTable) Update(addr uint64, e Entry) {
 	if uint64(h.used)*10 >= uint64(len(h.tags))*7 {
 		h.grow()
 	}
+	addr &^= 7
 	key := addr + 1
 	i := h.hash(addr)
 	for {
@@ -83,7 +89,11 @@ func (h *HashTable) grow() {
 	h.mask = uint64(len(h.tags) - 1)
 	h.used = 0
 	for i, tag := range old.tags {
-		if tag != 0 {
+		// Cleared entries keep their tag (Clear zeroes only base/bound —
+		// open addressing cannot break probe chains), but rehashing is
+		// the one place dead entries can be dropped: skipping them here
+		// lets the load factor recover after update/clear churn.
+		if tag != 0 && (old.bases[i] != 0 || old.bounds[i] != 0) {
 			h.Update(tag-1, Entry{Base: old.bases[i], Bound: old.bounds[i]})
 		}
 	}
@@ -93,6 +103,9 @@ func (h *HashTable) grow() {
 // Open addressing cannot delete without tombstones; zeroing base/bound is
 // equivalent for safety (NULL bounds fail all checks).
 func (h *HashTable) Clear(addr, size uint64) {
+	if size == 0 {
+		return
+	}
 	start := addr &^ 7
 	for a := start; a < addr+size; a += 8 {
 		key := a + 1
@@ -111,16 +124,18 @@ func (h *HashTable) Clear(addr, size uint64) {
 	}
 }
 
-// CopyRange copies metadata for each pointer-aligned slot.
+// CopyRange copies metadata for each pointer-aligned slot. Overlapping
+// ranges follow memmove semantics: when dst overlaps src from above, the
+// copy runs backwards so already-copied slots are never read as source.
 func (h *HashTable) CopyRange(dst, src, size uint64) {
-	for off := uint64(0); off < size; off += 8 {
+	forEachSlotOffset(dst, src, size, func(off uint64) {
 		e := h.Lookup(src + off)
 		if e != (Entry{}) {
 			h.Update(dst+off, e)
 		} else {
 			h.Clear(dst+off, 8)
 		}
-	}
+	})
 }
 
 // Costs reports the paper's ~9-instruction lookup for the hash scheme.

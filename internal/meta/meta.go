@@ -66,12 +66,35 @@ func (k Kind) String() string {
 	return "shadowspace"
 }
 
-// New constructs a facility of the given kind.
+// New constructs a facility of the given kind via the scheme registry.
 func New(k Kind) Facility {
-	if k == KindHashTable {
-		return NewHashTable(1 << 20)
+	s, ok := SchemeByName(k.String())
+	if !ok {
+		panic("meta: no registered scheme for kind " + k.String())
 	}
-	return NewShadowSpace()
+	return s.New()
+}
+
+// forEachSlotOffset visits every double-word offset of a size-byte copy in
+// an order that is safe for overlapping ranges (memmove semantics): when
+// dst overlaps src from above, iterating forwards would read slots the copy
+// already overwrote, so the walk runs backwards instead.
+func forEachSlotOffset(dst, src, size uint64, fn func(off uint64)) {
+	if size == 0 {
+		return
+	}
+	last := (size - 1) &^ 7 // offset of the final double-word slot
+	if dst > src && dst-src < size {
+		for off := last; ; off -= 8 {
+			fn(off)
+			if off == 0 {
+				return
+			}
+		}
+	}
+	for off := uint64(0); off <= last; off += 8 {
+		fn(off)
+	}
 }
 
 // Costed wraps a facility with overridden per-operation instruction

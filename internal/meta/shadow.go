@@ -59,6 +59,9 @@ func (s *ShadowSpace) Update(addr uint64, e Entry) {
 
 // Clear zeroes all slots covering [addr, addr+size).
 func (s *ShadowSpace) Clear(addr, size uint64) {
+	if size == 0 {
+		return
+	}
 	start := addr &^ 7
 	for a := start; a < addr+size; a += 8 {
 		pn, idx := s.slot(a)
@@ -69,16 +72,18 @@ func (s *ShadowSpace) Clear(addr, size uint64) {
 	}
 }
 
-// CopyRange copies slot metadata from src to dst for size bytes.
+// CopyRange copies slot metadata from src to dst for size bytes, with
+// memmove semantics for overlapping ranges (instrumented memcpy/memmove
+// both funnel through here, paper §5.2).
 func (s *ShadowSpace) CopyRange(dst, src, size uint64) {
-	for off := uint64(0); off < size; off += 8 {
+	forEachSlotOffset(dst, src, size, func(off uint64) {
 		e := s.Lookup(src + off)
 		if e == (Entry{}) {
 			s.Clear(dst+off, 8)
 		} else {
 			s.Update(dst+off, e)
 		}
-	}
+	})
 }
 
 // Costs reports the paper's ~5-instruction lookup for the shadow scheme.

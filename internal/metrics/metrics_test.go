@@ -1,8 +1,10 @@
 package metrics
 
 import (
+	"encoding/json"
 	"strings"
 	"testing"
+	"time"
 )
 
 func TestDerivedQuantities(t *testing.T) {
@@ -33,6 +35,58 @@ func TestZeroSafety(t *testing.T) {
 	}
 	if s.Overhead(&Stats{}) != 0 {
 		t.Error("Overhead against zero baseline")
+	}
+}
+
+func TestReportRoundTrip(t *testing.T) {
+	s := &Stats{
+		Insts: 100, SimInsts: 180, Loads: 60, Stores: 40,
+		PtrLoads: 20, PtrStores: 5, Checks: 30, MetaLoads: 25,
+		MetaStores: 7, Mallocs: 3, MetaBytes: 4096,
+	}
+	r := s.Report()
+	if r.Insts != 100 || r.SimInsts != 180 || r.MetaBytes != 4096 {
+		t.Errorf("Report dropped counters: %+v", r)
+	}
+	if r.PtrMemFrac != 0.25 {
+		t.Errorf("Report.PtrMemFrac = %f", r.PtrMemFrac)
+	}
+	blob, err := json.Marshal(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Report
+	if err := json.Unmarshal(blob, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back != r {
+		t.Errorf("JSON round trip changed report: %+v != %+v", back, r)
+	}
+	// The wire names are part of the BENCH.json schema contract.
+	for _, key := range []string{`"sim_insts"`, `"ptr_mem_frac"`, `"meta_bytes"`} {
+		if !strings.Contains(string(blob), key) {
+			t.Errorf("schema key %s missing from %s", key, blob)
+		}
+	}
+}
+
+func TestPhaseTimer(t *testing.T) {
+	var pt PhaseTimer
+	done := pt.Start("compile")
+	time.Sleep(time.Millisecond)
+	done()
+	pt.Time("execute", func() { time.Sleep(time.Millisecond) })
+	phases := pt.Phases()
+	if len(phases) != 2 || phases[0].Phase != "compile" || phases[1].Phase != "execute" {
+		t.Fatalf("phases = %+v", phases)
+	}
+	for _, p := range phases {
+		if p.Nanos <= 0 {
+			t.Errorf("phase %s has non-positive duration %d", p.Phase, p.Nanos)
+		}
+	}
+	if pt.Total() < phases[0].Duration() {
+		t.Errorf("Total %v < first phase %v", pt.Total(), phases[0].Duration())
 	}
 }
 

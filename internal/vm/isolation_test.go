@@ -1,0 +1,97 @@
+package vm_test
+
+// Run-isolation tests: the benchmark harness executes many VMs
+// concurrently, so VM instances must share no mutable state — neither
+// with each other nor through the (read-only) linked module. These tests
+// hold that invariant under -race.
+
+import (
+	"sync"
+	"testing"
+
+	"softbound/internal/driver"
+	"softbound/internal/progs"
+)
+
+const isolationSrc = `
+int buf[64];
+int main() {
+    int i;
+    int *p = buf;
+    long sum = 0;
+    for (i = 0; i < 64; i = i + 1) { p[i] = i * 3; }
+    for (i = 0; i < 64; i = i + 1) { sum = sum + p[i]; }
+    return (int)(sum % 251);
+}
+`
+
+// TestConcurrentVMsShareNoState compiles one module and executes many VMs
+// over it at once: the module must behave as immutable shared input, and
+// every run must produce identical results and statistics.
+func TestConcurrentVMsShareNoState(t *testing.T) {
+	cfg := driver.DefaultConfig(driver.ModeFull)
+	mod, err := driver.Compile([]driver.Source{{Name: "iso.c", Text: isolationSrc}}, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ref := driver.Execute(mod, cfg)
+	if ref.Err != nil {
+		t.Fatalf("reference run failed: %v", ref.Err)
+	}
+
+	const n = 8
+	results := make([]*driver.Result, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			results[i] = driver.Execute(mod, cfg)
+		}(i)
+	}
+	wg.Wait()
+
+	for i, r := range results {
+		if r.Err != nil {
+			t.Fatalf("run %d failed: %v", i, r.Err)
+		}
+		if r.ExitCode != ref.ExitCode {
+			t.Errorf("run %d: exit %d, want %d", i, r.ExitCode, ref.ExitCode)
+		}
+		if r.Stats.SimInsts != ref.Stats.SimInsts || r.Stats.Checks != ref.Stats.Checks {
+			t.Errorf("run %d: stats diverged: sim=%d checks=%d, want sim=%d checks=%d",
+				i, r.Stats.SimInsts, r.Stats.Checks, ref.Stats.SimInsts, ref.Stats.Checks)
+		}
+	}
+}
+
+// TestConcurrentPipelinesIsolated exercises the whole compile+execute
+// pipeline concurrently across different programs, modes, and metadata
+// schemes — the access pattern of the parallel benchmark harness.
+func TestConcurrentPipelinesIsolated(t *testing.T) {
+	bench, ok := progs.Get("treeadd")
+	if !ok {
+		t.Fatal("treeadd benchmark missing")
+	}
+	src := bench.Source(3)
+
+	var wg sync.WaitGroup
+	for _, mode := range []driver.Mode{driver.ModeNone, driver.ModeStoreOnly, driver.ModeFull} {
+		for i := 0; i < 3; i++ {
+			wg.Add(1)
+			go func(mode driver.Mode) {
+				defer wg.Done()
+				res, err := driver.RunSource(src, driver.DefaultConfig(mode))
+				if err != nil {
+					t.Errorf("%s: %v", mode, err)
+					return
+				}
+				if res.Err != nil {
+					t.Errorf("%s: run error: %v", mode, res.Err)
+				}
+			}(mode)
+		}
+	}
+	wg.Wait()
+}

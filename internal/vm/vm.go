@@ -128,6 +128,13 @@ type jmpCheckpoint struct {
 }
 
 // VM executes a linked module.
+//
+// Isolation contract: a VM owns all of its mutable state (memory,
+// allocator, stack, metadata facility, statistics) and treats the module
+// as read-only, and the package keeps no mutable globals — so distinct
+// VMs may run concurrently, even over the same module, without
+// synchronization. The parallel benchmark harness depends on this;
+// isolation_test.go holds it under the race detector.
 type VM struct {
 	mod   *ir.Module
 	mem   *Mem
