@@ -199,9 +199,11 @@ func executeRun(s spec) Run {
 
 	var pt metrics.PhaseTimer
 	var mod *ir.Module
+	var counters metrics.OptCounters
 	var err error
 	pt.Time("compile", func() {
-		mod, err = driver.Compile([]driver.Source{{Name: s.bench.Name + ".c", Text: src}}, dcfg)
+		mod, counters, err = driver.CompileWithStats(
+			[]driver.Source{{Name: s.bench.Name + ".c", Text: src}}, dcfg)
 	})
 	if err != nil {
 		run.Error = err.Error()
@@ -218,6 +220,8 @@ func executeRun(s spec) Run {
 
 	run.Phases = pt.Phases()
 	if res.Stats != nil {
+		res.Stats.Opt = counters
+		res.Stats.CheckElims = counters.ChecksRemoved()
 		run.Stats = res.Stats.Report()
 	}
 	if res.Err != nil {
@@ -356,7 +360,8 @@ func Format(rep *Report) string {
 	out("Benchmark matrix: %d runs (%d programs × configs), %d workers, %.1fs elapsed\n",
 		len(rep.Runs), len(rep.Programs), rep.Workers,
 		time.Duration(rep.ElapsedNanos).Seconds())
-	out("%-11s %-22s %10s %12s %10s\n", "program", "config", "wall(ms)", "sim insts", "overhead")
+	out("%-11s %-22s %10s %12s %10s %9s %9s\n",
+		"program", "config", "wall(ms)", "sim insts", "overhead", "chk-elim", "ml-hoist")
 	for _, r := range rep.Runs {
 		oh := "-"
 		if r.OverheadSim != nil {
@@ -365,8 +370,12 @@ func Format(rep *Report) string {
 		if r.Error != "" {
 			oh = "ERROR"
 		}
-		out("%-11s %-22s %10.2f %12d %10s\n",
-			r.Program, r.Config, float64(r.WallNanos)/1e6, r.Stats.SimInsts, oh)
+		// chk-elim is "local+global" checks the optimizer removed at
+		// compile time; ml-hoist is loop-invariant metaloads hoisted.
+		out("%-11s %-22s %10.2f %12d %10s %9s %9d\n",
+			r.Program, r.Config, float64(r.WallNanos)/1e6, r.Stats.SimInsts, oh,
+			fmt.Sprintf("%d+%d", r.Stats.Opt.ChecksRemovedLocal, r.Stats.Opt.ChecksRemovedGlobal),
+			r.Stats.Opt.MetaLoadsHoisted)
 	}
 	out("\nPer-config mean overhead vs baseline:\n")
 	for _, s := range rep.Summary {

@@ -1,0 +1,132 @@
+package driver
+
+import (
+	"fmt"
+	"testing"
+
+	"softbound/internal/attacks"
+	"softbound/internal/bugbench"
+	"softbound/internal/progs"
+)
+
+// Differential gate for the optimizer over the real suites: an optimized
+// instrumented build must be observationally equal to the unoptimized
+// one — same output, same exit code, same violation (field for field) —
+// on every benchmark, every Wilander attack, and every BugBench program.
+// This is the acceptance harness for the global CFG passes.
+
+// suiteSmallScale mirrors the fast problem sizes the progs tests use.
+var suiteSmallScale = map[string]int{
+	"go": 8, "lbm": 4, "hmmer": 8, "compress": 4, "ijpeg": 3,
+	"bh": 16, "tsp": 6, "libquantum": 2, "perimeter": 4, "health": 10,
+	"bisort": 6, "mst": 24, "li": 4, "em3d": 40, "treeadd": 8,
+}
+
+// optVariants returns the three optimizer settings under comparison.
+func optVariants(mode Mode) []Config {
+	noOpt := DefaultConfig(mode)
+	noOpt.Optimize = false
+	localOpt := DefaultConfig(mode)
+	localOpt.GlobalOpt = false
+	globalOpt := DefaultConfig(mode) // Optimize + GlobalOpt on
+	return []Config{noOpt, localOpt, globalOpt}
+}
+
+// describe renders the observable outcome of a run for comparison. The
+// VM attaches instruction positions to error messages and those move
+// under optimization, so violations compare field-wise and other errors
+// by presence.
+func describe(r *Result) string {
+	if r.Violation != nil {
+		v := r.Violation
+		return fmt.Sprintf("exit=%d out=%q violation=%v ptr=%#x base=%#x bound=%#x size=%d fn=%s",
+			r.ExitCode, r.Output, v.Kind, v.Ptr, v.Base, v.Bound, v.Size, v.Func)
+	}
+	return fmt.Sprintf("exit=%d out=%q err=%v hijacks=%d",
+		r.ExitCode, r.Output, r.Err != nil, len(r.Hijacks))
+}
+
+func requireAgreement(t *testing.T, name, src string, mode Mode) *Result {
+	t.Helper()
+	var ref string
+	var last *Result
+	for i, cfg := range optVariants(mode) {
+		res, err := RunSource(src, cfg)
+		if err != nil {
+			t.Fatalf("%s variant %d: compile: %v", name, i, err)
+		}
+		d := describe(res)
+		if i == 0 {
+			ref = d
+		} else if d != ref {
+			t.Fatalf("%s variant %d diverged:\n  unoptimized: %s\n  optimized:   %s",
+				name, i, ref, d)
+		}
+		last = res
+	}
+	return last
+}
+
+func TestDifferentialSuiteBenchmarks(t *testing.T) {
+	for _, b := range progs.All() {
+		b := b
+		t.Run(b.Name, func(t *testing.T) {
+			t.Parallel()
+			src := b.Source(suiteSmallScale[b.Name])
+			res := requireAgreement(t, b.Name, src, ModeFull)
+			if res.Err != nil {
+				t.Fatalf("benchmark errored: %v", res.Err)
+			}
+		})
+	}
+}
+
+func TestDifferentialSuiteAttacks(t *testing.T) {
+	for _, a := range attacks.Suite() {
+		a := a
+		t.Run(a.Name, func(t *testing.T) {
+			t.Parallel()
+			res := requireAgreement(t, a.Name, a.Source, ModeFull)
+			// The optimizer must never eliminate the check that
+			// intercepts the attack.
+			if !res.Detected() {
+				t.Fatalf("attack not intercepted under the optimized build: %s",
+					describe(res))
+			}
+		})
+	}
+}
+
+func TestDifferentialSuiteBugBench(t *testing.T) {
+	for _, p := range bugbench.Suite() {
+		p := p
+		t.Run(p.Name, func(t *testing.T) {
+			t.Parallel()
+			res := requireAgreement(t, p.Name, p.Source, ModeFull)
+			if detected := res.Violation != nil; detected != p.Full {
+				t.Fatalf("full-mode detection = %v, want %v (%s)",
+					detected, p.Full, describe(res))
+			}
+		})
+	}
+}
+
+// The CFG availability pass must find strictly more redundancy than the
+// block-local pass alone somewhere in the benchmark suite — the paper's
+// point that global elimination is where the wins are (§6.1).
+func TestDifferentialGlobalPassRemovesMoreChecks(t *testing.T) {
+	var localTotal, globalTotal uint64
+	for _, b := range progs.All() {
+		src := []Source{{Name: b.Name + ".c", Text: b.Source(suiteSmallScale[b.Name])}}
+		_, counters, err := CompileWithStats(src, DefaultConfig(ModeFull))
+		if err != nil {
+			t.Fatalf("%s: %v", b.Name, err)
+		}
+		localTotal += counters.ChecksRemovedLocal
+		globalTotal += counters.ChecksRemovedGlobal
+	}
+	t.Logf("suite totals: local=%d global=%d", localTotal, globalTotal)
+	if globalTotal == 0 {
+		t.Fatal("global pass removed no checks beyond the block-local pass")
+	}
+}

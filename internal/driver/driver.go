@@ -49,6 +49,11 @@ type Config struct {
 	Mode     Mode
 	Meta     meta.Kind
 	Optimize bool
+	// GlobalOpt enables the whole-function CFG passes in the
+	// post-instrumentation cleanup: cross-block redundant-check
+	// elimination, loop-invariant metadata-load hoisting, and dead
+	// metadata-load removal. It has no effect with Optimize off.
+	GlobalOpt bool
 	// ShrinkBounds, ClearOnReturn mirror core.Options (both default on
 	// via DefaultConfig).
 	ShrinkBounds  bool
@@ -80,6 +85,7 @@ func DefaultConfig(mode Mode) Config {
 		Mode:          mode,
 		Meta:          meta.KindShadowSpace,
 		Optimize:      true,
+		GlobalOpt:     true,
 		ShrinkBounds:  true,
 		ClearOnReturn: true,
 		WithLibc:      true,
@@ -109,36 +115,46 @@ func (r *Result) Detected() bool { return r.Violation != nil || r.BaselineHit !=
 // Compile builds, optimizes, instruments, and links the sources into one
 // executable module.
 func Compile(sources []Source, cfg Config) (*ir.Module, error) {
+	mod, _, err := CompileWithStats(sources, cfg)
+	return mod, err
+}
+
+// CompileWithStats is Compile plus the optimizer pass counters for the
+// produced module (zero when cfg.Optimize is off). The benchmark harness
+// surfaces these per program in BENCH.json.
+func CompileWithStats(sources []Source, cfg Config) (*ir.Module, metrics.OptCounters, error) {
 	units := make([]Source, 0, len(sources)+1)
 	if cfg.WithLibc {
 		units = append(units, Source{Name: "libc.c", Text: libc.Unit()})
 	}
 	units = append(units, sources...)
 
+	var counters metrics.OptCounters
 	var infos []*sema.Info
 	var mods []*ir.Module
 	for _, u := range units {
 		unit, err := cparser.Parse(u.Name, u.Text)
 		if err != nil {
-			return nil, fmt.Errorf("parse %s: %w", u.Name, err)
+			return nil, counters, fmt.Errorf("parse %s: %w", u.Name, err)
 		}
 		info, err := sema.Analyze(unit, infos...)
 		if err != nil {
-			return nil, fmt.Errorf("typecheck %s: %w", u.Name, err)
+			return nil, counters, fmt.Errorf("typecheck %s: %w", u.Name, err)
 		}
 		mod, err := irgen.Generate(info)
 		if err != nil {
-			return nil, fmt.Errorf("lower %s: %w", u.Name, err)
+			return nil, counters, fmt.Errorf("lower %s: %w", u.Name, err)
 		}
 		infos = append(infos, info)
 		mods = append(mods, mod)
 	}
 
 	// Pre-instrumentation optimization (the paper applies SoftBound
-	// post-optimization, §6.1).
+	// post-optimization, §6.1). Block-local only: instrumentation has
+	// not yet attached checks or metadata.
 	if cfg.Optimize {
 		for _, m := range mods {
-			opt.Optimize(m)
+			accumulateOpt(&counters, opt.Optimize(m))
 		}
 	}
 
@@ -159,15 +175,27 @@ func Compile(sources []Source, cfg Config) (*ir.Module, error) {
 	linked := ir.NewModule("a.out")
 	for _, m := range mods {
 		if err := linked.Link(m); err != nil {
-			return nil, err
+			return nil, counters, err
 		}
 	}
 
-	// Post-instrumentation cleanup (redundant checks, dead metadata).
+	// Post-instrumentation cleanup (redundant checks, dead metadata);
+	// GlobalOpt adds the whole-function CFG passes here.
 	if cfg.Optimize {
-		opt.Optimize(linked)
+		accumulateOpt(&counters, opt.OptimizeWith(linked, opt.Options{Global: cfg.GlobalOpt}))
 	}
-	return linked, nil
+	return linked, counters, nil
+}
+
+// accumulateOpt folds one opt.Result into the run's counters.
+func accumulateOpt(c *metrics.OptCounters, r opt.Result) {
+	c.FoldedConsts += uint64(r.FoldedConsts)
+	c.RemovedInsts += uint64(r.RemovedInsts)
+	c.ChecksRemovedLocal += uint64(r.RemovedChecks)
+	c.ChecksRemovedGlobal += uint64(r.RemovedChecksGlobal)
+	c.MetaLoadsMerged += uint64(r.MergedMetaLoads)
+	c.MetaLoadsHoisted += uint64(r.HoistedMetaLoads)
+	c.DeadMetaLoads += uint64(r.DeadMetaLoads)
 }
 
 func coreMode(m Mode) core.Mode {
@@ -259,11 +287,14 @@ func Execute(mod *ir.Module, cfg Config) *Result {
 
 // Run compiles and executes in one step.
 func Run(sources []Source, cfg Config) (*Result, error) {
-	mod, err := Compile(sources, cfg)
+	mod, counters, err := CompileWithStats(sources, cfg)
 	if err != nil {
 		return nil, err
 	}
-	return Execute(mod, cfg), nil
+	res := Execute(mod, cfg)
+	res.Stats.Opt = counters
+	res.Stats.CheckElims = counters.ChecksRemoved()
+	return res, nil
 }
 
 // RunSource is the single-file convenience used by tests and examples.

@@ -1,0 +1,46 @@
+package driver
+
+import "testing"
+
+// The paper's §2.1 sub-object example: overflowing a char array inside a
+// struct to reach the adjacent function pointer. Bounds shrinking at the
+// field-address GEP is what detects it, and the optimizer must never
+// discard the shrink marker (ConstFold once folded constant-operand
+// shrinking GEPs into bare constants).
+const subobjectSrc = `
+int pwned;
+void payload(void) { pwned = 1; exit(66); }
+void greet(void)   { printf("hello\n"); }
+
+struct node { char str[8]; void (*func)(void); };
+
+int main(void) {
+    struct node n;
+    char* ptr = n.str;
+    long target;
+    char* tb;
+    int i;
+    n.func = greet;
+    target = (long)payload;
+    tb = (char*)&target;
+    for (i = 0; i < 16; i++)
+        ptr[i] = (i < 8) ? 'A' : tb[i - 8];
+    n.func();
+    return 0;
+}`
+
+func TestShrunkBoundsSurviveOptimizer(t *testing.T) {
+	for i, cfg := range optVariants(ModeFull) {
+		res, err := RunSource(subobjectSrc, cfg)
+		if err != nil {
+			t.Fatalf("variant %d: compile: %v", i, err)
+		}
+		if res.Violation == nil {
+			t.Fatalf("variant %d: sub-object overflow not detected (exit=%d output=%q)",
+				i, res.ExitCode, res.Output)
+		}
+		if res.ExitCode == 66 {
+			t.Fatalf("variant %d: payload ran", i)
+		}
+	}
+}

@@ -1,0 +1,161 @@
+package ir
+
+import "testing"
+
+// mkFunc builds a function whose blocks are given as terminator specs:
+// each entry is either {KBr, target}, {KCondBr, target, else}, or {KRet}.
+func mkFunc(blocks ...[]int) *Func {
+	f := &Func{Name: "t"}
+	for range blocks {
+		f.NewBlock("b")
+	}
+	for i, spec := range blocks {
+		var t Inst
+		switch spec[0] {
+		case int(KBr):
+			t = Inst{Kind: KBr, Target: spec[1]}
+		case int(KCondBr):
+			t = Inst{Kind: KCondBr, A: R(0), Target: spec[1], Else: spec[2]}
+		default:
+			t = Inst{Kind: KRet}
+		}
+		f.Blocks[i].Insts = []Inst{t}
+	}
+	f.NewReg(ClassInt)
+	return f
+}
+
+func TestCFGDiamond(t *testing.T) {
+	// 0 → {1, 2} → 3 → ret
+	f := mkFunc(
+		[]int{int(KCondBr), 1, 2},
+		[]int{int(KBr), 3},
+		[]int{int(KBr), 3},
+		[]int{int(KRet)},
+	)
+	c := BuildCFG(f)
+	if got := c.Succs[0]; len(got) != 2 || got[0] != 1 || got[1] != 2 {
+		t.Fatalf("succs(0) = %v", got)
+	}
+	if got := c.Preds[3]; len(got) != 2 {
+		t.Fatalf("preds(3) = %v", got)
+	}
+	if c.RPO[0] != 0 {
+		t.Fatalf("RPO must start at entry: %v", c.RPO)
+	}
+	// Entry dominates everything; join is not dominated by either arm.
+	for b := 0; b < 4; b++ {
+		if !c.Dominates(0, b) {
+			t.Errorf("entry should dominate %d", b)
+		}
+	}
+	if c.Dominates(1, 3) || c.Dominates(2, 3) {
+		t.Error("diamond arm must not dominate the join")
+	}
+	if c.Idom(3) != 0 {
+		t.Errorf("idom(3) = %d, want 0", c.Idom(3))
+	}
+	if len(c.NaturalLoops()) != 0 {
+		t.Error("acyclic CFG reported loops")
+	}
+}
+
+func TestCFGLoop(t *testing.T) {
+	// 0 → 1(header) → {2(body), 3(exit)}; 2 → 1.
+	f := mkFunc(
+		[]int{int(KBr), 1},
+		[]int{int(KCondBr), 2, 3},
+		[]int{int(KBr), 1},
+		[]int{int(KRet)},
+	)
+	c := BuildCFG(f)
+	loops := c.NaturalLoops()
+	if len(loops) != 1 {
+		t.Fatalf("found %d loops, want 1", len(loops))
+	}
+	l := loops[0]
+	if l.Header != 1 {
+		t.Errorf("header = %d", l.Header)
+	}
+	if !l.Contains(1) || !l.Contains(2) || l.Contains(0) || l.Contains(3) {
+		t.Errorf("loop body = %v", l.Blocks)
+	}
+	if len(l.Latches) != 1 || l.Latches[0] != 2 {
+		t.Errorf("latches = %v", l.Latches)
+	}
+	exits := c.ExitBlocks(l)
+	if len(exits) != 1 || exits[0] != 1 {
+		t.Errorf("exits = %v", exits)
+	}
+	if !c.Dominates(1, 2) {
+		t.Error("header must dominate body")
+	}
+}
+
+func TestCFGNestedLoops(t *testing.T) {
+	// 0 → 1(outer hdr) → 2(inner hdr) → {3(inner body→2), 4(outer latch→1)};
+	// 1 can also exit to 5.
+	f := mkFunc(
+		[]int{int(KBr), 1},
+		[]int{int(KCondBr), 2, 5},
+		[]int{int(KCondBr), 3, 4},
+		[]int{int(KBr), 2},
+		[]int{int(KBr), 1},
+		[]int{int(KRet)},
+	)
+	c := BuildCFG(f)
+	loops := c.NaturalLoops()
+	if len(loops) != 2 {
+		t.Fatalf("found %d loops, want 2", len(loops))
+	}
+	// Innermost first.
+	if loops[0].Header != 2 || loops[1].Header != 1 {
+		t.Fatalf("loop order: headers %d, %d", loops[0].Header, loops[1].Header)
+	}
+	inner, outer := loops[0], loops[1]
+	if inner.Contains(4) || inner.Contains(1) {
+		t.Errorf("inner body = %v", inner.Blocks)
+	}
+	for _, b := range []int{1, 2, 3, 4} {
+		if !outer.Contains(b) {
+			t.Errorf("outer loop missing block %d (body %v)", b, outer.Blocks)
+		}
+	}
+}
+
+func TestCFGUnreachable(t *testing.T) {
+	// Block 1 is unreachable; block 2 is the real successor.
+	f := mkFunc(
+		[]int{int(KBr), 2},
+		[]int{int(KBr), 2},
+		[]int{int(KRet)},
+	)
+	c := BuildCFG(f)
+	if c.Reachable(1) {
+		t.Error("block 1 should be unreachable")
+	}
+	if c.RPONum[1] != -1 {
+		t.Errorf("RPONum of unreachable block = %d", c.RPONum[1])
+	}
+	// Unreachable preds must not pollute the predecessor lists.
+	if got := c.Preds[2]; len(got) != 1 || got[0] != 0 {
+		t.Errorf("preds(2) = %v", got)
+	}
+	if c.Dominates(1, 2) || c.Dominates(1, 1) {
+		t.Error("unreachable block should dominate nothing")
+	}
+}
+
+func TestCFGSelfLoop(t *testing.T) {
+	// 0 → 1; 1 → {1, 2}.
+	f := mkFunc(
+		[]int{int(KBr), 1},
+		[]int{int(KCondBr), 1, 2},
+		[]int{int(KRet)},
+	)
+	c := BuildCFG(f)
+	loops := c.NaturalLoops()
+	if len(loops) != 1 || loops[0].Header != 1 || len(loops[0].Blocks) != 1 {
+		t.Fatalf("self loop not detected: %+v", loops)
+	}
+}

@@ -31,12 +31,37 @@ type Stats struct {
 	SimInsts uint64
 
 	// Allocations.
-	Mallocs    uint64
-	Frees      uint64
-	HeapBytes  uint64
-	MaxHeap    uint64
-	MetaBytes  int64 // metadata facility footprint at exit
+	Mallocs   uint64
+	Frees     uint64
+	HeapBytes uint64
+	MaxHeap   uint64
+	MetaBytes int64 // metadata facility footprint at exit
+	// CheckElims is the total number of spatial checks the optimizer
+	// removed at compile time (local + global passes); Opt has the
+	// per-pass breakdown.
 	CheckElims uint64
+
+	// Opt records the compile-time optimizer counters for the module
+	// this run executed (zero when the optimizer was off).
+	Opt OptCounters
+}
+
+// OptCounters breaks down what the optimizer passes changed for one
+// compiled module. The struct is flat and comparable: Stats and Report
+// embed it by value and tests compare reports with ==.
+type OptCounters struct {
+	FoldedConsts        uint64 `json:"folded_consts"`
+	RemovedInsts        uint64 `json:"removed_insts"`
+	ChecksRemovedLocal  uint64 `json:"checks_removed_local"`
+	ChecksRemovedGlobal uint64 `json:"checks_removed_global"`
+	MetaLoadsMerged     uint64 `json:"meta_loads_merged"`
+	MetaLoadsHoisted    uint64 `json:"meta_loads_hoisted"`
+	DeadMetaLoads       uint64 `json:"dead_meta_loads"`
+}
+
+// ChecksRemoved is the total checks eliminated across both passes.
+func (o OptCounters) ChecksRemoved() uint64 {
+	return o.ChecksRemovedLocal + o.ChecksRemovedGlobal
 }
 
 // MemOps returns the total dynamic memory operations.

@@ -27,6 +27,10 @@ type Report struct {
 	MetaBytes   int64  `json:"meta_bytes"`
 	CheckElims  uint64 `json:"check_elims"`
 
+	// Opt carries the compile-time optimizer pass counters (an additive
+	// schema-v1 extension; see DESIGN.md "BENCH.json").
+	Opt OptCounters `json:"opt"`
+
 	PtrMemFrac float64 `json:"ptr_mem_frac"`
 }
 
@@ -53,6 +57,7 @@ func (s *Stats) Report() Report {
 		MaxHeap:     s.MaxHeap,
 		MetaBytes:   s.MetaBytes,
 		CheckElims:  s.CheckElims,
+		Opt:         s.Opt,
 		PtrMemFrac:  s.PtrMemFrac(),
 	}
 }

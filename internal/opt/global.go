@@ -1,0 +1,351 @@
+// Whole-function optimizer passes built on the internal/ir CFG analysis:
+// available-check elimination across blocks and loop-invariant
+// metadata-load hoisting. These recover, inside the SoftBound pipeline,
+// the global redundancy elimination the paper gets by re-running LLVM's
+// optimizer over the instrumented bitcode (§6.1).
+package opt
+
+import (
+	"softbound/internal/ir"
+)
+
+// availState is the set of checks known to have executed (without any
+// operand redefinition since) on every path reaching a program point.
+// nil is ⊤ ("all checks available"), used to initialize blocks
+// optimistically so facts propagate around loop back edges.
+type availState map[checkKey]bool
+
+func (s availState) clone() availState {
+	c := make(availState, len(s))
+	for k := range s {
+		c[k] = true
+	}
+	return c
+}
+
+// equal reports set equality; a nil receiver (⊤) equals only nil.
+func (s availState) equal(o availState) bool {
+	if (s == nil) != (o == nil) || len(s) != len(o) {
+		return false
+	}
+	for k := range s {
+		if !o[k] {
+			return false
+		}
+	}
+	return true
+}
+
+// transferCheck applies one instruction to the available-check set,
+// returning the updated set (mutating s in place).
+func transferCheck(s availState, in *ir.Inst) availState {
+	switch in.Kind {
+	case ir.KCheck:
+		s[keyOf(in)] = true
+		return s
+	default:
+		if isSetjmpCall(in) {
+			// longjmp re-enters after this instruction with register
+			// state from an arbitrary later point: nothing stays known.
+			return make(availState)
+		}
+		writtenRegs(in, func(dst ir.Reg) {
+			for k := range s {
+				if k.mentions(dst) {
+					delete(s, k)
+				}
+			}
+		})
+		return s
+	}
+}
+
+// EliminateRedundantChecksGlobal removes a KCheck that is available on
+// entry to its position along every path from the function entry — in
+// particular, a check dominated by an identical check with no
+// redefinition of its operands on any intervening path. It is a forward
+// dataflow ("available expressions" over check keys): meet is
+// intersection over reachable predecessors, the transfer function adds
+// executed checks and kills keys whose registers are redefined, and
+// setjmp call sites clear everything (longjmp resumes after them with
+// unknown register state). Run EliminateRedundantChecks first; this pass
+// only pays off on cross-block redundancy, and its counter isolates the
+// extra wins.
+func EliminateRedundantChecksGlobal(f *ir.Func) int {
+	cfg := ir.BuildCFG(f)
+	if len(cfg.RPO) == 0 {
+		return 0
+	}
+	n := len(f.Blocks)
+	// availOut[b] is the fixpoint state at the end of block b; nil = ⊤
+	// (not yet computed — only possible before a block's first visit).
+	availOut := make([]availState, n)
+	availIn := func(b int) availState {
+		var s availState
+		for _, p := range cfg.Preds[b] {
+			po := availOut[p]
+			if po == nil {
+				continue // ⊤: imposes no constraint
+			}
+			if s == nil {
+				s = po.clone()
+				continue
+			}
+			for k := range s {
+				if !po[k] {
+					delete(s, k)
+				}
+			}
+		}
+		if s == nil {
+			s = make(availState)
+		}
+		return s
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, b := range cfg.RPO {
+			s := availIn(b)
+			if b == cfg.RPO[0] {
+				s = make(availState) // nothing available at function entry
+			}
+			for i := range f.Blocks[b].Insts {
+				s = transferCheck(s, &f.Blocks[b].Insts[i])
+			}
+			if !s.equal(availOut[b]) {
+				availOut[b] = s
+				changed = true
+			}
+		}
+	}
+
+	// Elimination sweep: replay each block from its fixpoint entry state
+	// and drop checks already available.
+	removed := 0
+	for _, b := range cfg.RPO {
+		s := availIn(b)
+		if b == cfg.RPO[0] {
+			s = make(availState)
+		}
+		blk := f.Blocks[b]
+		out := blk.Insts[:0]
+		for i := range blk.Insts {
+			in := blk.Insts[i]
+			if in.Kind == ir.KCheck && s[keyOf(&in)] {
+				removed++
+				continue
+			}
+			s = transferCheck(s, &in)
+			out = append(out, in)
+		}
+		blk.Insts = out
+	}
+	return removed
+}
+
+// HoistLoopInvariantMetaLoads moves a loop-invariant KMetaLoad into a
+// preheader block inserted before the loop header. A metaload is hoisted
+// only when all of the following hold, keeping the motion observationally
+// neutral:
+//
+//   - The loop contains no KCall, KMetaStore, or KMetaClear: nothing in
+//     the loop (or in a callee, or via longjmp out of one) can change
+//     what the lookup returns.
+//   - Its address operand is a constant/symbol, or a register no loop
+//     instruction writes: the lookup reads the same table slot every
+//     iteration.
+//   - Its destination registers are written by no other loop instruction
+//     (and only once by this one): moving the single definition out of
+//     the loop cannot change which value later reads observe.
+//   - Its block dominates every loop exit: the lookup was unconditionally
+//     executed before leaving the loop, so executing it earlier adds no
+//     new behavior (a table lookup never faults, it only reads).
+//   - Its block dominates every loop block that reads a destination
+//     register, and no read precedes it inside its own block: every read
+//     already saw this definition.
+//
+// The loop's header must not be the function entry (a preheader needs
+// somewhere to splice in). One metaload is hoisted per CFG build; the
+// caller's fixpoint loop re-runs the pass until it finds nothing.
+func HoistLoopInvariantMetaLoads(f *ir.Func) int {
+	hoisted := 0
+	// Bound the rebuild loop defensively; each iteration either hoists
+	// (changing the CFG) or stops.
+	for iter := 0; iter < 64; iter++ {
+		if !hoistOneMetaLoad(f) {
+			return hoisted
+		}
+		hoisted++
+	}
+	return hoisted
+}
+
+func hoistOneMetaLoad(f *ir.Func) bool {
+	cfg := ir.BuildCFG(f)
+	for _, loop := range cfg.NaturalLoops() {
+		if loop.Header == cfg.RPO[0] {
+			continue // entry block cannot get a preheader
+		}
+		if b, i := findHoistableMetaLoad(f, cfg, loop); b >= 0 {
+			hoistInto(f, cfg, loop, b, i)
+			return true
+		}
+	}
+	return false
+}
+
+// findHoistableMetaLoad returns the block index and instruction index of
+// a metaload satisfying the conditions above, or (-1, -1).
+func findHoistableMetaLoad(f *ir.Func, cfg *ir.CFG, loop *ir.Loop) (int, int) {
+	// Pass 1 over the loop body: reject loops with calls or metadata
+	// writes, and collect per-register write counts.
+	writes := make(map[ir.Reg]int)
+	for _, b := range loop.Blocks {
+		for i := range f.Blocks[b].Insts {
+			in := &f.Blocks[b].Insts[i]
+			switch in.Kind {
+			case ir.KCall, ir.KMetaStore, ir.KMetaClear:
+				return -1, -1
+			}
+			writtenRegs(in, func(r ir.Reg) { writes[r]++ })
+		}
+	}
+	exits := cfg.ExitBlocks(loop)
+
+	for _, b := range loop.Blocks {
+		for i := range f.Blocks[b].Insts {
+			in := &f.Blocks[b].Insts[i]
+			if in.Kind != ir.KMetaLoad {
+				continue
+			}
+			// Invariant address: non-register, or never written in-loop.
+			if in.A.Kind == ir.VReg && writes[in.A.Reg] != 0 {
+				continue
+			}
+			// Sole in-loop definition of both destinations. (A metaload
+			// with DstBaseR == DstBndR writes that register twice.)
+			if writes[in.DstBaseR] != 1 || writes[in.DstBndR] != 1 ||
+				in.DstBaseR == in.DstBndR {
+				continue
+			}
+			if !dominatesAll(cfg, b, exits) {
+				continue
+			}
+			if !dominatesReads(f, cfg, loop, b, i, in.DstBaseR) ||
+				!dominatesReads(f, cfg, loop, b, i, in.DstBndR) {
+				continue
+			}
+			return b, i
+		}
+	}
+	return -1, -1
+}
+
+func dominatesAll(cfg *ir.CFG, b int, blocks []int) bool {
+	for _, o := range blocks {
+		if !cfg.Dominates(b, o) {
+			return false
+		}
+	}
+	return true
+}
+
+// dominatesReads reports whether the definition at (defBlock, defIdx)
+// dominates every read of reg inside the loop: reads in other loop
+// blocks must be in blocks dominated by defBlock, and reads in defBlock
+// itself must come after defIdx.
+func dominatesReads(f *ir.Func, cfg *ir.CFG, loop *ir.Loop, defBlock, defIdx int, reg ir.Reg) bool {
+	for _, b := range loop.Blocks {
+		for i := range f.Blocks[b].Insts {
+			if !readsReg(&f.Blocks[b].Insts[i], reg) {
+				continue
+			}
+			if b == defBlock {
+				if i < defIdx {
+					return false
+				}
+				continue
+			}
+			if !cfg.Dominates(defBlock, b) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// readsReg reports whether in reads reg through any operand.
+func readsReg(in *ir.Inst, reg ir.Reg) bool {
+	is := func(v ir.Value) bool { return v.Kind == ir.VReg && v.Reg == reg }
+	if is(in.A) || is(in.B) || is(in.C) || is(in.Base) || is(in.Bound) ||
+		is(in.Callee) || is(in.SrcBase) || is(in.SrcBound) ||
+		is(in.RetBase) || is(in.RetBound) || is(in.MemcpyLen) || is(in.MemSize) {
+		return true
+	}
+	for _, a := range in.Args {
+		if is(a) {
+			return true
+		}
+	}
+	for _, ma := range in.MetaArgs {
+		if ma.Valid && (is(ma.Base) || is(ma.Bound)) {
+			return true
+		}
+	}
+	return false
+}
+
+// hoistInto creates (or reuses) a preheader for the loop and moves the
+// metaload at (b, i) to its end, before the terminator.
+func hoistInto(f *ir.Func, cfg *ir.CFG, loop *ir.Loop, b, i int) {
+	in := f.Blocks[b].Insts[i]
+	f.Blocks[b].Insts = append(f.Blocks[b].Insts[:i], f.Blocks[b].Insts[i+1:]...)
+
+	pre := makePreheader(f, cfg, loop)
+	// Insert before the preheader's terminator (an unconditional branch
+	// to the header).
+	blk := f.Blocks[pre]
+	term := blk.Insts[len(blk.Insts)-1]
+	blk.Insts[len(blk.Insts)-1] = in
+	blk.Insts = append(blk.Insts, term)
+}
+
+// makePreheader returns a block that is the unique non-loop predecessor
+// of the loop header, creating one (and redirecting the other non-loop
+// predecessors' terminators) if necessary.
+func makePreheader(f *ir.Func, cfg *ir.CFG, loop *ir.Loop) int {
+	h := loop.Header
+	var outside []int
+	for _, p := range cfg.Preds[h] {
+		if !loop.Contains(p) {
+			outside = append(outside, p)
+		}
+	}
+	// A unique outside predecessor that only branches to the header
+	// already serves as the preheader.
+	if len(outside) == 1 {
+		t := f.Blocks[outside[0]].Terminator()
+		if t != nil && t.Kind == ir.KBr && t.Target == h {
+			return outside[0]
+		}
+	}
+	pre := f.NewBlock(f.Blocks[h].Name + ".preheader")
+	f.Blocks[pre].Insts = []ir.Inst{{Kind: ir.KBr, Target: h}}
+	for _, p := range outside {
+		t := f.Blocks[p].Terminator()
+		switch t.Kind {
+		case ir.KBr:
+			if t.Target == h {
+				t.Target = pre
+			}
+		case ir.KCondBr:
+			if t.Target == h {
+				t.Target = pre
+			}
+			if t.Else == h {
+				t.Else = pre
+			}
+		}
+	}
+	return pre
+}

@@ -4,16 +4,30 @@
 // instrumentation off register-promoted scalars, and re-running cleanup
 // afterwards removes redundant checks and dead metadata manipulation.
 //
-// Passes:
+// Block-local passes:
 //   - ConstFold: folds constant arithmetic, comparisons, and branches.
 //   - DeadCodeElim: removes pure instructions whose results are unused
 //     (this is what deletes unused base/bound constants after
 //     instrumentation).
-//   - EliminateRedundantChecks: removes a spatial check dominated by an
-//     identical check in the same block with no intervening redefinition
-//     — the CSE effect the paper gets from re-running LLVM passes.
+//   - EliminateRedundantChecks: removes a spatial check identical to an
+//     earlier check in the same block with no intervening redefinition.
 //   - CSEMetaLoads: merges repeated metadata lookups of the same address
 //     within a block when no metadata write or call intervenes.
+//
+// Whole-function (CFG) passes, enabled by Options.Global:
+//   - EliminateRedundantChecksGlobal: available-check dataflow over the
+//     CFG; removes a check covered by identical checks on every incoming
+//     path (in particular, one dominated by an identical check with no
+//     redefinition on any path between them).
+//   - HoistLoopInvariantMetaLoads: moves loop-invariant metadata lookups
+//     into loop preheaders.
+//   - Dead metadata-load removal inside DeadCodeElim: a KMetaLoad whose
+//     result registers are never read is deleted.
+//
+// The soundness contract every pass obeys (what may be assumed about
+// register definitions, metadata effects, and checks) is documented in
+// DESIGN.md; the differential fuzz tests in this package and in
+// internal/driver hold the passes to it.
 package opt
 
 import (
@@ -22,28 +36,63 @@ import (
 
 // Result reports what the passes changed (benchmarks surface this).
 type Result struct {
-	FoldedConsts     int
-	RemovedInsts     int
-	RemovedChecks    int
-	MergedMetaLoads  int
-	SimplifiedBlocks int
+	FoldedConsts int
+	RemovedInsts int
+	// RemovedChecks counts checks removed by the block-local pass;
+	// RemovedChecksGlobal counts the additional cross-block removals by
+	// the CFG availability pass (it runs after the local pass, so the
+	// two never count the same check).
+	RemovedChecks       int
+	RemovedChecksGlobal int
+	MergedMetaLoads     int
+	HoistedMetaLoads    int
+	DeadMetaLoads       int
+	SimplifiedBlocks    int
 }
 
-// Optimize runs the full pass pipeline over the module until fixpoint
-// (bounded), returning aggregate results.
+func (r *Result) add(o Result) {
+	r.FoldedConsts += o.FoldedConsts
+	r.RemovedInsts += o.RemovedInsts
+	r.RemovedChecks += o.RemovedChecks
+	r.RemovedChecksGlobal += o.RemovedChecksGlobal
+	r.MergedMetaLoads += o.MergedMetaLoads
+	r.HoistedMetaLoads += o.HoistedMetaLoads
+	r.DeadMetaLoads += o.DeadMetaLoads
+	r.SimplifiedBlocks += o.SimplifiedBlocks
+}
+
+// Options selects which passes OptimizeWith runs.
+type Options struct {
+	// Global enables the whole-function CFG passes: cross-block
+	// redundant-check elimination, loop-invariant metadata-load
+	// hoisting, and dead metadata-load removal.
+	Global bool
+}
+
+// Optimize runs the block-local pass pipeline over the module until
+// fixpoint (bounded), returning aggregate results.
 func Optimize(m *ir.Module) Result {
+	return OptimizeWith(m, Options{})
+}
+
+// OptimizeWith runs the pass pipeline selected by o over the module
+// until fixpoint (bounded), returning aggregate results.
+func OptimizeWith(m *ir.Module, o Options) Result {
 	var total Result
 	for _, f := range m.Funcs {
 		for iter := 0; iter < 8; iter++ {
 			r := Result{}
-			r.FoldedConsts += ConstFold(f)
-			r.RemovedChecks += EliminateRedundantChecks(f)
-			r.MergedMetaLoads += CSEMetaLoads(f)
-			r.RemovedInsts += DeadCodeElim(f)
-			total.FoldedConsts += r.FoldedConsts
-			total.RemovedChecks += r.RemovedChecks
-			total.MergedMetaLoads += r.MergedMetaLoads
-			total.RemovedInsts += r.RemovedInsts
+			r.FoldedConsts = ConstFold(f)
+			r.RemovedChecks = EliminateRedundantChecks(f)
+			if o.Global {
+				r.RemovedChecksGlobal = EliminateRedundantChecksGlobal(f)
+			}
+			r.MergedMetaLoads = CSEMetaLoads(f)
+			if o.Global {
+				r.HoistedMetaLoads = HoistLoopInvariantMetaLoads(f)
+			}
+			r.RemovedInsts, r.DeadMetaLoads = deadCodeElim(f, o.Global)
+			total.add(r)
 			if r == (Result{}) {
 				break
 			}
@@ -97,6 +146,13 @@ func ConstFold(f *ir.Func) int {
 					n++
 				}
 			case ir.KGEP:
+				// A bounds-shrinking GEP must survive to instrumentation:
+				// the Shrink marker is what tells the SoftBound pass to
+				// narrow the result's metadata to the sub-object (§3.1),
+				// and a bare KConst would silently lose it.
+				if in.Shrink {
+					break
+				}
 				// gep c1 + c2*s + c3 with constant base folds to const.
 				if in.A.Kind == ir.VConstInt && in.B.Kind == ir.VConstInt {
 					v := in.A.Int + in.B.Int*in.Size + in.C.Int
@@ -208,6 +264,14 @@ func foldCmp(in *ir.Inst) (int64, bool) {
 // register at all; this is conservative but removes exactly the unused
 // metadata constants instrumentation introduces.
 func DeadCodeElim(f *ir.Func) int {
+	n, _ := deadCodeElim(f, false)
+	return n
+}
+
+// deadCodeElim is DeadCodeElim plus, when removeMetaLoads is set, removal
+// of KMetaLoads whose result registers are both unread (a table lookup
+// has no effect other than writing them). The two counts are disjoint.
+func deadCodeElim(f *ir.Func, removeMetaLoads bool) (removed, removedMetaLoads int) {
 	used := make([]bool, f.NumRegs)
 	markVal := func(v ir.Value) {
 		if v.Kind == ir.VReg && int(v.Reg) < len(used) {
@@ -227,7 +291,8 @@ func DeadCodeElim(f *ir.Func) int {
 			markVal(in.SrcBound)
 			markVal(in.RetBase)
 			markVal(in.RetBound)
-			markVal(in.MemSize)
+			markVal(in.MemcpyLen)
+		markVal(in.MemSize)
 			for _, a := range in.Args {
 				markVal(a)
 			}
@@ -239,29 +304,52 @@ func DeadCodeElim(f *ir.Func) int {
 			}
 		}
 	}
+	regUsed := func(r ir.Reg) bool { return r >= 0 && int(r) < len(used) && used[r] }
 	// Parameter registers (including appended metadata parameters) are
 	// written by the calling convention and must survive.
 	keepDst := func(in *ir.Inst) bool {
 		switch in.Kind {
 		case ir.KConst, ir.KMov, ir.KBin, ir.KUn, ir.KCmp, ir.KConv, ir.KGEP:
-			return in.Dst != ir.NoReg && used[in.Dst]
+			return in.Dst != ir.NoReg && regUsed(in.Dst)
+		case ir.KMetaLoad:
+			if removeMetaLoads {
+				return regUsed(in.DstBaseR) || regUsed(in.DstBndR)
+			}
 		}
 		return true
 	}
-	removed := 0
 	for _, b := range f.Blocks {
 		out := b.Insts[:0]
 		for i := range b.Insts {
 			in := b.Insts[i]
 			if keepDst(&in) {
 				out = append(out, in)
+			} else if in.Kind == ir.KMetaLoad {
+				removedMetaLoads++
 			} else {
 				removed++
 			}
 		}
 		b.Insts = out
 	}
-	return removed
+	return removed, removedMetaLoads
+}
+
+// checkKey identifies a spatial check up to register/operand identity:
+// two checks with equal keys over unchanged registers verify the same
+// predicate.
+type checkKey struct {
+	a, b, c ir.Value
+	size    int64
+	kind    ir.CheckKind
+}
+
+func keyOf(in *ir.Inst) checkKey {
+	return checkKey{in.A, in.Base, in.Bound, in.AccessSize, in.CheckK}
+}
+
+func (k checkKey) mentions(r ir.Reg) bool {
+	return mentionsReg(k.a, r) || mentionsReg(k.b, r) || mentionsReg(k.c, r)
 }
 
 // EliminateRedundantChecks removes a KCheck identical to an earlier check
@@ -270,18 +358,13 @@ func DeadCodeElim(f *ir.Func) int {
 // of two identical checks can never fire first.
 func EliminateRedundantChecks(f *ir.Func) int {
 	removed := 0
-	type key struct {
-		a, b, c ir.Value
-		size    int64
-		kind    ir.CheckKind
-	}
 	for _, blk := range f.Blocks {
-		seen := make(map[key]bool)
+		seen := make(map[checkKey]bool)
 		out := blk.Insts[:0]
 		for i := range blk.Insts {
 			in := blk.Insts[i]
 			if in.Kind == ir.KCheck {
-				k := key{in.A, in.Base, in.Bound, in.AccessSize, in.CheckK}
+				k := keyOf(&in)
 				if seen[k] {
 					removed++
 					continue
@@ -290,14 +373,22 @@ func EliminateRedundantChecks(f *ir.Func) int {
 				out = append(out, in)
 				continue
 			}
+			// longjmp resumes after the setjmp call with whatever
+			// register state the longjmp-ing callee left behind, so
+			// nothing can be assumed available past it.
+			if isSetjmpCall(&in) {
+				seen = make(map[checkKey]bool)
+				out = append(out, in)
+				continue
+			}
 			// Any write to a register invalidates keys mentioning it.
-			if dst := writtenReg(&in); dst != ir.NoReg {
+			writtenRegs(&in, func(dst ir.Reg) {
 				for k := range seen {
-					if mentionsReg(k.a, dst) || mentionsReg(k.b, dst) || mentionsReg(k.c, dst) {
+					if k.mentions(dst) {
 						delete(seen, k)
 					}
 				}
-			}
+			})
 			out = append(out, in)
 		}
 		blk.Insts = out
@@ -305,13 +396,39 @@ func EliminateRedundantChecks(f *ir.Func) int {
 	return removed
 }
 
-func writtenReg(in *ir.Inst) ir.Reg {
+// writtenRegs calls fn for every register the instruction defines. This
+// is the kill set every caching pass must respect: it includes the
+// metadata destinations of KMetaLoad (DstBaseR/DstBndR) and of
+// pointer-returning KCall (DstBase/DstBound), not just Dst.
+func writtenRegs(in *ir.Inst, fn func(ir.Reg)) {
 	switch in.Kind {
 	case ir.KConst, ir.KMov, ir.KBin, ir.KUn, ir.KCmp, ir.KConv,
-		ir.KGEP, ir.KAlloca, ir.KLoad, ir.KCall:
-		return in.Dst
+		ir.KGEP, ir.KAlloca, ir.KLoad:
+		if in.Dst != ir.NoReg {
+			fn(in.Dst)
+		}
+	case ir.KCall:
+		if in.Dst != ir.NoReg {
+			fn(in.Dst)
+		}
+		if in.DstBase != ir.NoReg {
+			fn(in.DstBase)
+		}
+		if in.DstBound != ir.NoReg {
+			fn(in.DstBound)
+		}
+	case ir.KMetaLoad:
+		fn(in.DstBaseR)
+		fn(in.DstBndR)
 	}
-	return ir.NoReg
+}
+
+// isSetjmpCall reports whether in is a direct call to setjmp: the one
+// instruction where control can re-enter mid-block (via longjmp) with
+// register state from an arbitrary later program point.
+func isSetjmpCall(in *ir.Inst) bool {
+	return in.Kind == ir.KCall && in.Callee.Kind == ir.VFunc &&
+		(in.Callee.Sym == "setjmp" || in.Callee.Sym == "_setjmp")
 }
 
 func mentionsReg(v ir.Value, r ir.Reg) bool {
@@ -320,12 +437,22 @@ func mentionsReg(v ir.Value, r ir.Reg) bool {
 
 // CSEMetaLoads merges repeated KMetaLoad of the same address register in
 // a block into register moves, invalidating on metadata writes, clears,
-// calls (callees may update the table), and redefinition of the address.
+// calls (callees may update the table), redefinition of the address, and
+// redefinition of the registers holding the cached metadata — including
+// by another KMetaLoad, whose DstBaseR/DstBndR are definitions like any
+// other.
 func CSEMetaLoads(f *ir.Func) int {
 	merged := 0
 	for _, blk := range f.Blocks {
 		type cached struct{ base, bound ir.Reg }
 		avail := make(map[ir.Value]cached)
+		evict := func(dst ir.Reg) {
+			for k, c := range avail {
+				if mentionsReg(k, dst) || c.base == dst || c.bound == dst {
+					delete(avail, k)
+				}
+			}
+		}
 		// A merged metaload expands to two moves, so the output can be
 		// longer than the input: build into a fresh slice.
 		out := make([]ir.Inst, 0, len(blk.Insts))
@@ -333,24 +460,45 @@ func CSEMetaLoads(f *ir.Func) int {
 			in := blk.Insts[i]
 			switch in.Kind {
 			case ir.KMetaLoad:
-				if c, ok := avail[in.A]; ok {
-					out = append(out,
-						ir.Inst{Kind: ir.KMov, Dst: in.DstBaseR, A: ir.R(c.base)},
-						ir.Inst{Kind: ir.KMov, Dst: in.DstBndR, A: ir.R(c.bound)})
+				c, hit := avail[in.A]
+				replaced := false
+				if hit {
+					// Order the two moves so neither reads a register
+					// the other just clobbered; when the destinations
+					// swap the cached pair exactly, merging would need
+					// a scratch register — keep the load instead.
+					switch {
+					case in.DstBaseR == c.bound && in.DstBndR == c.base && c.base != c.bound:
+						// unmergeable swap
+					case in.DstBaseR == c.bound:
+						out = append(out,
+							ir.Inst{Kind: ir.KMov, Dst: in.DstBndR, A: ir.R(c.bound)},
+							ir.Inst{Kind: ir.KMov, Dst: in.DstBaseR, A: ir.R(c.base)})
+						replaced = true
+					default:
+						out = append(out,
+							ir.Inst{Kind: ir.KMov, Dst: in.DstBaseR, A: ir.R(c.base)},
+							ir.Inst{Kind: ir.KMov, Dst: in.DstBndR, A: ir.R(c.bound)})
+						replaced = true
+					}
+				}
+				// Whether merged or not, DstBaseR/DstBndR were just
+				// (re)defined: evict any entry reading them, then cache
+				// the freshest copy of this address's metadata — unless
+				// the load clobbered its own address register.
+				evict(in.DstBaseR)
+				evict(in.DstBndR)
+				if !mentionsReg(in.A, in.DstBaseR) && !mentionsReg(in.A, in.DstBndR) {
+					avail[in.A] = cached{in.DstBaseR, in.DstBndR}
+				}
+				if replaced {
 					merged++
 					continue
 				}
-				avail[in.A] = cached{in.DstBaseR, in.DstBndR}
 			case ir.KMetaStore, ir.KMetaClear, ir.KCall:
 				avail = make(map[ir.Value]cached)
 			default:
-				if dst := writtenReg(&in); dst != ir.NoReg {
-					for k, c := range avail {
-						if mentionsReg(k, dst) || c.base == dst || c.bound == dst {
-							delete(avail, k)
-						}
-					}
-				}
+				writtenRegs(&in, evict)
 			}
 			out = append(out, in)
 		}
