@@ -255,7 +255,7 @@ func BenchmarkAblationCheckAtArith(b *testing.B) {
 // BenchmarkMetaHashTable and BenchmarkMetaShadowSpace measure raw
 // facility operation throughput (design decision 2).
 func BenchmarkMetaHashTable(b *testing.B) {
-	benchFacility(b, meta.NewHashTable(1<<16))
+	benchFacility(b, meta.MustHashTable(1<<16))
 }
 
 // BenchmarkMetaShadowSpace measures the shadow-space facility.

@@ -13,6 +13,7 @@
 //	        [-scale=N]
 //	sbbench -parallel [-json=BENCH.json] [-schemes=hashtable,shadowspace]
 //	        [-progs=go,treeadd,...] [-workers=N] [-scale=N]
+//	        [-timeout=30s] [-steps=N] [-faults=seed=7,flip=200,oom=4]
 package main
 
 import (
@@ -22,9 +23,11 @@ import (
 	"os"
 	"runtime"
 	"strings"
+	"time"
 
 	"softbound/internal/bench"
 	"softbound/internal/experiments"
+	"softbound/internal/faults"
 	"softbound/internal/meta"
 )
 
@@ -43,12 +46,32 @@ func main() {
 			strings.Join(meta.SchemeNames(), ", ")+")")
 	progList := flag.String("progs", "",
 		"comma-separated benchmark subset for the matrix (default: all 15)")
+	timeout := flag.Duration("timeout", 0,
+		"per-cell execution deadline for the matrix (0 = unbounded); a hung cell "+
+			"is recorded as failed with trap code \"deadline\" and the matrix continues")
+	steps := flag.Uint64("steps", 0,
+		"per-cell VM instruction budget for the matrix (0 = driver default); "+
+			"exceeding it traps with code \"step-limit\"")
+	faultSpec := flag.String("faults", "",
+		"fault-injection plan for every matrix cell, e.g. \"seed=7,flip=200,drop=500,corrupt=300,oom=4\" "+
+			"(empty = no injection); each cell gets a fresh deterministic injector")
 	flag.Parse()
 
 	// The harness path: any of its flags (or -experiment=bench) selects it.
 	if *parallel || *jsonOut != "" || *workers > 0 || *schemes != "" ||
-		*progList != "" || *exp == "bench" {
-		if err := runBench(*scale, *parallel, *workers, *jsonOut, *schemes, *progList); err != nil {
+		*progList != "" || *timeout != 0 || *steps != 0 || *faultSpec != "" ||
+		*exp == "bench" {
+		if err := runBench(benchOptions{
+			scale:    *scale,
+			parallel: *parallel,
+			workers:  *workers,
+			jsonPath: *jsonOut,
+			schemes:  *schemes,
+			progs:    *progList,
+			timeout:  *timeout,
+			steps:    *steps,
+			faults:   *faultSpec,
+		}); err != nil {
 			fmt.Fprintf(os.Stderr, "sbbench: %v\n", err)
 			os.Exit(1)
 		}
@@ -120,48 +143,75 @@ func main() {
 	})
 }
 
+// benchOptions carries the harness flag values.
+type benchOptions struct {
+	scale    int
+	parallel bool
+	workers  int
+	jsonPath string
+	schemes  string
+	progs    string
+	timeout  time.Duration
+	steps    uint64
+	faults   string
+}
+
 // runBench executes the benchmark matrix and writes the human summary to
 // stdout and, if requested, the JSON report to jsonPath.
-func runBench(scale int, parallel bool, workers int, jsonPath, schemeList, progList string) error {
-	schemes, err := meta.ParseSchemes(schemeList)
+func runBench(o benchOptions) error {
+	schemes, err := meta.ParseSchemes(o.schemes)
 	if err != nil {
 		return err
 	}
 	var programs []string
-	for _, p := range strings.Split(progList, ",") {
+	for _, p := range strings.Split(o.progs, ",") {
 		if p = strings.TrimSpace(p); p != "" {
 			programs = append(programs, p)
 		}
 	}
+	workers := o.workers
 	if workers <= 0 {
-		if parallel {
+		if o.parallel {
 			workers = runtime.NumCPU()
 		} else {
 			workers = 1
 		}
 	}
+	var plan *faults.Plan
+	if o.faults != "" {
+		p, err := faults.ParsePlan(o.faults)
+		if err != nil {
+			return err
+		}
+		if p.Enabled() {
+			plan = &p
+		}
+	}
 
 	rep, err := bench.Execute(bench.Config{
-		Workers:  workers,
-		Scale:    scale,
-		Programs: programs,
-		Schemes:  schemes,
-		Log:      os.Stderr,
+		Workers:     workers,
+		Scale:       o.scale,
+		Programs:    programs,
+		Schemes:     schemes,
+		Log:         os.Stderr,
+		CellTimeout: o.timeout,
+		StepLimit:   o.steps,
+		Faults:      plan,
 	})
 	if err != nil {
 		return err
 	}
 	fmt.Print(bench.Format(rep))
 
-	if jsonPath != "" {
+	if o.jsonPath != "" {
 		blob, err := json.MarshalIndent(rep, "", "  ")
 		if err != nil {
 			return err
 		}
-		if err := os.WriteFile(jsonPath, append(blob, '\n'), 0o644); err != nil {
+		if err := os.WriteFile(o.jsonPath, append(blob, '\n'), 0o644); err != nil {
 			return err
 		}
-		fmt.Printf("\nwrote %s (schema v%d, %d runs)\n", jsonPath, rep.Schema, len(rep.Runs))
+		fmt.Printf("\nwrote %s (schema v%d, %d runs)\n", o.jsonPath, rep.Schema, len(rep.Runs))
 	}
 	return nil
 }

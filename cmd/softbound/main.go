@@ -3,16 +3,20 @@
 //
 // Usage:
 //
-//	softbound [-mode=none|store|full] [-meta=hash|shadow] [-stats] [-dump] file.c...
+//	softbound [-mode=none|store|full] [-meta=hash|shadow] [-stats] [-dump]
+//	          [-timeout=10s] [-steps=N] [-faults=seed=7,flip=200] file.c...
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"os"
 
 	"softbound/internal/driver"
+	"softbound/internal/faults"
 	"softbound/internal/meta"
+	"softbound/internal/vm"
 )
 
 func main() {
@@ -21,6 +25,12 @@ func main() {
 	stats := flag.Bool("stats", false, "print execution statistics")
 	dump := flag.Bool("dump", false, "dump the instrumented IR instead of running")
 	noOpt := flag.Bool("no-opt", false, "disable the optimizer")
+	timeout := flag.Duration("timeout", 0,
+		"wall-clock execution deadline (0 = unbounded); expiring traps with code \"deadline\"")
+	steps := flag.Uint64("steps", 0,
+		"VM instruction budget (0 = default); exceeding it traps with code \"step-limit\"")
+	faultSpec := flag.String("faults", "",
+		"fault-injection plan, e.g. \"seed=7,flip=200,drop=500,corrupt=300,oom=4\" (empty = none)")
 	flag.Parse()
 	if flag.NArg() == 0 {
 		fmt.Fprintln(os.Stderr, "usage: softbound [flags] file.c ...")
@@ -44,6 +54,18 @@ func main() {
 	}
 	cfg.Optimize = !*noOpt
 	cfg.Stdout = os.Stdout
+	cfg.Timeout = *timeout
+	if *steps != 0 {
+		cfg.StepLimit = *steps
+	}
+	if *faultSpec != "" {
+		plan, err := faults.ParsePlan(*faultSpec)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		cfg.Faults = faults.NewInjector(plan)
+	}
 
 	var sources []driver.Source
 	for _, name := range flag.Args() {
@@ -70,6 +92,18 @@ func main() {
 	}
 	if *stats {
 		fmt.Fprintf(os.Stderr, "stats: %s\n", res.Stats)
+		if inj := cfg.Faults; inj != nil {
+			s := inj.Stats()
+			fmt.Fprintf(os.Stderr, "faults: flips=%d drops=%d corrupts=%d ooms=%d\n",
+				s.Flips, s.Drops, s.Corrupts, s.OOMs)
+		}
+	}
+	// A trapped run exits with a distinct status so scripts can tell a
+	// guard firing (e.g. deadline on a hung program) from the program's
+	// own exit code.
+	var trap *vm.Trap
+	if errors.As(res.Err, &trap) && res.ExitCode == 0 {
+		os.Exit(3)
 	}
 	os.Exit(int(res.ExitCode))
 }

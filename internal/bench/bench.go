@@ -18,10 +18,12 @@ import (
 	"time"
 
 	"softbound/internal/driver"
+	"softbound/internal/faults"
 	"softbound/internal/ir"
 	"softbound/internal/meta"
 	"softbound/internal/metrics"
 	"softbound/internal/progs"
+	"softbound/internal/vm"
 )
 
 // SchemaVersion identifies the BENCH.json layout. Bump it whenever a
@@ -51,6 +53,18 @@ type Config struct {
 	Modes []driver.Mode
 	// Log receives one line per completed run (nil = silent).
 	Log io.Writer
+
+	// CellTimeout bounds each cell's execute phase via the VM deadline
+	// guard (0 = unbounded). A harness-level wall-clock backstop of
+	// 2×CellTimeout+1s contains cells whose VM never reaches the guard.
+	CellTimeout time.Duration
+	// StepLimit overrides each cell's VM instruction budget (0 = the
+	// driver default).
+	StepLimit uint64
+	// Faults, when non-nil, runs every cell under a fresh fault injector
+	// built from this plan (one injector per cell keeps each schedule
+	// deterministic and isolated).
+	Faults *faults.Plan
 }
 
 // Run is one completed cell of the matrix.
@@ -77,6 +91,13 @@ type Run struct {
 	OverheadWall *float64 `json:"overhead_wall,omitempty"`
 
 	Error string `json:"error,omitempty"`
+	// TrapCode classifies how the cell ended ("" = clean exit): a
+	// vm.TrapCode string, or "panic" when the harness contained a
+	// panicking cell. An additive schema-v1 field.
+	TrapCode string `json:"trap_code,omitempty"`
+	// Attempts is how many times the harness ran the cell (> 1 after a
+	// contained panic or hang triggered the bounded retry); omitted when 1.
+	Attempts int `json:"attempts,omitempty"`
 }
 
 // ConfigSummary aggregates one configuration across all programs — the
@@ -107,6 +128,11 @@ type spec struct {
 	scale  int
 	mode   driver.Mode
 	scheme meta.Scheme // zero value for the baseline
+
+	// Execution policy, copied from Config by buildMatrix.
+	timeout time.Duration
+	steps   uint64
+	plan    *faults.Plan
 }
 
 func (s spec) configName() string {
@@ -161,13 +187,16 @@ func buildMatrix(cfg Config) ([]spec, error) {
 	}
 	var out []spec
 	for _, b := range benches {
-		out = append(out, spec{bench: b, scale: cfg.Scale, mode: driver.ModeNone})
+		cell := spec{bench: b, scale: cfg.Scale, mode: driver.ModeNone,
+			timeout: cfg.CellTimeout, steps: cfg.StepLimit, plan: cfg.Faults}
+		out = append(out, cell)
 		for _, sc := range schemes {
 			for _, m := range modes {
 				if m == driver.ModeNone {
 					continue // the baseline is implicit
 				}
-				out = append(out, spec{bench: b, scale: cfg.Scale, mode: m, scheme: sc})
+				cell.mode, cell.scheme = m, sc
+				out = append(out, cell)
 			}
 		}
 	}
@@ -178,8 +207,10 @@ func buildMatrix(cfg Config) ([]spec, error) {
 // pool behaviour without doing real compiles.
 var runCell = executeRun
 
-// executeRun compiles and executes one cell in isolation.
-func executeRun(s spec) Run {
+// newRun seeds a Run's identity fields from its spec, so every exit path
+// (including containment of a panicking or hung cell) reports which cell
+// it was.
+func newRun(s spec) Run {
 	run := Run{
 		Program: s.bench.Name,
 		Class:   s.bench.Class.String(),
@@ -190,10 +221,30 @@ func executeRun(s spec) Run {
 	if s.mode != driver.ModeNone {
 		run.Scheme = s.scheme.Name
 	}
+	return run
+}
+
+// executeRun compiles and executes one cell in isolation.
+func executeRun(s spec) Run {
+	run := newRun(s)
 
 	dcfg := driver.DefaultConfig(s.mode)
 	if s.mode != driver.ModeNone {
 		dcfg.Meta = s.scheme.Kind
+		// Construct the facility from the scheme itself rather than its
+		// Kind: registered schemes beyond the two built-ins have no Kind
+		// of their own, and Kind-based construction would silently swap
+		// in the wrong backend.
+		if ctor := s.scheme.New; ctor != nil {
+			dcfg.MetaFacility = func() (meta.Facility, error) { return ctor(), nil }
+		}
+	}
+	dcfg.Timeout = s.timeout
+	if s.steps != 0 {
+		dcfg.StepLimit = s.steps
+	}
+	if s.plan != nil {
+		dcfg.Faults = faults.NewInjector(*s.plan)
 	}
 	src := s.bench.Source(s.scale)
 
@@ -219,15 +270,88 @@ func executeRun(s spec) Run {
 	execDone()
 
 	run.Phases = pt.Phases()
+	run.TrapCode = string(vm.CodeOf(res.Err))
 	if res.Stats != nil {
 		res.Stats.Opt = counters
 		res.Stats.CheckElims = counters.ChecksRemoved()
+		res.Stats.TrapCode = run.TrapCode
 		run.Stats = res.Stats.Report()
 	}
 	if res.Err != nil {
 		run.Error = res.Err.Error()
 	}
 	return run
+}
+
+// maxAttempts bounds the containment retry: a cell that panics or blows
+// its wall-clock backstop gets exactly one more chance before its failure
+// is recorded and the matrix moves on.
+const maxAttempts = 2
+
+// runGuarded executes one cell with crash containment: a panic inside the
+// cell becomes a failed Run instead of killing the process, and a cell
+// whose goroutine outlives twice its timeout is abandoned as hung. Panicked
+// and hung cells are retried once (the failure may be a transient artifact
+// of load); a repeat failure is recorded as the cell's result and the rest
+// of the matrix still completes. A VM-level deadline trap is NOT retried —
+// the program genuinely ran past its budget, and a rerun would just double
+// the wall time to the same answer.
+func runGuarded(s spec) Run {
+	var run Run
+	for attempt := 1; ; attempt++ {
+		var contained bool
+		run, contained = runAttempt(s)
+		if attempt > 1 {
+			run.Attempts = attempt
+		}
+		if !contained || attempt == maxAttempts {
+			return run
+		}
+	}
+}
+
+// runAttempt is one contained execution of a cell. contained reports that
+// the harness had to intervene (panic recovery or backstop abandonment)
+// rather than the cell finishing on its own.
+func runAttempt(s spec) (run Run, contained bool) {
+	type outcome struct {
+		run       Run
+		contained bool
+	}
+	done := make(chan outcome, 1)
+	// Read the runCell hook on the harness goroutine: an abandoned attempt
+	// goroutine may outlive Execute, and tests restore the hook after it
+	// returns.
+	exec := runCell
+	go func() {
+		defer func() {
+			if r := recover(); r != nil {
+				failed := newRun(s)
+				failed.TrapCode = string(vm.TrapPanic)
+				failed.Error = fmt.Sprintf("panic: %v", r)
+				done <- outcome{run: failed, contained: true}
+			}
+		}()
+		done <- outcome{run: exec(s)}
+	}()
+
+	// The VM deadline guard is the primary timeout; this wall-clock
+	// backstop only fires if the cell never reaches the VM (compile hang,
+	// stuck builtin). The goroutine cannot be killed, but the harness
+	// abandons it and completes the matrix.
+	if s.timeout > 0 {
+		select {
+		case o := <-done:
+			return o.run, o.contained
+		case <-time.After(2*s.timeout + time.Second):
+			run = newRun(s)
+			run.TrapCode = string(vm.TrapDeadline)
+			run.Error = fmt.Sprintf("cell exceeded wall-clock backstop (%v); abandoned", 2*s.timeout+time.Second)
+			return run, true
+		}
+	}
+	o := <-done
+	return o.run, o.contained
 }
 
 // Execute runs the whole matrix on a bounded worker pool and returns the
@@ -256,7 +380,7 @@ func Execute(cfg Config) (*Report, error) {
 		go func() {
 			defer wg.Done()
 			for i := range jobs {
-				runs[i] = runCell(specs[i])
+				runs[i] = runGuarded(specs[i])
 				if cfg.Log != nil {
 					logMu.Lock()
 					fmt.Fprintf(cfg.Log, "bench: %-11s %-22s %8.2fms sim=%d\n",
@@ -360,8 +484,8 @@ func Format(rep *Report) string {
 	out("Benchmark matrix: %d runs (%d programs × configs), %d workers, %.1fs elapsed\n",
 		len(rep.Runs), len(rep.Programs), rep.Workers,
 		time.Duration(rep.ElapsedNanos).Seconds())
-	out("%-11s %-22s %10s %12s %10s %9s %9s\n",
-		"program", "config", "wall(ms)", "sim insts", "overhead", "chk-elim", "ml-hoist")
+	out("%-11s %-22s %10s %12s %10s %9s %9s %-10s\n",
+		"program", "config", "wall(ms)", "sim insts", "overhead", "chk-elim", "ml-hoist", "trap")
 	for _, r := range rep.Runs {
 		oh := "-"
 		if r.OverheadSim != nil {
@@ -370,12 +494,16 @@ func Format(rep *Report) string {
 		if r.Error != "" {
 			oh = "ERROR"
 		}
+		trap := r.TrapCode
+		if trap == "" {
+			trap = "-"
+		}
 		// chk-elim is "local+global" checks the optimizer removed at
 		// compile time; ml-hoist is loop-invariant metaloads hoisted.
-		out("%-11s %-22s %10.2f %12d %10s %9s %9d\n",
+		out("%-11s %-22s %10.2f %12d %10s %9s %9d %-10s\n",
 			r.Program, r.Config, float64(r.WallNanos)/1e6, r.Stats.SimInsts, oh,
 			fmt.Sprintf("%d+%d", r.Stats.Opt.ChecksRemovedLocal, r.Stats.Opt.ChecksRemovedGlobal),
-			r.Stats.Opt.MetaLoadsHoisted)
+			r.Stats.Opt.MetaLoadsHoisted, trap)
 	}
 	out("\nPer-config mean overhead vs baseline:\n")
 	for _, s := range rep.Summary {

@@ -283,11 +283,34 @@ func (x *xform) rewrite(in *ir.Inst) {
 		}
 		if in.Shrink && x.opts.ShrinkBounds {
 			// Creating a pointer to a struct field narrows the
-			// metadata to the field (paper §3.1).
+			// metadata to the field (paper §3.1) — by INTERSECTION with
+			// the incoming bounds, never replacement. Replacing would
+			// make the field-deref check the tautology ptr ∈
+			// [ptr, ptr+len), so a forged pointer or corrupted metadata
+			// entry would pass every field access: exactly the silent
+			// divergence the fault-injection suite exists to catch.
+			// Branch-free select: max(sb,d) = d + (sb>d)*(sb-d), and
+			// symmetrically min(se,fe) = fe + (se<fe)*(se-fe).
+			sb, se := x.metaOf(in.A)
 			b, e := x.ensure(in.Dst)
-			x.emit(ir.Inst{Kind: ir.KMov, Dst: b, A: ir.R(in.Dst)})
-			x.emit(ir.Inst{Kind: ir.KGEP, Dst: e, A: ir.R(in.Dst),
+			d := ir.R(in.Dst)
+			fe := x.f.NewReg(ir.ClassPtr)
+			x.emit(ir.Inst{Kind: ir.KGEP, Dst: fe, A: d,
 				B: ir.CI(0), Size: 1, C: ir.CI(in.ShrinkLen)})
+			cb := x.f.NewReg(ir.ClassInt)
+			db := x.f.NewReg(ir.ClassPtr)
+			mb := x.f.NewReg(ir.ClassPtr)
+			x.emit(ir.Inst{Kind: ir.KCmp, Dst: cb, Pred: ir.PredGT, A: sb, B: d})
+			x.emit(ir.Inst{Kind: ir.KBin, Op: ir.OpSub, Dst: db, A: sb, B: d})
+			x.emit(ir.Inst{Kind: ir.KBin, Op: ir.OpMul, Dst: mb, A: ir.R(cb), B: ir.R(db)})
+			x.emit(ir.Inst{Kind: ir.KBin, Op: ir.OpAdd, Dst: b, A: d, B: ir.R(mb)})
+			ce := x.f.NewReg(ir.ClassInt)
+			de := x.f.NewReg(ir.ClassPtr)
+			me := x.f.NewReg(ir.ClassPtr)
+			x.emit(ir.Inst{Kind: ir.KCmp, Dst: ce, Pred: ir.PredLT, A: se, B: ir.R(fe)})
+			x.emit(ir.Inst{Kind: ir.KBin, Op: ir.OpSub, Dst: de, A: se, B: ir.R(fe)})
+			x.emit(ir.Inst{Kind: ir.KBin, Op: ir.OpMul, Dst: me, A: ir.R(ce), B: ir.R(de)})
+			x.emit(ir.Inst{Kind: ir.KBin, Op: ir.OpAdd, Dst: e, A: ir.R(fe), B: ir.R(me)})
 			break
 		}
 		// Pointer arithmetic: result inherits the source bounds; no

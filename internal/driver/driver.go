@@ -7,13 +7,16 @@ package driver
 
 import (
 	"bytes"
+	"context"
 	"errors"
 	"fmt"
 	"io"
+	"time"
 
 	"softbound/internal/core"
 	"softbound/internal/cparser"
 	"softbound/internal/ctypes"
+	"softbound/internal/faults"
 	"softbound/internal/ir"
 	"softbound/internal/irgen"
 	"softbound/internal/libc"
@@ -69,6 +72,28 @@ type Config struct {
 	StackSize uint64
 	Args      []string
 
+	// Resource guards (ISSUE 3): zero values leave each guard off.
+	// Timeout bounds wall-clock execution; when it fires the VM stops
+	// with a deadline trap. ExecuteContext callers can pass their own
+	// context instead (or in addition — whichever expires first wins).
+	Timeout time.Duration
+	// HeapLimit caps live heap bytes; exceeding it is an OOM trap. This
+	// is distinct from HeapSize (segment size), whose exhaustion keeps C
+	// semantics and returns NULL from malloc.
+	HeapLimit uint64
+	// MaxStackDepth caps call-frame depth (0 = vm.DefaultMaxStackDepth).
+	MaxStackDepth int
+
+	// Faults, when non-nil, injects this run's fault schedule: pointer
+	// bit flips and forced OOM through the VM hooks, metadata drops and
+	// corruption by wrapping the facility. One injector serves one run.
+	Faults *faults.Injector
+
+	// MetaFacility, when non-nil, constructs the metadata facility
+	// directly, overriding Meta. The bench harness uses this to run
+	// registered schemes whose Kind alone cannot name them.
+	MetaFacility func() (meta.Facility, error)
+
 	// MSCCModel applies the related-scheme cost model of §6.5: the same
 	// full checking, but with MSCC's costlier linked-shadow metadata
 	// lookups (14 instructions) and heavier check sequences (6).
@@ -106,6 +131,18 @@ type Result struct {
 	Violation *vm.SpatialViolation
 	// BaselineHit is Err narrowed to a baseline checker detection.
 	BaselineHit *vm.BaselineViolation
+	// Trap is Err's typed classification (nil on clean termination); its
+	// Code is the machine-readable taxonomy surfaced in BENCH.json.
+	Trap *vm.Trap
+}
+
+// TrapCode returns the machine-readable trap code, or "" if the run
+// terminated cleanly.
+func (r *Result) TrapCode() vm.TrapCode {
+	if r.Trap == nil {
+		return ""
+	}
+	return r.Trap.Code
 }
 
 // Detected reports whether SoftBound (or a baseline checker) flagged a
@@ -237,8 +274,21 @@ func buildSizer(infos []*sema.Info, mods []*ir.Module) core.GlobalSizer {
 	}
 }
 
-// Execute runs a compiled module under the configured VM.
+// Execute runs a compiled module under the configured VM, deriving a
+// deadline from cfg.Timeout when set.
 func Execute(mod *ir.Module, cfg Config) *Result {
+	return ExecuteContext(context.Background(), mod, cfg)
+}
+
+// ExecuteContext is Execute under a caller-supplied context: the run stops
+// with a deadline trap when ctx expires (or when cfg.Timeout elapses,
+// whichever comes first).
+func ExecuteContext(ctx context.Context, mod *ir.Module, cfg Config) *Result {
+	if cfg.Timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, cfg.Timeout)
+		defer cancel()
+	}
 	var buf bytes.Buffer
 	out := cfg.Stdout
 	if out == nil {
@@ -246,27 +296,44 @@ func Execute(mod *ir.Module, cfg Config) *Result {
 	} else {
 		out = io.MultiWriter(out, &buf)
 	}
-	fac := meta.New(cfg.Meta)
+	var fac meta.Facility
+	var err error
+	if cfg.MetaFacility != nil {
+		fac, err = cfg.MetaFacility()
+	} else {
+		fac, err = meta.New(cfg.Meta)
+	}
+	if err != nil {
+		return &Result{Err: err, Stats: &metrics.Stats{}}
+	}
 	var checkCost uint64
 	if cfg.MSCCModel {
 		fac = meta.Costed(fac, meta.Costs{Lookup: 14, Update: 14})
 		checkCost = 6
 	}
-	machine, err := vm.New(mod, vm.Config{
-		Mode:      vmMode(cfg.Mode),
-		Meta:      fac,
-		Checker:   cfg.Checker,
-		Stdout:    out,
-		StepLimit: cfg.StepLimit,
-		HeapSize:  cfg.HeapSize,
-		StackSize: cfg.StackSize,
-		Args:      cfg.Args,
-		CheckCost: checkCost,
-	})
+	vmCfg := vm.Config{
+		Mode:          vmMode(cfg.Mode),
+		Meta:          fac,
+		Checker:       cfg.Checker,
+		Stdout:        out,
+		StepLimit:     cfg.StepLimit,
+		HeapSize:      cfg.HeapSize,
+		StackSize:     cfg.StackSize,
+		Args:          cfg.Args,
+		CheckCost:     checkCost,
+		HeapLimit:     cfg.HeapLimit,
+		MaxStackDepth: cfg.MaxStackDepth,
+	}
+	if inj := cfg.Faults; inj != nil {
+		vmCfg.Meta = inj.WrapFacility(fac)
+		vmCfg.PtrStoreFault = inj.PtrStoreMask
+		vmCfg.AllocFault = inj.AllowAlloc
+	}
+	machine, err := vm.New(mod, vmCfg)
 	if err != nil {
 		return &Result{Err: err, Stats: &metrics.Stats{}}
 	}
-	code, runErr := machine.Run()
+	code, runErr := machine.RunContext(ctx)
 	res := &Result{
 		ExitCode: code,
 		Stats:    machine.Stats(),
@@ -281,6 +348,10 @@ func Execute(mod *ir.Module, cfg Config) *Result {
 	var bv *vm.BaselineViolation
 	if errors.As(runErr, &bv) {
 		res.BaselineHit = bv
+	}
+	var trap *vm.Trap
+	if errors.As(runErr, &trap) {
+		res.Trap = trap
 	}
 	return res
 }

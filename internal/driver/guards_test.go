@@ -1,0 +1,210 @@
+package driver
+
+import (
+	"testing"
+	"time"
+
+	"softbound/internal/vm"
+)
+
+// infiniteLoopSrc never terminates on its own; only a resource guard can
+// stop it.
+const infiniteLoopSrc = `
+int main() {
+    volatile int x = 0;
+    while (1) { x = x + 1; }
+    return x;
+}
+`
+
+// TestDeadlineGuard: a hung program must stop with a deadline trap, and in
+// well under twice the configured limit (the poll interval is thousands of
+// steps, far finer than the limit).
+func TestDeadlineGuard(t *testing.T) {
+	cfg := DefaultConfig(ModeFull)
+	limit := 150 * time.Millisecond
+	cfg.Timeout = limit
+	start := time.Now()
+	res, err := RunSource(infiniteLoopSrc, cfg)
+	elapsed := time.Since(start)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TrapCode() != vm.TrapDeadline {
+		t.Fatalf("hung program: trap %q (err %v), want %q", res.TrapCode(), res.Err, vm.TrapDeadline)
+	}
+	if elapsed >= 2*limit {
+		t.Fatalf("deadline guard fired after %v, want < 2×%v", elapsed, limit)
+	}
+}
+
+// TestStepBudgetGuard: the same hang stops via the instruction budget.
+func TestStepBudgetGuard(t *testing.T) {
+	cfg := DefaultConfig(ModeFull)
+	cfg.StepLimit = 200_000
+	res, err := RunSource(infiniteLoopSrc, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TrapCode() != vm.TrapStepLimit {
+		t.Fatalf("hung program: trap %q (err %v), want %q", res.TrapCode(), res.Err, vm.TrapStepLimit)
+	}
+}
+
+// TestHeapCapGuard: allocating past the live-byte cap is an OOM trap, not
+// a NULL return — the cap models the process being killed, not the C
+// allocator running dry.
+func TestHeapCapGuard(t *testing.T) {
+	src := `
+int main() {
+    int i;
+    for (i = 0; i < 1000; i++) {
+        char *p = malloc(4096);
+        if (p) p[0] = 1;
+    }
+    return 0;
+}
+`
+	cfg := DefaultConfig(ModeFull)
+	cfg.HeapLimit = 64 * 1024
+	res, err := RunSource(src, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TrapCode() != vm.TrapOOM {
+		t.Fatalf("over-cap allocation: trap %q (err %v), want %q", res.TrapCode(), res.Err, vm.TrapOOM)
+	}
+}
+
+// TestExhaustedHeapFailsClosed: when the heap segment itself runs dry,
+// malloc returns NULL (C semantics). A checked build must trap the
+// subsequent NULL-adjacent dereference as a spatial violation; an
+// unchecked build still stops (memory fault), never corrupts silently.
+func TestExhaustedHeapFailsClosed(t *testing.T) {
+	src := `
+int main() {
+    char *p;
+    char *last = 0;
+    int i;
+    for (i = 0; i < 100000; i++) {
+        p = malloc(65536);
+        if (!p) break;
+        last = p;
+    }
+    p[0] = 42; /* p is NULL here: the loop only exits on malloc failure */
+    return (int)(long)last;
+}
+`
+	for _, tc := range []struct {
+		mode Mode
+		want vm.TrapCode
+	}{
+		{ModeFull, vm.TrapSpatial},
+		{ModeNone, vm.TrapMemFault},
+	} {
+		cfg := DefaultConfig(tc.mode)
+		cfg.HeapSize = 1 << 20 // small segment: exhaustion is quick
+		res, err := RunSource(src, cfg)
+		if err != nil {
+			t.Fatalf("%v: %v", tc.mode, err)
+		}
+		if res.TrapCode() != tc.want {
+			t.Fatalf("%v: NULL deref after exhaustion: trap %q (err %v), want %q",
+				tc.mode, res.TrapCode(), res.Err, tc.want)
+		}
+	}
+}
+
+// TestZeroHeapAllocation: an allocation that can never fit the heap
+// segment yields NULL, and the checked build fails closed on its use
+// instead of crashing the harness.
+func TestZeroHeapAllocation(t *testing.T) {
+	src := `
+int main() {
+    char *p = malloc(1000000);
+    p[0] = 1;
+    return 0;
+}
+`
+	cfg := DefaultConfig(ModeFull)
+	cfg.HeapSize = 4096 // tiny segment: the request can never succeed
+	res, err := RunSource(src, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TrapCode() != vm.TrapSpatial {
+		t.Fatalf("oversized malloc use: trap %q (err %v), want %q", res.TrapCode(), res.Err, vm.TrapSpatial)
+	}
+}
+
+// TestLongjmpCannotResurrectTraps: a longjmp handler must not resurrect
+// execution after a resource-guard trap. The program installs a setjmp
+// handler that would loop forever; once the step budget fires, execution
+// ends — the trap propagates past the handler.
+func TestLongjmpCannotResurrectStepLimit(t *testing.T) {
+	src := `
+int main() {
+    long env[3];
+    volatile int bounces = 0;
+    int r = setjmp(env);
+    bounces = bounces + 1;
+    longjmp(env, r + 1); /* bounce forever: each longjmp re-enters setjmp */
+    return bounces;
+}
+`
+	cfg := DefaultConfig(ModeFull)
+	cfg.StepLimit = 100_000
+	res, err := RunSource(src, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TrapCode() != vm.TrapStepLimit {
+		t.Fatalf("longjmp loop: trap %q (err %v), want %q", res.TrapCode(), res.Err, vm.TrapStepLimit)
+	}
+}
+
+// TestLongjmpCannotResurrectDeadline is the wall-clock twin.
+func TestLongjmpCannotResurrectDeadline(t *testing.T) {
+	src := `
+int main() {
+    long env[3];
+    int r = setjmp(env);
+    longjmp(env, r + 1);
+    return 0;
+}
+`
+	cfg := DefaultConfig(ModeFull)
+	limit := 150 * time.Millisecond
+	cfg.Timeout = limit
+	start := time.Now()
+	res, err := RunSource(src, cfg)
+	elapsed := time.Since(start)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TrapCode() != vm.TrapDeadline {
+		t.Fatalf("longjmp loop: trap %q (err %v), want %q", res.TrapCode(), res.Err, vm.TrapDeadline)
+	}
+	if elapsed >= 2*limit {
+		t.Fatalf("deadline fired after %v, want < 2×%v", elapsed, limit)
+	}
+}
+
+// TestStackDepthGuard: unbounded recursion through the C pipeline ends in
+// a stack-overflow trap under the configured frame cap.
+func TestStackDepthGuard(t *testing.T) {
+	src := `
+int deep(int n) { return deep(n + 1); }
+int main() { return deep(0); }
+`
+	cfg := DefaultConfig(ModeFull)
+	cfg.MaxStackDepth = 256
+	res, err := RunSource(src, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TrapCode() != vm.TrapStackOverflow {
+		t.Fatalf("unbounded recursion: trap %q (err %v), want %q",
+			res.TrapCode(), res.Err, vm.TrapStackOverflow)
+	}
+}

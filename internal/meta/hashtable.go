@@ -1,5 +1,7 @@
 package meta
 
+import "fmt"
+
 // HashTable is the open-hashing metadata organization (paper §5.1):
 // entries of (tag, base, bound), hashed by double-word address with a
 // shift-and-mask hash, collisions resolved by open addressing (linear
@@ -18,16 +20,28 @@ type HashTable struct {
 }
 
 // NewHashTable returns a table with the given power-of-two entry count.
-func NewHashTable(entries int) *HashTable {
+// A non-power-of-two size is a constructor error (the shift-and-mask hash
+// requires the invariant), propagated so callers can fail closed.
+func NewHashTable(entries int) (*HashTable, error) {
 	if entries <= 0 || entries&(entries-1) != 0 {
-		panic("meta: hash table size must be a positive power of two")
+		return nil, fmt.Errorf("meta: hash table size %d is not a positive power of two", entries)
 	}
 	return &HashTable{
 		tags:   make([]uint64, entries),
 		bases:  make([]uint64, entries),
 		bounds: make([]uint64, entries),
 		mask:   uint64(entries - 1),
+	}, nil
+}
+
+// MustHashTable is NewHashTable for compile-time-constant sizes, where a
+// bad size is a programmer error.
+func MustHashTable(entries int) *HashTable {
+	h, err := NewHashTable(entries)
+	if err != nil {
+		panic(err)
 	}
+	return h
 }
 
 // hash implements the paper's simple hash: the double-word address modulo

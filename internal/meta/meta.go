@@ -16,6 +16,8 @@
 // can reproduce the paper's overhead accounting on simulated hardware.
 package meta
 
+import "fmt"
+
 // Entry is a pointer's metadata: [Base, Bound) bracket the object.
 type Entry struct {
 	Base  uint64
@@ -66,13 +68,16 @@ func (k Kind) String() string {
 	return "shadowspace"
 }
 
-// New constructs a facility of the given kind via the scheme registry.
-func New(k Kind) Facility {
+// New constructs a facility of the given kind via the scheme registry. An
+// unregistered kind is a constructor error, propagated rather than
+// panicked so a misconfigured run fails closed as a reported failure
+// instead of taking down the whole process.
+func New(k Kind) (Facility, error) {
 	s, ok := SchemeByName(k.String())
 	if !ok {
-		panic("meta: no registered scheme for kind " + k.String())
+		return nil, fmt.Errorf("meta: no registered scheme for kind %q", k.String())
 	}
-	return s.New()
+	return s.New(), nil
 }
 
 // forEachSlotOffset visits every double-word offset of a size-byte copy in

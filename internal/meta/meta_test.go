@@ -6,7 +6,7 @@ import (
 )
 
 func facilities() []Facility {
-	return []Facility{NewHashTable(1 << 10), NewShadowSpace()}
+	return []Facility{MustHashTable(1 << 10), NewShadowSpace()}
 }
 
 func TestLookupMissingIsZero(t *testing.T) {
@@ -77,7 +77,7 @@ func TestCopyRange(t *testing.T) {
 }
 
 func TestHashTableGrowth(t *testing.T) {
-	h := NewHashTable(16)
+	h := MustHashTable(16)
 	// Insert far more than 16 entries: growth must preserve contents.
 	for i := uint64(0); i < 1000; i++ {
 		h.Update(i*8, Entry{Base: i, Bound: i + 8})
@@ -90,7 +90,7 @@ func TestHashTableGrowth(t *testing.T) {
 }
 
 func TestHashTableCollisions(t *testing.T) {
-	h := NewHashTable(16)
+	h := MustHashTable(16)
 	// Addresses that collide under the shift-and-mask hash.
 	a1 := uint64(0x100)
 	a2 := a1 + 16*8 // same hash bucket
@@ -108,7 +108,7 @@ func TestHashTableCollisions(t *testing.T) {
 }
 
 func TestCosts(t *testing.T) {
-	h := NewHashTable(16)
+	h := MustHashTable(16)
 	s := NewShadowSpace()
 	// Paper §5.1: ~9 instructions for the hash table, ~5 for the
 	// shadow space.
@@ -139,7 +139,7 @@ func TestFacilitiesAgree(t *testing.T) {
 		B, E uint32
 	}
 	f := func(ops []op) bool {
-		h := NewHashTable(64)
+		h := MustHashTable(64)
 		s := NewShadowSpace()
 		for _, o := range ops {
 			addr := uint64(o.Slot) * 8

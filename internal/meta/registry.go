@@ -19,22 +19,32 @@ type Scheme struct {
 
 var registry = map[string]Scheme{}
 
-// RegisterScheme adds a scheme to the registry. It panics on duplicate
-// names; all registration happens at init time.
-func RegisterScheme(s Scheme) {
+// RegisterScheme adds a scheme to the registry, rejecting invalid or
+// duplicate registrations as errors so backends added at run time can
+// propagate the failure instead of panicking the process.
+func RegisterScheme(s Scheme) error {
 	if s.Name == "" || s.New == nil {
-		panic("meta: scheme needs a name and a constructor")
+		return fmt.Errorf("meta: scheme needs a name and a constructor")
 	}
 	if _, dup := registry[s.Name]; dup {
-		panic("meta: duplicate scheme " + s.Name)
+		return fmt.Errorf("meta: duplicate scheme %q", s.Name)
 	}
 	registry[s.Name] = s
+	return nil
+}
+
+// MustRegister is RegisterScheme for the init-time registration of
+// built-in schemes, where a failure is a programmer error.
+func MustRegister(s Scheme) {
+	if err := RegisterScheme(s); err != nil {
+		panic(err)
+	}
 }
 
 func init() {
-	RegisterScheme(Scheme{Kind: KindHashTable, Name: "hashtable",
-		New: func() Facility { return NewHashTable(1 << 20) }})
-	RegisterScheme(Scheme{Kind: KindShadowSpace, Name: "shadowspace",
+	MustRegister(Scheme{Kind: KindHashTable, Name: "hashtable",
+		New: func() Facility { return MustHashTable(1 << 20) }})
+	MustRegister(Scheme{Kind: KindShadowSpace, Name: "shadowspace",
 		New: func() Facility { return NewShadowSpace() }})
 }
 

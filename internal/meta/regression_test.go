@@ -36,7 +36,7 @@ func TestUnalignedUpdateThenClear(t *testing.T) {
 // Regression: grow re-inserted cleared (tombstone) entries, so dead slots
 // were copied forever and the load factor never recovered.
 func TestGrowDropsClearedEntries(t *testing.T) {
-	h := NewHashTable(64)
+	h := MustHashTable(64)
 	live := Entry{Base: 0x9000, Bound: 0x9100}
 	for i := uint64(0); i < 32; i++ {
 		h.Update(i*8, Entry{Base: i + 1, Bound: i + 2})
@@ -63,7 +63,7 @@ func TestGrowDropsClearedEntries(t *testing.T) {
 // Update/Clear churn over distinct addresses must not retain dead entries
 // across growth: after heavy churn the table's live count stays tiny.
 func TestChurnLoadFactorRecovers(t *testing.T) {
-	h := NewHashTable(16)
+	h := MustHashTable(16)
 	for i := uint64(0); i < 10000; i++ {
 		h.Update(i*8, Entry{Base: 1, Bound: 2})
 		h.Clear(i*8, 8)
@@ -129,7 +129,7 @@ func TestCopyRangeOverlap(t *testing.T) {
 func TestFacilitiesAgreeUnaligned(t *testing.T) {
 	const window = 1 << 12 // byte window the ops land in
 	rng := rand.New(rand.NewSource(1))
-	h := NewHashTable(64)
+	h := MustHashTable(64)
 	s := NewShadowSpace()
 	for i := 0; i < 20000; i++ {
 		addr := uint64(rng.Intn(window))

@@ -44,6 +44,11 @@ type Stats struct {
 	// Opt records the compile-time optimizer counters for the module
 	// this run executed (zero when the optimizer was off).
 	Opt OptCounters
+
+	// TrapCode is the machine-readable classification of how the run
+	// ended ("" = clean exit); values come from vm.TrapCode. The harness
+	// fills it from the execution error after the run.
+	TrapCode string
 }
 
 // OptCounters breaks down what the optimizer passes changed for one

@@ -31,6 +31,11 @@ type Report struct {
 	// schema-v1 extension; see DESIGN.md "BENCH.json").
 	Opt OptCounters `json:"opt"`
 
+	// TrapCode classifies how the run ended ("" = clean exit, omitted);
+	// values are vm.TrapCode strings. An additive schema-v1 extension
+	// (DESIGN.md "Failure model").
+	TrapCode string `json:"trap_code,omitempty"`
+
 	PtrMemFrac float64 `json:"ptr_mem_frac"`
 }
 
@@ -58,6 +63,7 @@ func (s *Stats) Report() Report {
 		MetaBytes:   s.MetaBytes,
 		CheckElims:  s.CheckElims,
 		Opt:         s.Opt,
+		TrapCode:    s.TrapCode,
 		PtrMemFrac:  s.PtrMemFrac(),
 	}
 }

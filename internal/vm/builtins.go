@@ -63,7 +63,10 @@ func (v *VM) callBuiltin(name string, f *frame, in *ir.Inst, args []uint64, meta
 		size := arg(0)
 		v.stats.Mallocs++
 		v.stats.SimInsts += 30
-		p := v.alloc.alloc(size)
+		p, err := v.allocate(size)
+		if err != nil {
+			return 0, meta.Entry{}, err
+		}
 		if p == 0 {
 			return 0, meta.Entry{}, nil
 		}
@@ -82,7 +85,10 @@ func (v *VM) callBuiltin(name string, f *frame, in *ir.Inst, args []uint64, meta
 		size := n * esz
 		v.stats.Mallocs++
 		v.stats.SimInsts += 30 + size/8
-		p := v.alloc.alloc(size)
+		p, err := v.allocate(size)
+		if err != nil {
+			return 0, meta.Entry{}, err
+		}
 		if p == 0 {
 			return 0, meta.Entry{}, nil
 		}
@@ -104,7 +110,10 @@ func (v *VM) callBuiltin(name string, f *frame, in *ir.Inst, args []uint64, meta
 		v.stats.Mallocs++
 		v.stats.SimInsts += 40
 		if old == 0 {
-			p := v.alloc.alloc(size)
+			p, err := v.allocate(size)
+			if err != nil {
+				return 0, meta.Entry{}, err
+			}
 			if p != 0 && v.cfg.Checker != nil {
 				v.cfg.Checker.OnAlloc(p, size, "heap")
 			}
@@ -114,7 +123,10 @@ func (v *VM) callBuiltin(name string, f *frame, in *ir.Inst, args []uint64, meta
 			return p, meta.Entry{Base: p, Bound: p + size}, nil
 		}
 		oldSize := v.alloc.size(old)
-		p := v.alloc.alloc(size)
+		p, err := v.allocate(size)
+		if err != nil {
+			return 0, meta.Entry{}, err
+		}
 		if p == 0 {
 			return 0, meta.Entry{}, nil
 		}

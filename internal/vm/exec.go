@@ -56,10 +56,20 @@ func (v *VM) loop() error {
 	return nil
 }
 
+// deadlinePollMask sets how often the step loop polls the context: every
+// 4096 steps, cheap enough to be noise yet bounding deadline-detection
+// latency to microseconds of simulated work.
+const deadlinePollMask = 4095
+
 func (v *VM) step() error {
 	v.steps++
 	if v.steps > v.limit {
-		return &RuntimeError{Msg: "step limit exceeded (possible runaway program)"}
+		return &Trap{Code: TrapStepLimit, Cause: &RuntimeError{Msg: fmt.Sprintf(
+			"step limit (%d) exceeded (possible runaway program)", v.limit)}}
+	}
+	if v.steps&deadlinePollMask == 0 && v.ctx != nil && v.ctx.Err() != nil {
+		return &Trap{Code: TrapDeadline, Cause: &RuntimeError{Msg: fmt.Sprintf(
+			"deadline exceeded after %d steps: %v", v.steps, v.ctx.Err())}}
 	}
 	f := &v.stack[len(v.stack)-1]
 	blk := f.fn.Blocks[f.block]
@@ -140,12 +150,20 @@ func (v *VM) step() error {
 				return err
 			}
 		}
-		if err := v.storeMem(addr, v.eval(f, in.B), in.Mem); err != nil {
+		val := v.eval(f, in.B)
+		if err := v.storeMem(addr, val, in.Mem); err != nil {
 			return err
 		}
 		v.stats.Stores++
 		if in.Mem == ir.MemPtr {
 			v.stats.PtrStores++
+			// Fault-injection surface: flip bits in the committed pointer
+			// word when the injector schedules it.
+			if v.cfg.PtrStoreFault != nil {
+				if mask := v.cfg.PtrStoreFault(addr, val); mask != 0 {
+					_ = v.mem.WriteU64(addr, val^mask)
+				}
+			}
 		}
 		v.stats.SimInsts += costMem
 

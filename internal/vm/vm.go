@@ -1,6 +1,7 @@
 package vm
 
 import (
+	"context"
 	"fmt"
 	"io"
 
@@ -35,6 +36,11 @@ type Checker interface {
 	OnStore(addr, size uint64) error
 }
 
+// DefaultMaxStackDepth bounds activation records when Config.MaxStackDepth
+// is zero. Stack-segment memory binds first under default sizes; the depth
+// guard is the fail-closed backstop for tiny-frame recursion.
+const DefaultMaxStackDepth = 1 << 20
+
 // Config parameterizes a VM run.
 type Config struct {
 	Mode      CheckMode
@@ -49,6 +55,25 @@ type Config struct {
 	// check (default 3: two compares and a branch). Related-scheme
 	// emulation (MSCC) uses heavier sequences.
 	CheckCost uint64
+
+	// HeapLimit caps live heap bytes; an allocation that would exceed it
+	// traps with TrapOOM instead of returning NULL (0 = no cap). This is
+	// distinct from HeapSize, which bounds the segment: segment exhaustion
+	// keeps C semantics (malloc returns NULL).
+	HeapLimit uint64
+	// MaxStackDepth caps the number of live activation records; exceeding
+	// it traps with TrapStackOverflow (0 = DefaultMaxStackDepth).
+	MaxStackDepth int
+
+	// PtrStoreFault, if set, is consulted after every committed
+	// pointer-sized store with the slot address and the stored word; a
+	// nonzero return value is XORed into the word (fault injection; see
+	// internal/faults).
+	PtrStoreFault func(addr, val uint64) uint64
+	// AllocFault, if set, is consulted before every heap allocation;
+	// returning false forces that allocation to fail as if out of memory
+	// (malloc returns NULL).
+	AllocFault func(size uint64) bool
 }
 
 // SpatialViolation is a bounds-check failure: SoftBound aborts the
@@ -167,6 +192,12 @@ type VM struct {
 	exitCode int64
 	steps    uint64
 	limit    uint64
+
+	// ctx carries the wall-clock deadline during RunContext /
+	// CallFunctionContext; the step loop polls it periodically.
+	ctx      context.Context
+	maxDepth int
+	allocs   uint64 // heap allocations performed (fault-injection event count)
 }
 
 // New builds a VM for the module. The module must already be linked and,
@@ -197,6 +228,10 @@ func New(mod *ir.Module, cfg Config) (*VM, error) {
 	}
 	if v.cfg.CheckCost == 0 {
 		v.cfg.CheckCost = costCheck
+	}
+	v.maxDepth = cfg.MaxStackDepth
+	if v.maxDepth == 0 {
+		v.maxDepth = DefaultMaxStackDepth
 	}
 
 	// Lay out globals.
@@ -298,8 +333,22 @@ func (v *VM) funcByAddr(addr uint64) *ir.Func {
 }
 
 // Run executes main (argc/argv are synthesized from cfg.Args) and returns
-// the program's exit code.
+// the program's exit code. Every non-nil error is a *Trap (possibly
+// wrapped with the faulting site).
 func (v *VM) Run() (int64, error) {
+	return v.RunContext(context.Background())
+}
+
+// RunContext is Run under a wall-clock deadline: when ctx expires the VM
+// traps with TrapDeadline at the next step-loop poll instead of running
+// to its step budget.
+func (v *VM) RunContext(ctx context.Context) (int64, error) {
+	code, err := v.run(ctx)
+	return code, Classify(err)
+}
+
+func (v *VM) run(ctx context.Context) (int64, error) {
+	v.ctx = ctx
 	entry := "main"
 	if v.mod.Lookup("main") == nil {
 		return -1, &RuntimeError{Msg: "vm: no main function"}
@@ -308,9 +357,15 @@ func (v *VM) Run() (int64, error) {
 
 	// Build argv in heap memory.
 	args := append([]string{"prog"}, v.cfg.Args...)
-	argvAddr := v.alloc.alloc(uint64(8 * len(args)))
+	argvAddr, err := v.allocate(uint64(8 * len(args)))
+	if err != nil {
+		return -1, err
+	}
 	for i, a := range args {
-		sAddr := v.alloc.alloc(uint64(len(a) + 1))
+		sAddr, err := v.allocate(uint64(len(a) + 1))
+		if err != nil {
+			return -1, err
+		}
 		if err := v.mem.WriteBytes(sAddr, append([]byte(a), 0)); err != nil {
 			return -1, err
 		}
@@ -352,27 +407,56 @@ func minInt(a, b int) int {
 // CallFunction invokes an arbitrary function with integer arguments (test
 // and harness helper); the VM must be freshly constructed.
 func (v *VM) CallFunction(name string, args ...uint64) (int64, error) {
+	return v.CallFunctionContext(context.Background(), name, args...)
+}
+
+// CallFunctionContext is CallFunction under a wall-clock deadline.
+func (v *VM) CallFunctionContext(ctx context.Context, name string, args ...uint64) (int64, error) {
+	v.ctx = ctx
 	fn := v.mod.Lookup(name)
 	if fn == nil {
-		return -1, &RuntimeError{Msg: "vm: no function " + name}
+		return -1, Classify(&RuntimeError{Msg: "vm: no function " + name})
 	}
 	metas := make([]meta.Entry, len(args))
 	if err := v.pushFrame(fn, args, metas, ir.NoReg, ir.NoReg, ir.NoReg); err != nil {
-		return -1, err
+		return -1, Classify(err)
 	}
 	if err := v.loop(); err != nil {
-		return v.exitCode, err
+		return v.exitCode, Classify(err)
 	}
 	return v.exitCode, nil
+}
+
+// allocate is the central heap-allocation path: it applies injected
+// allocation faults and the configured heap cap before delegating to the
+// allocator. Address 0 with a nil error is C-style exhaustion (malloc
+// returns NULL); a non-nil error is the fail-closed TrapOOM from the
+// heap cap.
+func (v *VM) allocate(size uint64) (uint64, error) {
+	v.allocs++
+	if v.cfg.AllocFault != nil && !v.cfg.AllocFault(size) {
+		return 0, nil
+	}
+	if v.cfg.HeapLimit != 0 && v.alloc.inUse+roundAlloc(size) > v.cfg.HeapLimit {
+		return 0, &Trap{Code: TrapOOM, Cause: &RuntimeError{Msg: fmt.Sprintf(
+			"heap cap exceeded: %d bytes live + %d requested > %d limit",
+			v.alloc.inUse, size, v.cfg.HeapLimit)}}
+	}
+	return v.alloc.alloc(size), nil
 }
 
 // pushFrame establishes an activation record: reserve the frame in stack
 // memory, write the saved frame pointer and the return token into
 // simulated memory, and seed parameter registers.
 func (v *VM) pushFrame(fn *ir.Func, args []uint64, metas []meta.Entry, retDst, retBase, retBound ir.Reg) error {
+	if len(v.stack) >= v.maxDepth {
+		return &Trap{Code: TrapStackOverflow, Cause: &RuntimeError{Msg: fmt.Sprintf(
+			"stack depth limit (%d frames) exceeded in %s", v.maxDepth, fn.Name)}}
+	}
 	frameBytes := uint64(fn.FrameSize) + 16
 	if v.sp < v.mem.stackBase+frameBytes {
-		return &RuntimeError{Msg: "stack overflow in " + fn.Name}
+		return &Trap{Code: TrapStackOverflow,
+			Cause: &RuntimeError{Msg: "stack overflow in " + fn.Name}}
 	}
 	v.sp -= frameBytes
 	fp := v.sp
