@@ -55,12 +55,15 @@ func main() {
 	faultSpec := flag.String("faults", "",
 		"fault-injection plan for every matrix cell, e.g. \"seed=7,flip=200,drop=500,corrupt=300,oom=4\" "+
 			"(empty = no injection); each cell gets a fresh deterministic injector")
+	retries := flag.Int("retries", 0,
+		"total attempts per cell for contained non-deterministic crashes (0 = harness default of 2, "+
+			"1 = no retry); deterministic traps such as deadline and step-limit never retry")
 	flag.Parse()
 
 	// The harness path: any of its flags (or -experiment=bench) selects it.
 	if *parallel || *jsonOut != "" || *workers > 0 || *schemes != "" ||
 		*progList != "" || *timeout != 0 || *steps != 0 || *faultSpec != "" ||
-		*exp == "bench" {
+		*retries != 0 || *exp == "bench" {
 		if err := runBench(benchOptions{
 			scale:    *scale,
 			parallel: *parallel,
@@ -71,6 +74,7 @@ func main() {
 			timeout:  *timeout,
 			steps:    *steps,
 			faults:   *faultSpec,
+			retries:  *retries,
 		}); err != nil {
 			fmt.Fprintf(os.Stderr, "sbbench: %v\n", err)
 			os.Exit(1)
@@ -154,6 +158,7 @@ type benchOptions struct {
 	timeout  time.Duration
 	steps    uint64
 	faults   string
+	retries  int
 }
 
 // runBench executes the benchmark matrix and writes the human summary to
@@ -197,6 +202,7 @@ func runBench(o benchOptions) error {
 		CellTimeout: o.timeout,
 		StepLimit:   o.steps,
 		Faults:      plan,
+		MaxAttempts: o.retries,
 	})
 	if err != nil {
 		return err

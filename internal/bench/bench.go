@@ -11,6 +11,7 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"sort"
@@ -23,6 +24,7 @@ import (
 	"softbound/internal/meta"
 	"softbound/internal/metrics"
 	"softbound/internal/progs"
+	"softbound/internal/retry"
 	"softbound/internal/vm"
 )
 
@@ -65,6 +67,12 @@ type Config struct {
 	// built from this plan (one injector per cell keeps each schedule
 	// deterministic and isolated).
 	Faults *faults.Plan
+
+	// MaxAttempts bounds the containment retry per cell (how many times a
+	// panicking or hung cell runs before its failure is recorded; 0 = the
+	// default of 2, i.e. one retry). Cells that fail deterministically —
+	// VM deadline, step limit, detections — are never retried regardless.
+	MaxAttempts int
 }
 
 // Run is one completed cell of the matrix.
@@ -291,23 +299,23 @@ const maxAttempts = 2
 // runGuarded executes one cell with crash containment: a panic inside the
 // cell becomes a failed Run instead of killing the process, and a cell
 // whose goroutine outlives twice its timeout is abandoned as hung. Panicked
-// and hung cells are retried once (the failure may be a transient artifact
-// of load); a repeat failure is recorded as the cell's result and the rest
-// of the matrix still completes. A VM-level deadline trap is NOT retried —
-// the program genuinely ran past its budget, and a rerun would just double
-// the wall time to the same answer.
-func runGuarded(s spec) Run {
+// and hung cells are retried under the shared retry.Policy (the failure may
+// be a transient artifact of load); a repeat failure is recorded as the
+// cell's result and the rest of the matrix still completes. A VM-level
+// deadline trap is NOT retried — the program genuinely ran past its budget,
+// and a rerun would just double the wall time to the same answer
+// (vm.TrapCode.Retryable encodes the same rule for the service).
+func runGuarded(s spec, policy retry.Policy) Run {
 	var run Run
-	for attempt := 1; ; attempt++ {
+	attempts := policy.Do(context.Background(), func(int) bool {
 		var contained bool
 		run, contained = runAttempt(s)
-		if attempt > 1 {
-			run.Attempts = attempt
-		}
-		if !contained || attempt == maxAttempts {
-			return run
-		}
+		return contained
+	})
+	if attempts > 1 {
+		run.Attempts = attempts
 	}
+	return run
 }
 
 // runAttempt is one contained execution of a cell. contained reports that
@@ -370,6 +378,11 @@ func Execute(cfg Config) (*Report, error) {
 		workers = len(specs)
 	}
 
+	policy := retry.Policy{MaxAttempts: cfg.MaxAttempts}
+	if policy.MaxAttempts <= 0 {
+		policy.MaxAttempts = maxAttempts
+	}
+
 	start := time.Now()
 	runs := make([]Run, len(specs))
 	jobs := make(chan int)
@@ -380,7 +393,7 @@ func Execute(cfg Config) (*Report, error) {
 		go func() {
 			defer wg.Done()
 			for i := range jobs {
-				runs[i] = runGuarded(specs[i])
+				runs[i] = runGuarded(specs[i], policy)
 				if cfg.Log != nil {
 					logMu.Lock()
 					fmt.Fprintf(cfg.Log, "bench: %-11s %-22s %8.2fms sim=%d\n",

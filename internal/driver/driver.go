@@ -11,6 +11,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"runtime/debug"
 	"time"
 
 	"softbound/internal/core"
@@ -149,6 +150,36 @@ func (r *Result) TrapCode() vm.TrapCode {
 // spatial violation.
 func (r *Result) Detected() bool { return r.Violation != nil || r.BaselineHit != nil }
 
+// CompileError is the typed failure of the compile pipeline: which stage
+// rejected the input, on which translation unit, and the underlying
+// cause. A Go panic anywhere in the frontend (tokenizer, parser, sema,
+// irgen, optimizer, instrumentation, linker) is recovered at this
+// boundary and surfaces as Stage "panic" with the captured stack — a
+// hostile source becomes a structured error, never a dead process. The
+// execution service maps any CompileError to HTTP 400.
+type CompileError struct {
+	// Stage is "parse", "typecheck", "lower", "link", or "panic".
+	Stage string
+	// Unit is the translation unit's name ("" when not unit-specific).
+	Unit string
+	// Err is the underlying cause.
+	Err error
+	// Stack is the goroutine stack at the point of a recovered panic
+	// (nil for ordinary stage errors); fuzzing and service logs use it
+	// to localize frontend bugs.
+	Stack []byte
+}
+
+func (e *CompileError) Error() string {
+	if e.Unit != "" {
+		return e.Stage + " " + e.Unit + ": " + e.Err.Error()
+	}
+	return e.Stage + ": " + e.Err.Error()
+}
+
+// Unwrap exposes the cause for errors.Is / errors.As.
+func (e *CompileError) Unwrap() error { return e.Err }
+
 // Compile builds, optimizes, instruments, and links the sources into one
 // executable module.
 func Compile(sources []Source, cfg Config) (*ir.Module, error) {
@@ -159,28 +190,41 @@ func Compile(sources []Source, cfg Config) (*ir.Module, error) {
 // CompileWithStats is Compile plus the optimizer pass counters for the
 // produced module (zero when cfg.Optimize is off). The benchmark harness
 // surfaces these per program in BENCH.json.
-func CompileWithStats(sources []Source, cfg Config) (*ir.Module, metrics.OptCounters, error) {
+//
+// Every failure it returns is a *CompileError; a panicking frontend is
+// recovered here (Stage "panic") so long-running callers survive inputs
+// that crash the compiler.
+func CompileWithStats(sources []Source, cfg Config) (mod *ir.Module, counters metrics.OptCounters, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			mod = nil
+			err = &CompileError{
+				Stage: "panic",
+				Err:   fmt.Errorf("compiler panic: %v", r),
+				Stack: debug.Stack(),
+			}
+		}
+	}()
 	units := make([]Source, 0, len(sources)+1)
 	if cfg.WithLibc {
 		units = append(units, Source{Name: "libc.c", Text: libc.Unit()})
 	}
 	units = append(units, sources...)
 
-	var counters metrics.OptCounters
 	var infos []*sema.Info
 	var mods []*ir.Module
 	for _, u := range units {
 		unit, err := cparser.Parse(u.Name, u.Text)
 		if err != nil {
-			return nil, counters, fmt.Errorf("parse %s: %w", u.Name, err)
+			return nil, counters, &CompileError{Stage: "parse", Unit: u.Name, Err: err}
 		}
 		info, err := sema.Analyze(unit, infos...)
 		if err != nil {
-			return nil, counters, fmt.Errorf("typecheck %s: %w", u.Name, err)
+			return nil, counters, &CompileError{Stage: "typecheck", Unit: u.Name, Err: err}
 		}
 		mod, err := irgen.Generate(info)
 		if err != nil {
-			return nil, counters, fmt.Errorf("lower %s: %w", u.Name, err)
+			return nil, counters, &CompileError{Stage: "lower", Unit: u.Name, Err: err}
 		}
 		infos = append(infos, info)
 		mods = append(mods, mod)
@@ -212,7 +256,7 @@ func CompileWithStats(sources []Source, cfg Config) (*ir.Module, metrics.OptCoun
 	linked := ir.NewModule("a.out")
 	for _, m := range mods {
 		if err := linked.Link(m); err != nil {
-			return nil, counters, err
+			return nil, counters, &CompileError{Stage: "link", Err: err}
 		}
 	}
 

@@ -1,0 +1,121 @@
+package driver_test
+
+// Native Go fuzz targets for the compiler frontend: the tokenizer,
+// parser, sema, and irgen must never panic on arbitrary input — a
+// hostile translation unit is rejected with an error, not a crash. The
+// driver boundary additionally recovers any panic these stages do emit
+// (defense in depth for the long-running execution service), and
+// FuzzCompile asserts that backstop never fires: a recovered panic is
+// still a frontend bug, surfaced here as a fuzz failure with its stack.
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"softbound/internal/cparser"
+	"softbound/internal/driver"
+	"softbound/internal/progs"
+	"softbound/internal/sema"
+)
+
+// fuzzSeeds are the corpus: real benchmark programs (the largest valid
+// inputs we have), plus malformed fragments around the constructs most
+// likely to hide index/nil bugs — unterminated tokens, deep nesting,
+// stray punctuation, truncated declarations.
+func fuzzSeeds(f *testing.F) {
+	for _, b := range progs.All() {
+		f.Add(b.Source(1))
+	}
+	for _, s := range []string{
+		"",
+		"int main() { return 0; }",
+		"int main() { int a[3]; a[5] = 1; return a[0]; }",
+		`int main() { char *s = "unterminated`,
+		"/* unterminated comment",
+		"int main() { return '",
+		"struct s { struct s *next; }; int main() { return 0; }",
+		"int f(int, char**); int main() { return f; }",
+		"typedef struct {} t; t x = 3;",
+		strings.Repeat("(", 200),
+		strings.Repeat("{", 200) + strings.Repeat("}", 200),
+		"int x = 0x",
+		"int main() { goto l; l: return 0; }",
+		"void f() { f(1,2,3,4,5,6,7,8,9); }",
+		"int a[][] = {1};",
+		"int main() { return sizeof(int[-1]); }",
+		"#define X 1\nint main(){return X;}",
+		"int main() { int *p; *p = 1; return 0; }",
+		"long main() { return 9999999999999999999999999; }",
+	} {
+		f.Add(s)
+	}
+}
+
+// FuzzParse drives the tokenizer and parser (and, when parsing succeeds,
+// sema — the next consumer of the AST) on arbitrary input. Any panic is
+// a finding.
+func FuzzParse(f *testing.F) {
+	fuzzSeeds(f)
+	f.Fuzz(func(t *testing.T, src string) {
+		unit, err := cparser.Parse("fuzz.c", src)
+		if err != nil {
+			return
+		}
+		_, _ = sema.Analyze(unit)
+	})
+}
+
+// FuzzCompile drives the whole pipeline — parse, typecheck, lower,
+// optimize, instrument, link — through the driver boundary and asserts
+// the panic backstop never fires: Stage "panic" means some stage crashed
+// on this input, and the captured stack says where.
+func FuzzCompile(f *testing.F) {
+	fuzzSeeds(f)
+	cfg := driver.DefaultConfig(driver.ModeFull)
+	f.Fuzz(func(t *testing.T, src string) {
+		_, err := driver.Compile([]driver.Source{{Name: "fuzz.c", Text: src}}, cfg)
+		if err == nil {
+			return
+		}
+		var ce *driver.CompileError
+		if !errors.As(err, &ce) {
+			t.Fatalf("compile error is not a *CompileError: %v", err)
+		}
+		if ce.Stage == "panic" {
+			t.Fatalf("frontend panicked on input %q:\n%v\n%s", src, ce.Err, ce.Stack)
+		}
+	})
+}
+
+// TestCompileErrorStages pins the typed-error contract: each frontend
+// stage's rejection surfaces as a *CompileError naming that stage and
+// unit, with the legacy message shape preserved.
+func TestCompileErrorStages(t *testing.T) {
+	cfg := driver.DefaultConfig(driver.ModeFull)
+	cases := []struct {
+		name, src, stage string
+	}{
+		{"parse", "int main( {", "parse"},
+		{"typecheck", "int main() { return undeclared_symbol; }", "typecheck"},
+	}
+	for _, c := range cases {
+		_, err := driver.Compile([]driver.Source{{Name: "x.c", Text: c.src}}, cfg)
+		if err == nil {
+			t.Fatalf("%s: compile unexpectedly succeeded", c.name)
+		}
+		var ce *driver.CompileError
+		if !errors.As(err, &ce) {
+			t.Fatalf("%s: error %T is not *CompileError: %v", c.name, err, err)
+		}
+		if ce.Stage != c.stage {
+			t.Errorf("%s: stage %q, want %q", c.name, ce.Stage, c.stage)
+		}
+		if ce.Unit != "x.c" {
+			t.Errorf("%s: unit %q, want x.c", c.name, ce.Unit)
+		}
+		if !strings.HasPrefix(err.Error(), c.stage+" x.c: ") {
+			t.Errorf("%s: message %q lost the \"<stage> <unit>: \" shape", c.name, err.Error())
+		}
+	}
+}

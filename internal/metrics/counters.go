@@ -1,0 +1,60 @@
+package metrics
+
+import (
+	"sort"
+	"sync"
+)
+
+// CounterSet is a concurrency-safe set of named monotonically increasing
+// counters. The execution service keeps one per process and snapshots it
+// at /statz; names are dotted paths ("run.shed", "trap.spatial-violation")
+// so consumers can aggregate by prefix.
+type CounterSet struct {
+	mu sync.Mutex
+	m  map[string]uint64
+}
+
+// NewCounterSet returns an empty counter set.
+func NewCounterSet() *CounterSet {
+	return &CounterSet{m: make(map[string]uint64)}
+}
+
+// Add increments the named counter by n.
+func (c *CounterSet) Add(name string, n uint64) {
+	c.mu.Lock()
+	c.m[name] += n
+	c.mu.Unlock()
+}
+
+// Inc increments the named counter by one.
+func (c *CounterSet) Inc(name string) { c.Add(name, 1) }
+
+// Get returns the named counter's current value (0 if never written).
+func (c *CounterSet) Get(name string) uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.m[name]
+}
+
+// Snapshot returns a copy of every counter, safe to marshal or mutate.
+func (c *CounterSet) Snapshot() map[string]uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make(map[string]uint64, len(c.m))
+	for k, v := range c.m {
+		out[k] = v
+	}
+	return out
+}
+
+// Names returns the sorted counter names (stable /statz rendering).
+func (c *CounterSet) Names() []string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	names := make([]string, 0, len(c.m))
+	for k := range c.m {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	return names
+}

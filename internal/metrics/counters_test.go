@@ -1,0 +1,50 @@
+package metrics
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestCounterSetBasics(t *testing.T) {
+	c := NewCounterSet()
+	if c.Get("missing") != 0 {
+		t.Fatal("unwritten counter not zero")
+	}
+	c.Inc("a")
+	c.Add("a", 2)
+	c.Inc("b")
+	if got := c.Get("a"); got != 3 {
+		t.Fatalf("a = %d, want 3", got)
+	}
+	snap := c.Snapshot()
+	if snap["a"] != 3 || snap["b"] != 1 {
+		t.Fatalf("snapshot %v, want a=3 b=1", snap)
+	}
+	snap["a"] = 99 // mutating the snapshot must not touch the set
+	if c.Get("a") != 3 {
+		t.Fatal("snapshot aliases live state")
+	}
+	names := c.Names()
+	if len(names) != 2 || names[0] != "a" || names[1] != "b" {
+		t.Fatalf("names %v, want [a b]", names)
+	}
+}
+
+func TestCounterSetConcurrent(t *testing.T) {
+	c := NewCounterSet()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				c.Inc("n")
+				_ = c.Snapshot()
+			}
+		}()
+	}
+	wg.Wait()
+	if got := c.Get("n"); got != 8000 {
+		t.Fatalf("n = %d, want 8000", got)
+	}
+}

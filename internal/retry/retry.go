@@ -1,0 +1,103 @@
+// Package retry is the shared bounded-retry policy for contained,
+// possibly-transient failures. It grew out of the benchmark harness's
+// per-cell containment loop (one bounded retry after a recovered panic or
+// an abandoned hung cell) and is now also the execution service's policy
+// for contained crashes, with exponential backoff and deterministic
+// jitter added for the long-running case.
+//
+// The policy deliberately retries only failures the caller has judged
+// transient. Deterministic outcomes — spatial violations, step budgets,
+// VM deadline traps — must not be retried: the program genuinely produced
+// that answer, and a rerun just doubles the wall time to reach it again
+// (vm.TrapCode.Retryable encodes that judgment).
+//
+// Jitter is deterministic: equal (Policy, Seed) values produce equal
+// sleep schedules, mirroring the faults package's replayability contract.
+package retry
+
+import (
+	"context"
+	"time"
+)
+
+// Policy is a bounded retry schedule.
+type Policy struct {
+	// MaxAttempts is the total number of attempts, including the first
+	// (<= 0 behaves as 1: no retries).
+	MaxAttempts int
+	// BaseDelay is the backoff before the second attempt; each further
+	// attempt doubles it. Zero sleeps not at all (the bench harness's
+	// policy — its attempts are already seconds long).
+	BaseDelay time.Duration
+	// MaxDelay caps the exponential growth (0 = uncapped).
+	MaxDelay time.Duration
+	// Seed selects the jitter stream; equal seeds jitter identically.
+	Seed uint64
+}
+
+// Do invokes fn with attempt = 1, 2, ... until fn reports its failure is
+// not retryable, MaxAttempts is reached, or ctx is cancelled during a
+// backoff sleep. It returns the number of attempts made. fn returning
+// false means "done" — either success or a failure that must stand.
+func (p Policy) Do(ctx context.Context, fn func(attempt int) (retryable bool)) int {
+	max := p.MaxAttempts
+	if max < 1 {
+		max = 1
+	}
+	rng := rngState(p.Seed)
+	for attempt := 1; ; attempt++ {
+		if !fn(attempt) || attempt == max {
+			return attempt
+		}
+		if d := p.backoff(attempt, &rng); d > 0 {
+			t := time.NewTimer(d)
+			select {
+			case <-ctx.Done():
+				t.Stop()
+				return attempt
+			case <-t.C:
+			}
+		} else if ctx.Err() != nil {
+			return attempt
+		}
+	}
+}
+
+// backoff returns the sleep before attempt+1: BaseDelay doubled per prior
+// retry, capped at MaxDelay, jittered uniformly into [d/2, d] so synced
+// retriers (many requests failing at once) spread back out.
+func (p Policy) backoff(attempt int, rng *uint64) time.Duration {
+	if p.BaseDelay <= 0 {
+		return 0
+	}
+	d := p.BaseDelay
+	for i := 1; i < attempt; i++ {
+		d *= 2
+		if p.MaxDelay > 0 && d >= p.MaxDelay {
+			d = p.MaxDelay
+			break
+		}
+	}
+	if p.MaxDelay > 0 && d > p.MaxDelay {
+		d = p.MaxDelay
+	}
+	half := d / 2
+	if half <= 0 {
+		return d
+	}
+	return half + time.Duration(next(rng)%uint64(half+1))
+}
+
+// rngState seeds a splitmix64 stream (the same generator the faults
+// injector uses, for the same reason: cheap and replayable).
+func rngState(seed uint64) uint64 {
+	return seed*0x9e3779b97f4a7c15 + 0xbf58476d1ce4e5b9
+}
+
+func next(s *uint64) uint64 {
+	*s += 0x9e3779b97f4a7c15
+	z := *s
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}

@@ -1,0 +1,115 @@
+package retry
+
+import (
+	"context"
+	"testing"
+	"time"
+)
+
+func TestDoStopsWhenNotRetryable(t *testing.T) {
+	p := Policy{MaxAttempts: 5}
+	var calls int
+	attempts := p.Do(context.Background(), func(attempt int) bool {
+		calls++
+		if attempt != calls {
+			t.Errorf("attempt %d delivered as %d", calls, attempt)
+		}
+		return false // success first try
+	})
+	if attempts != 1 || calls != 1 {
+		t.Fatalf("attempts=%d calls=%d, want 1/1", attempts, calls)
+	}
+}
+
+func TestDoExhaustsBudget(t *testing.T) {
+	p := Policy{MaxAttempts: 3}
+	var calls int
+	attempts := p.Do(context.Background(), func(int) bool {
+		calls++
+		return true // always retryable
+	})
+	if attempts != 3 || calls != 3 {
+		t.Fatalf("attempts=%d calls=%d, want 3/3", attempts, calls)
+	}
+}
+
+func TestZeroPolicyIsSingleAttempt(t *testing.T) {
+	var calls int
+	attempts := Policy{}.Do(context.Background(), func(int) bool {
+		calls++
+		return true
+	})
+	if attempts != 1 || calls != 1 {
+		t.Fatalf("attempts=%d calls=%d, want 1/1 for the zero policy", attempts, calls)
+	}
+}
+
+func TestBackoffGrowsAndCaps(t *testing.T) {
+	p := Policy{MaxAttempts: 10, BaseDelay: 100 * time.Millisecond, MaxDelay: 400 * time.Millisecond}
+	rng := rngState(1)
+	var prevMax time.Duration
+	for attempt := 1; attempt <= 6; attempt++ {
+		d := p.backoff(attempt, &rng)
+		// Nominal delay before jitter: min(base << (attempt-1), cap).
+		nominal := p.BaseDelay << (attempt - 1)
+		if nominal > p.MaxDelay {
+			nominal = p.MaxDelay
+		}
+		if d < nominal/2 || d > nominal {
+			t.Errorf("attempt %d: backoff %v outside [%v, %v]", attempt, d, nominal/2, nominal)
+		}
+		if nominal == p.MaxDelay && prevMax == p.MaxDelay {
+			// Capped region: stays within the cap.
+			if d > p.MaxDelay {
+				t.Errorf("attempt %d: backoff %v exceeds cap %v", attempt, d, p.MaxDelay)
+			}
+		}
+		prevMax = nominal
+	}
+}
+
+func TestBackoffDeterministicPerSeed(t *testing.T) {
+	p := Policy{MaxAttempts: 4, BaseDelay: time.Millisecond, MaxDelay: 10 * time.Millisecond}
+	seq := func(seed uint64) []time.Duration {
+		rng := rngState(seed)
+		var out []time.Duration
+		for a := 1; a <= 4; a++ {
+			out = append(out, p.backoff(a, &rng))
+		}
+		return out
+	}
+	a, b := seq(7), seq(7)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("seed 7 diverged at %d: %v vs %v", i, a[i], b[i])
+		}
+	}
+	c := seq(8)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("seeds 7 and 8 produced identical jitter schedules")
+	}
+}
+
+func TestDoHonorsContextDuringBackoff(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	p := Policy{MaxAttempts: 10, BaseDelay: time.Hour}
+	var calls int
+	start := time.Now()
+	attempts := p.Do(ctx, func(int) bool {
+		calls++
+		cancel() // cancel while "failing"; the backoff sleep must abort
+		return true
+	})
+	if attempts != 1 || calls != 1 {
+		t.Fatalf("attempts=%d calls=%d, want 1/1 after cancellation", attempts, calls)
+	}
+	if elapsed := time.Since(start); elapsed > 10*time.Second {
+		t.Fatalf("Do slept %v through a cancelled context", elapsed)
+	}
+}

@@ -1,0 +1,212 @@
+package serve
+
+import (
+	"sync"
+	"time"
+
+	"softbound/internal/vm"
+)
+
+// BreakerConfig tunes the per-program-hash circuit breakers.
+type BreakerConfig struct {
+	// Threshold is how many consecutive qualifying failures (contained
+	// crashes or step-limit traps — see TripsBreaker) open the breaker.
+	// <= 0 disables breakers entirely.
+	Threshold int
+	// Cooldown is how long an open breaker fast-fails before admitting a
+	// half-open probe (0 = 5s).
+	Cooldown time.Duration
+	// MaxTracked bounds the number of program hashes with live breaker
+	// state; the least-recently-touched entry is evicted beyond it
+	// (0 = 1024). Hostile traffic cycling unique poison programs must not
+	// grow server memory without bound.
+	MaxTracked int
+}
+
+func (c BreakerConfig) withDefaults() BreakerConfig {
+	if c.Cooldown == 0 {
+		c.Cooldown = 5 * time.Second
+	}
+	if c.MaxTracked <= 0 {
+		c.MaxTracked = 1024
+	}
+	return c
+}
+
+// TripsBreaker reports whether a trap of this class counts against a
+// program's breaker. Contained panics and step-limit traps qualify: both
+// mean the program (or a compiler/VM bug it tickles) burns a full worker
+// budget every time it runs, so repeats should fast-fail instead of
+// re-occupying the pool. Detections (spatial/baseline violations) do NOT
+// qualify — detecting a violation is the service doing its job, cheaply.
+// Deadline traps don't either: they are bounded by construction and often
+// reflect client-chosen budgets rather than poison input.
+func TripsBreaker(code vm.TrapCode) bool {
+	return code == vm.TrapPanic || code == vm.TrapStepLimit
+}
+
+// Breaker states.
+const (
+	breakerClosed = iota
+	breakerOpen
+	breakerHalfOpen
+)
+
+func stateName(s int) string {
+	return [...]string{"closed", "open", "half-open"}[s]
+}
+
+// breaker is one program hash's circuit state. All methods are called
+// with breakerSet.mu held.
+type breaker struct {
+	state       int
+	consecutive int       // qualifying failures in a row (closed state)
+	openedAt    time.Time // when the breaker last opened
+	probing     bool      // a half-open probe is in flight
+	touched     time.Time // LRU eviction stamp
+}
+
+// breakerSet maps program hashes to breakers, bounded by MaxTracked.
+type breakerSet struct {
+	cfg BreakerConfig
+	mu  sync.Mutex
+	m   map[string]*breaker
+}
+
+func newBreakerSet(cfg BreakerConfig) *breakerSet {
+	return &breakerSet{cfg: cfg.withDefaults(), m: make(map[string]*breaker)}
+}
+
+// enabled reports whether breakers are active at all.
+func (s *breakerSet) enabled() bool { return s.cfg.Threshold > 0 }
+
+// Allow reports whether a request for this program may proceed now. Open
+// breakers fast-fail until Cooldown elapses, then admit exactly one
+// half-open probe; concurrent requests during the probe keep fast-failing.
+// Callers that acquire a probe slot but never run (e.g. the queue shed the
+// request) must release it with Cancel.
+func (s *breakerSet) Allow(hash string, now time.Time) (ok, probe bool) {
+	if !s.enabled() {
+		return true, false
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	b := s.m[hash]
+	if b == nil {
+		return true, false // no failure history: no state to keep
+	}
+	b.touched = now
+	switch b.state {
+	case breakerClosed:
+		return true, false
+	case breakerOpen:
+		if now.Sub(b.openedAt) < s.cfg.Cooldown {
+			return false, false
+		}
+		b.state = breakerHalfOpen
+		b.probing = true
+		return true, true
+	default: // half-open
+		if b.probing {
+			return false, false
+		}
+		b.probing = true
+		return true, true
+	}
+}
+
+// Cancel releases a half-open probe slot that was admitted but never
+// executed, so the next request can probe instead.
+func (s *breakerSet) Cancel(hash string) {
+	if !s.enabled() {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if b := s.m[hash]; b != nil && b.state == breakerHalfOpen {
+		b.probing = false
+	}
+}
+
+// Record feeds one completed execution's outcome. tripped is whether the
+// run ended in a breaker-qualifying trap (TripsBreaker). Outcomes arriving
+// while the breaker is open (from requests admitted before it opened) are
+// ignored so a burst of stale failures cannot extend the outage forever.
+func (s *breakerSet) Record(hash string, now time.Time, tripped bool) {
+	if !s.enabled() {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	b := s.m[hash]
+	if b == nil {
+		if !tripped {
+			return // successes for unknown programs need no state
+		}
+		b = &breaker{}
+		s.m[hash] = b
+		s.evictLocked()
+	}
+	b.touched = now
+	switch b.state {
+	case breakerClosed:
+		if !tripped {
+			b.consecutive = 0
+			return
+		}
+		b.consecutive++
+		if b.consecutive >= s.cfg.Threshold {
+			b.state = breakerOpen
+			b.openedAt = now
+		}
+	case breakerHalfOpen:
+		b.probing = false
+		if tripped {
+			b.state = breakerOpen
+			b.openedAt = now
+		} else {
+			b.state = breakerClosed
+			b.consecutive = 0
+		}
+	}
+}
+
+// State returns the breaker state name for a hash ("closed" if untracked).
+func (s *breakerSet) State(hash string) string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if b := s.m[hash]; b != nil {
+		return stateName(b.state)
+	}
+	return stateName(breakerClosed)
+}
+
+// Snapshot lists every non-closed breaker (hash → state name).
+func (s *breakerSet) Snapshot() map[string]string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make(map[string]string)
+	for h, b := range s.m {
+		if b.state != breakerClosed {
+			out[h] = stateName(b.state)
+		}
+	}
+	return out
+}
+
+// evictLocked drops the least-recently-touched breaker once the map
+// exceeds MaxTracked. Linear scan: MaxTracked is small and eviction only
+// runs on insertion of a new failing program.
+func (s *breakerSet) evictLocked() {
+	for len(s.m) > s.cfg.MaxTracked {
+		var oldest string
+		var oldestAt time.Time
+		first := true
+		for h, b := range s.m {
+			if first || b.touched.Before(oldestAt) {
+				oldest, oldestAt, first = h, b.touched, false
+			}
+		}
+		delete(s.m, oldest)
+	}
+}

@@ -1,0 +1,126 @@
+package serve
+
+import (
+	"testing"
+	"time"
+
+	"softbound/internal/vm"
+)
+
+func TestTripsBreakerClassification(t *testing.T) {
+	for code, want := range map[vm.TrapCode]bool{
+		vm.TrapPanic:     true,
+		vm.TrapStepLimit: true,
+		vm.TrapSpatial:   false, // detections are the service working
+		vm.TrapBaseline:  false,
+		vm.TrapDeadline:  false, // bounded by construction
+		vm.TrapOOM:       false,
+		"":               false, // clean exit
+	} {
+		if got := TripsBreaker(code); got != want {
+			t.Errorf("TripsBreaker(%q) = %v, want %v", code, got, want)
+		}
+	}
+}
+
+func TestBreakerLifecycle(t *testing.T) {
+	now := time.Unix(1000, 0)
+	bs := newBreakerSet(BreakerConfig{Threshold: 2, Cooldown: time.Second})
+	const h = "prog"
+
+	// Closed: allows, and non-consecutive failures never open it.
+	if ok, _ := bs.Allow(h, now); !ok {
+		t.Fatal("closed breaker rejected")
+	}
+	bs.Record(h, now, true)
+	bs.Record(h, now, false) // success resets the streak
+	bs.Record(h, now, true)
+	if st := bs.State(h); st != "closed" {
+		t.Fatalf("state %q after interleaved failures, want closed", st)
+	}
+
+	// Two consecutive qualifying failures: open, fast-failing.
+	bs.Record(h, now, true)
+	if st := bs.State(h); st != "open" {
+		t.Fatalf("state %q after threshold, want open", st)
+	}
+	if ok, _ := bs.Allow(h, now.Add(500*time.Millisecond)); ok {
+		t.Fatal("open breaker admitted before cooldown")
+	}
+
+	// Cooldown elapsed: exactly one half-open probe; concurrent requests
+	// keep fast-failing until the probe resolves.
+	later := now.Add(2 * time.Second)
+	ok, probe := bs.Allow(h, later)
+	if !ok || !probe {
+		t.Fatalf("cooldown probe not admitted (ok=%v probe=%v)", ok, probe)
+	}
+	if ok, _ := bs.Allow(h, later); ok {
+		t.Fatal("second request admitted during probe")
+	}
+
+	// Probe fails: open again; a later probe succeeds: closed.
+	bs.Record(h, later, true)
+	if st := bs.State(h); st != "open" {
+		t.Fatalf("state %q after failed probe, want open", st)
+	}
+	evenLater := later.Add(2 * time.Second)
+	if ok, _ := bs.Allow(h, evenLater); !ok {
+		t.Fatal("re-probe not admitted")
+	}
+	bs.Record(h, evenLater, false)
+	if st := bs.State(h); st != "closed" {
+		t.Fatalf("state %q after successful probe, want closed", st)
+	}
+	if ok, _ := bs.Allow(h, evenLater); !ok {
+		t.Fatal("recovered breaker rejected")
+	}
+}
+
+func TestBreakerProbeCancelReleasesSlot(t *testing.T) {
+	now := time.Unix(1000, 0)
+	bs := newBreakerSet(BreakerConfig{Threshold: 1, Cooldown: time.Second})
+	const h = "prog"
+	bs.Record(h, now, true) // open
+
+	later := now.Add(2 * time.Second)
+	if ok, probe := bs.Allow(h, later); !ok || !probe {
+		t.Fatal("probe not admitted after cooldown")
+	}
+	// The probe was shed before executing (queue full): without Cancel the
+	// hash would fast-fail forever.
+	bs.Cancel(h)
+	if ok, probe := bs.Allow(h, later); !ok || !probe {
+		t.Fatal("cancelled probe slot not released")
+	}
+}
+
+func TestBreakerStaleRecordsIgnoredWhileOpen(t *testing.T) {
+	now := time.Unix(1000, 0)
+	bs := newBreakerSet(BreakerConfig{Threshold: 1, Cooldown: time.Second})
+	const h = "prog"
+	bs.Record(h, now, true) // open at t=1000
+
+	// A stale failure from a request admitted before the breaker opened
+	// must not extend the outage window.
+	bs.Record(h, now.Add(900*time.Millisecond), true)
+	if ok, _ := bs.Allow(h, now.Add(1100*time.Millisecond)); !ok {
+		t.Fatal("stale record extended the cooldown")
+	}
+}
+
+func TestBreakerSetBounded(t *testing.T) {
+	bs := newBreakerSet(BreakerConfig{Threshold: 1, Cooldown: time.Second, MaxTracked: 8})
+	now := time.Unix(1000, 0)
+	// Hostile traffic: many unique crashing programs must not grow state
+	// without bound.
+	for i := 0; i < 100; i++ {
+		bs.Record(string(rune('a'+i%26))+string(rune('0'+i/26)), now.Add(time.Duration(i)*time.Millisecond), true)
+	}
+	bs.mu.Lock()
+	n := len(bs.m)
+	bs.mu.Unlock()
+	if n > 8 {
+		t.Fatalf("breaker set grew to %d entries, cap 8", n)
+	}
+}

@@ -1,0 +1,113 @@
+package serve
+
+import (
+	"container/list"
+	"sync"
+
+	"softbound/internal/ir"
+	"softbound/internal/metrics"
+)
+
+// cacheKey names one compiled artifact: identical keys are guaranteed to
+// produce identical modules, so the cache can hand one *ir.Module to any
+// number of concurrent requests (the linked module is immutable under
+// execution — internal/vm's isolation test holds that under -race).
+type cacheKey struct {
+	hash     string // hex SHA-256 of the source text
+	scheme   string
+	mode     string
+	optimize bool
+}
+
+// cacheEntry is one compile, possibly still in flight. ready is closed
+// when mod/counters/err are final; waiters block on it (singleflight:
+// concurrent identical requests compile once and share the result).
+type cacheEntry struct {
+	ready    chan struct{}
+	mod      *ir.Module
+	counters metrics.OptCounters
+	err      error
+
+	key  cacheKey
+	elem *list.Element // LRU position
+}
+
+// compileCache is a bounded LRU of compiled modules with singleflight
+// semantics. Failed compiles are cached too: a poison source that crashes
+// or fails the compiler costs one compile, not one per request.
+type compileCache struct {
+	mu      sync.Mutex
+	cap     int
+	entries map[cacheKey]*cacheEntry
+	lru     *list.List // front = most recent; values are *cacheEntry
+
+	hits, misses uint64
+}
+
+func newCompileCache(capacity int) *compileCache {
+	if capacity <= 0 {
+		capacity = 128
+	}
+	return &compileCache{
+		cap:     capacity,
+		entries: make(map[cacheKey]*cacheEntry),
+		lru:     list.New(),
+	}
+}
+
+// get returns the cached compile for key, building it with build on a
+// miss. Exactly one caller runs build per key; the rest block until it
+// finishes. hit reports whether this caller found the entry already
+// present (in flight counts as a hit — the work is shared either way).
+func (c *compileCache) get(key cacheKey, build func() (*ir.Module, metrics.OptCounters, error)) (e *cacheEntry, hit bool) {
+	c.mu.Lock()
+	if e = c.entries[key]; e != nil {
+		c.hits++
+		c.lru.MoveToFront(e.elem)
+		c.mu.Unlock()
+		<-e.ready
+		return e, true
+	}
+	c.misses++
+	e = &cacheEntry{ready: make(chan struct{}), key: key}
+	e.elem = c.lru.PushFront(e)
+	c.entries[key] = e
+	c.evictLocked()
+	c.mu.Unlock()
+
+	e.mod, e.counters, e.err = build()
+	close(e.ready)
+	return e, false
+}
+
+// evictLocked drops least-recently-used entries beyond capacity. In-flight
+// entries can be evicted from the map (new requests will recompile) but
+// their waiters still complete: the entry's fields are owned by its
+// builder and its ready channel closes regardless of residency.
+func (c *compileCache) evictLocked() {
+	for c.lru.Len() > c.cap {
+		back := c.lru.Back()
+		ent := back.Value.(*cacheEntry)
+		c.lru.Remove(back)
+		delete(c.entries, ent.key)
+	}
+}
+
+// cacheStats is the /statz view of the cache.
+type cacheStats struct {
+	Size    int     `json:"size"`
+	Cap     int     `json:"cap"`
+	Hits    uint64  `json:"hits"`
+	Misses  uint64  `json:"misses"`
+	HitRate float64 `json:"hit_rate"`
+}
+
+func (c *compileCache) stats() cacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	s := cacheStats{Size: c.lru.Len(), Cap: c.cap, Hits: c.hits, Misses: c.misses}
+	if total := c.hits + c.misses; total > 0 {
+		s.HitRate = float64(c.hits) / float64(total)
+	}
+	return s
+}

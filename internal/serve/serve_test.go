@@ -1,0 +1,349 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"softbound/internal/meta"
+	"softbound/internal/retry"
+	"softbound/internal/vm"
+)
+
+const (
+	okSrc       = `int main() { printf("hi\n"); return 7; }`
+	overflowSrc = `int main() { int a[4]; int i; for (i = 0; i <= 4; i = i + 1) a[i] = i; return a[0]; }`
+	spinSrc     = `int main() { int i; i = 0; while (1) { i = i + 1; } return i; }`
+	badSrc      = `int main( {`
+)
+
+// newTestServer builds a server + httptest front end with fast budgets.
+func newTestServer(t *testing.T, opts Options) (*Server, *httptest.Server) {
+	t.Helper()
+	if opts.Workers == 0 {
+		opts.Workers = 2
+	}
+	if opts.DefaultTimeout == 0 {
+		opts.DefaultTimeout = 5 * time.Second
+	}
+	if opts.Retry.MaxAttempts == 0 {
+		// No backoff sleeps in tests; attempts bounded like the bench.
+		opts.Retry = retry.Policy{MaxAttempts: 2}
+	}
+	s := New(opts)
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		s.Close()
+	})
+	return s, ts
+}
+
+// post sends one /run request and returns (status, raw body).
+func post(t *testing.T, ts *httptest.Server, req Request) (int, []byte) {
+	t.Helper()
+	blob, _ := json.Marshal(req)
+	resp, err := http.Post(ts.URL+"/run", "application/json", bytes.NewReader(blob))
+	if err != nil {
+		t.Fatalf("POST /run: %v", err)
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	return resp.StatusCode, body
+}
+
+func decodeRun(t *testing.T, body []byte) Response {
+	t.Helper()
+	var r Response
+	if err := json.Unmarshal(body, &r); err != nil {
+		t.Fatalf("bad /run body %s: %v", body, err)
+	}
+	return r
+}
+
+func TestRunBasicAndCompileCache(t *testing.T) {
+	s, ts := newTestServer(t, Options{})
+	status, body := post(t, ts, Request{Source: okSrc})
+	if status != http.StatusOK {
+		t.Fatalf("status %d, body %s", status, body)
+	}
+	r := decodeRun(t, body)
+	if r.ExitCode != 7 || r.Output != "hi\n" || r.TrapCode != "" {
+		t.Fatalf("unexpected result: %+v", r)
+	}
+	if r.Config != "shadowspace-full" {
+		t.Errorf("config %q, want shadowspace-full", r.Config)
+	}
+	if r.Stats == nil || r.Stats.Insts == 0 {
+		t.Errorf("run reported no execution stats: %+v", r.Stats)
+	}
+	if r.CacheHit {
+		t.Error("first request claimed a cache hit")
+	}
+	if len(r.Phases) < 2 {
+		t.Errorf("phases missing: %+v", r.Phases)
+	}
+
+	// Identical request: compile once, serve from cache.
+	status, body = post(t, ts, Request{Source: okSrc})
+	if status != http.StatusOK {
+		t.Fatalf("second status %d", status)
+	}
+	if r2 := decodeRun(t, body); !r2.CacheHit || r2.ExitCode != 7 {
+		t.Fatalf("second request not served from cache: %+v", r2)
+	}
+	// Different mode is a different artifact.
+	status, body = post(t, ts, Request{Source: okSrc, Mode: "none"})
+	if status != http.StatusOK {
+		t.Fatal("baseline-mode request failed")
+	}
+	if r3 := decodeRun(t, body); r3.CacheHit || r3.Config != "baseline" {
+		t.Fatalf("mode change reused the wrong artifact: %+v", r3)
+	}
+	if s.counters.Get("cache.hit") != 1 || s.counters.Get("cache.miss") != 2 {
+		t.Errorf("cache counters hit=%d miss=%d, want 1/2",
+			s.counters.Get("cache.hit"), s.counters.Get("cache.miss"))
+	}
+}
+
+func TestSpatialViolationIsAServedResult(t *testing.T) {
+	s, ts := newTestServer(t, Options{SpoolDir: t.TempDir()})
+	status, body := post(t, ts, Request{Source: overflowSrc})
+	if status != http.StatusOK {
+		t.Fatalf("status %d, body %s", status, body)
+	}
+	r := decodeRun(t, body)
+	if r.TrapCode != string(vm.TrapSpatial) {
+		t.Fatalf("trap %q, want spatial-violation (%s)", r.TrapCode, body)
+	}
+	if r.Violation == "" {
+		t.Error("violation message missing")
+	}
+	if r.Bundle == "" {
+		t.Fatal("trap produced no replay bundle")
+	}
+	// Detections must not trip the breaker: they are the service working.
+	if st := s.BreakerState(r.Program); st != "closed" {
+		t.Errorf("breaker %q after a detection, want closed", st)
+	}
+}
+
+func TestMalformedSourceIs400(t *testing.T) {
+	_, ts := newTestServer(t, Options{})
+	status, body := post(t, ts, Request{Source: badSrc})
+	if status != http.StatusBadRequest {
+		t.Fatalf("status %d, want 400 (%s)", status, body)
+	}
+	var eb ErrorBody
+	if err := json.Unmarshal(body, &eb); err != nil {
+		t.Fatal(err)
+	}
+	if eb.Compile == nil || eb.Compile.Stage != "parse" {
+		t.Fatalf("compile error body %+v, want stage parse", eb.Compile)
+	}
+	// Bad requests that never execute must not kill the server.
+	status, _ = post(t, ts, Request{Source: okSrc})
+	if status != http.StatusOK {
+		t.Fatal("server unhealthy after malformed input")
+	}
+}
+
+func TestRequestValidation(t *testing.T) {
+	_, ts := newTestServer(t, Options{})
+	for _, req := range []Request{
+		{},                                    // empty source
+		{Source: okSrc, Mode: "sideways"},     // unknown mode
+		{Source: okSrc, Scheme: "nope"},       // unknown scheme
+		{Source: okSrc, Faults: "bogus-plan"}, // malformed fault plan
+	} {
+		if status, body := post(t, ts, req); status != http.StatusBadRequest {
+			t.Errorf("%+v: status %d, want 400 (%s)", req, status, body)
+		}
+	}
+}
+
+func TestStepLimitTrapAndBundleReplay(t *testing.T) {
+	spool := t.TempDir()
+	_, ts := newTestServer(t, Options{SpoolDir: spool})
+	status, body := post(t, ts, Request{Source: spinSrc, Steps: 5000})
+	if status != http.StatusOK {
+		t.Fatalf("status %d (%s)", status, body)
+	}
+	r := decodeRun(t, body)
+	if r.TrapCode != string(vm.TrapStepLimit) {
+		t.Fatalf("trap %q, want step-limit", r.TrapCode)
+	}
+	if r.Bundle == "" {
+		t.Fatal("no replay bundle spooled")
+	}
+	b, err := ReadBundle(r.Bundle)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.TrapCode != r.TrapCode || b.Source != spinSrc || b.StepLimit != 5000 {
+		t.Fatalf("bundle does not capture the run: %+v", b)
+	}
+	res, err := Replay(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := string(res.TrapCode()); got != b.TrapCode {
+		t.Fatalf("replay trap %q, want %q (bundle must reproduce)", got, b.TrapCode)
+	}
+}
+
+func TestSpatialBundleReplayWithFaults(t *testing.T) {
+	spool := t.TempDir()
+	_, ts := newTestServer(t, Options{SpoolDir: spool})
+	// A clean program plus an aggressive seeded metadata-drop plan: the
+	// injected faults trip checks deterministically, and the bundle's
+	// recorded seed replays the identical schedule offline.
+	status, body := post(t, ts, Request{Source: okSrc, Faults: "seed=9,drop=1"})
+	if status != http.StatusOK {
+		t.Fatalf("status %d (%s)", status, body)
+	}
+	r := decodeRun(t, body)
+	if r.TrapCode == "" {
+		t.Skip("fault plan did not trap this program; nothing to replay")
+	}
+	b, err := ReadBundle(r.Bundle)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Replay(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := string(res.TrapCode()); got != b.TrapCode {
+		t.Fatalf("replay trap %q, want %q", got, b.TrapCode)
+	}
+}
+
+func TestPanickingSchemeIsContainedAndRetried(t *testing.T) {
+	// A metadata scheme whose constructor panics models a crashing
+	// backend: the worker must survive, the shared retry policy gets its
+	// bounded attempts, and the result is a structured trap.
+	meta.MustRegister(meta.Scheme{
+		Kind: meta.KindShadowSpace, Name: "serve-panicboom",
+		New: func() meta.Facility { panic("deliberate backend panic") },
+	})
+	s, ts := newTestServer(t, Options{SpoolDir: t.TempDir()})
+	status, body := post(t, ts, Request{Source: okSrc, Scheme: "serve-panicboom"})
+	if status != http.StatusOK {
+		t.Fatalf("status %d (%s)", status, body)
+	}
+	r := decodeRun(t, body)
+	if r.TrapCode != string(vm.TrapPanic) {
+		t.Fatalf("trap %q, want panic (%s)", r.TrapCode, body)
+	}
+	if r.Attempts != 2 {
+		t.Errorf("attempts %d, want 2 (contained crash gets one retry)", r.Attempts)
+	}
+	if s.counters.Get("run.retried") == 0 {
+		t.Error("retry counter never moved")
+	}
+	// The server is still alive and serving.
+	if status, _ := post(t, ts, Request{Source: okSrc}); status != http.StatusOK {
+		t.Fatal("server dead after contained panic")
+	}
+}
+
+func TestBreakerOpensFastFailsAndRecovers(t *testing.T) {
+	s, ts := newTestServer(t, Options{
+		Breaker: BreakerConfig{Threshold: 2, Cooldown: 50 * time.Millisecond},
+	})
+	poison := Request{Source: spinSrc, Steps: 2000} // deterministic step-limit trap
+
+	for i := 0; i < 2; i++ {
+		status, body := post(t, ts, poison)
+		if status != http.StatusOK {
+			t.Fatalf("poison %d: status %d (%s)", i, status, body)
+		}
+		if r := decodeRun(t, body); r.TrapCode != string(vm.TrapStepLimit) {
+			t.Fatalf("poison %d: trap %q", i, r.TrapCode)
+		}
+	}
+	// Threshold reached: fast-fail without executing.
+	status, body := post(t, ts, poison)
+	if status != http.StatusServiceUnavailable {
+		t.Fatalf("breaker did not open: status %d (%s)", status, body)
+	}
+	var eb ErrorBody
+	_ = json.Unmarshal(body, &eb)
+	if eb.Breaker == "" {
+		t.Errorf("fast-fail body carries no breaker state: %s", body)
+	}
+	if s.counters.Get("run.breaker_fastfail") == 0 {
+		t.Error("fast-fail counter never moved")
+	}
+
+	// After the cooldown, a half-open probe runs. Same program hash, but
+	// now with a budget it can't blow... spin never exits, so give it a
+	// recovered input instead: same source is the identity, so recovery
+	// means the program stops tripping — emulate with a huge step budget
+	// and a short deadline (deadline traps do not qualify as failures).
+	time.Sleep(80 * time.Millisecond)
+	status, body = post(t, ts, Request{Source: spinSrc, TimeoutMillis: 50})
+	if status != http.StatusOK {
+		t.Fatalf("probe rejected: status %d (%s)", status, body)
+	}
+	if r := decodeRun(t, body); r.TrapCode != string(vm.TrapDeadline) {
+		t.Fatalf("probe trap %q, want deadline", r.TrapCode)
+	}
+	// Deadline is non-qualifying → breaker closed again.
+	sum := decodeRun(t, body).Program
+	if st := s.BreakerState(sum); st != "closed" {
+		t.Errorf("breaker %q after successful probe, want closed", st)
+	}
+}
+
+func TestHealthReadyStatzAndDrain(t *testing.T) {
+	s, ts := newTestServer(t, Options{})
+	get := func(path string) (int, []byte) {
+		resp, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		b, _ := io.ReadAll(resp.Body)
+		return resp.StatusCode, b
+	}
+	if st, _ := get("/healthz"); st != http.StatusOK {
+		t.Fatal("healthz not ok")
+	}
+	if st, _ := get("/readyz"); st != http.StatusOK {
+		t.Fatal("readyz not ok")
+	}
+	post(t, ts, Request{Source: okSrc})
+
+	st, body := get("/statz")
+	if st != http.StatusOK {
+		t.Fatal("statz not ok")
+	}
+	var z Statz
+	if err := json.Unmarshal(body, &z); err != nil {
+		t.Fatalf("statz body %s: %v", body, err)
+	}
+	if z.Counters["http.run"] == 0 || z.Counters["run.ok"] == 0 {
+		t.Errorf("statz counters missing run traffic: %v", z.Counters)
+	}
+	if z.QueueCap == 0 || z.Workers == 0 {
+		t.Errorf("statz pool shape empty: %+v", z)
+	}
+
+	s.BeginDrain()
+	if st, _ := get("/readyz"); st != http.StatusServiceUnavailable {
+		t.Fatal("readyz still ready while draining")
+	}
+	if st, _ := get("/healthz"); st != http.StatusOK {
+		t.Fatal("healthz must stay ok while draining (process is alive)")
+	}
+	if st, _ := post(t, ts, Request{Source: okSrc}); st != http.StatusServiceUnavailable {
+		t.Fatal("run accepted while draining")
+	}
+	s.Close() // idempotent with the cleanup Close
+}

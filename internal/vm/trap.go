@@ -33,6 +33,16 @@ const (
 	TrapPanic TrapCode = "panic"
 )
 
+// Retryable reports whether a failure of this class may be transient and
+// is therefore eligible for a bounded retry. Only contained Go panics
+// qualify: detections (spatial/baseline), resource-budget traps (oom,
+// step-limit, stack-overflow), and genuine runtime faults are
+// deterministic and replay identically, and a VM deadline trap means the
+// program really ran past its time budget — rerunning it just doubles the
+// wall clock to the same answer. This is the bench harness's containment
+// rule (PR 3), shared with the execution service's retry policy.
+func (c TrapCode) Retryable() bool { return c == TrapPanic }
+
 // Trap is the typed failure every VM entry point returns: a machine-
 // readable code plus the underlying cause. Unwrap exposes the cause, so
 // errors.As against *SpatialViolation, *FaultError, etc. keeps working.
