@@ -14,6 +14,7 @@
 //	sbbench -parallel [-json=BENCH.json] [-schemes=hashtable,shadowspace]
 //	        [-progs=go,treeadd,...] [-workers=N] [-scale=N]
 //	        [-timeout=30s] [-steps=N] [-faults=seed=7,flip=200,oom=4]
+//	        [-ref] [-cpuprofile=cpu.pprof] [-memprofile=mem.pprof]
 package main
 
 import (
@@ -22,6 +23,7 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"runtime/pprof"
 	"strings"
 	"time"
 
@@ -58,23 +60,56 @@ func main() {
 	retries := flag.Int("retries", 0,
 		"total attempts per cell for contained non-deterministic crashes (0 = harness default of 2, "+
 			"1 = no retry); deterministic traps such as deadline and step-limit never retry")
+	refInterp := flag.Bool("ref", false,
+		"run matrix cells on the reference interpreter instead of the fast engine "+
+			"(engine A/B wall-clock comparison; modeled stats are identical)")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memProfile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Parse()
+
+	if *cpuProfile != "" {
+		pf, err := os.Create(*cpuProfile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "sbbench: %v\n", err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(pf); err != nil {
+			fmt.Fprintf(os.Stderr, "sbbench: %v\n", err)
+			os.Exit(1)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memProfile != "" {
+		defer func() {
+			pf, err := os.Create(*memProfile)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "sbbench: %v\n", err)
+				return
+			}
+			defer pf.Close()
+			runtime.GC() // settle allocations so the profile shows live heap
+			if err := pprof.WriteHeapProfile(pf); err != nil {
+				fmt.Fprintf(os.Stderr, "sbbench: %v\n", err)
+			}
+		}()
+	}
 
 	// The harness path: any of its flags (or -experiment=bench) selects it.
 	if *parallel || *jsonOut != "" || *workers > 0 || *schemes != "" ||
 		*progList != "" || *timeout != 0 || *steps != 0 || *faultSpec != "" ||
-		*retries != 0 || *exp == "bench" {
+		*retries != 0 || *refInterp || *exp == "bench" {
 		if err := runBench(benchOptions{
-			scale:    *scale,
-			parallel: *parallel,
-			workers:  *workers,
-			jsonPath: *jsonOut,
-			schemes:  *schemes,
-			progs:    *progList,
-			timeout:  *timeout,
-			steps:    *steps,
-			faults:   *faultSpec,
-			retries:  *retries,
+			scale:     *scale,
+			parallel:  *parallel,
+			workers:   *workers,
+			jsonPath:  *jsonOut,
+			schemes:   *schemes,
+			progs:     *progList,
+			timeout:   *timeout,
+			steps:     *steps,
+			faults:    *faultSpec,
+			retries:   *retries,
+			refInterp: *refInterp,
 		}); err != nil {
 			fmt.Fprintf(os.Stderr, "sbbench: %v\n", err)
 			os.Exit(1)
@@ -149,16 +184,17 @@ func main() {
 
 // benchOptions carries the harness flag values.
 type benchOptions struct {
-	scale    int
-	parallel bool
-	workers  int
-	jsonPath string
-	schemes  string
-	progs    string
-	timeout  time.Duration
-	steps    uint64
-	faults   string
-	retries  int
+	scale     int
+	parallel  bool
+	workers   int
+	jsonPath  string
+	schemes   string
+	progs     string
+	timeout   time.Duration
+	steps     uint64
+	faults    string
+	retries   int
+	refInterp bool
 }
 
 // runBench executes the benchmark matrix and writes the human summary to
@@ -203,6 +239,7 @@ func runBench(o benchOptions) error {
 		StepLimit:   o.steps,
 		Faults:      plan,
 		MaxAttempts: o.retries,
+		RefInterp:   o.refInterp,
 	})
 	if err != nil {
 		return err

@@ -73,6 +73,11 @@ type Config struct {
 	// default of 2, i.e. one retry). Cells that fail deterministically —
 	// VM deadline, step limit, detections — are never retried regardless.
 	MaxAttempts int
+
+	// RefInterp runs every cell on the reference interpreter instead of
+	// the fast engine (engine A/B measurements; the modeled statistics are
+	// identical either way, only wall clock moves).
+	RefInterp bool
 }
 
 // Run is one completed cell of the matrix.
@@ -91,6 +96,10 @@ type Run struct {
 	// WallNanos is the execute-phase wall clock (compile excluded, as in
 	// the paper's runtime measurements).
 	WallNanos int64 `json:"wall_nanos"`
+	// NsPerInst is WallNanos divided by executed IR instructions — the
+	// host-side interpreter speed this cell observed. An additive
+	// schema-v1 field; omitted when the run executed no instructions.
+	NsPerInst float64 `json:"ns_per_inst,omitempty"`
 
 	// OverheadSim and OverheadWall are relative to the same program's
 	// baseline run (0.79 = 79%); nil on the baseline itself and on
@@ -119,9 +128,12 @@ type ConfigSummary struct {
 
 // Report is the BENCH.json document.
 type Report struct {
-	Schema       int             `json:"schema"`
-	Workers      int             `json:"workers"`
-	Scale        int             `json:"scale"`
+	Schema  int `json:"schema"`
+	Workers int `json:"workers"`
+	Scale   int `json:"scale"`
+	// Engine is the interpreter every cell ran on: "fast" (default) or
+	// "ref". An additive schema-v1 field.
+	Engine       string          `json:"engine"`
 	Programs     []string        `json:"programs"`
 	Schemes      []string        `json:"schemes"`
 	Modes        []string        `json:"modes"`
@@ -138,9 +150,10 @@ type spec struct {
 	scheme meta.Scheme // zero value for the baseline
 
 	// Execution policy, copied from Config by buildMatrix.
-	timeout time.Duration
-	steps   uint64
-	plan    *faults.Plan
+	timeout   time.Duration
+	steps     uint64
+	plan      *faults.Plan
+	refInterp bool
 }
 
 func (s spec) configName() string {
@@ -196,7 +209,8 @@ func buildMatrix(cfg Config) ([]spec, error) {
 	var out []spec
 	for _, b := range benches {
 		cell := spec{bench: b, scale: cfg.Scale, mode: driver.ModeNone,
-			timeout: cfg.CellTimeout, steps: cfg.StepLimit, plan: cfg.Faults}
+			timeout: cfg.CellTimeout, steps: cfg.StepLimit, plan: cfg.Faults,
+			refInterp: cfg.RefInterp}
 		out = append(out, cell)
 		for _, sc := range schemes {
 			for _, m := range modes {
@@ -254,6 +268,7 @@ func executeRun(s spec) Run {
 	if s.plan != nil {
 		dcfg.Faults = faults.NewInjector(*s.plan)
 	}
+	dcfg.RefInterp = s.refInterp
 	src := s.bench.Source(s.scale)
 
 	var pt metrics.PhaseTimer
@@ -284,6 +299,9 @@ func executeRun(s spec) Run {
 		res.Stats.CheckElims = counters.ChecksRemoved()
 		res.Stats.TrapCode = run.TrapCode
 		run.Stats = res.Stats.Report()
+		if run.Stats.Insts > 0 {
+			run.NsPerInst = float64(run.WallNanos) / float64(run.Stats.Insts)
+		}
 	}
 	if res.Err != nil {
 		run.Error = res.Err.Error()
@@ -410,10 +428,15 @@ func Execute(cfg Config) (*Report, error) {
 	close(jobs)
 	wg.Wait()
 
+	engine := vm.InterpFast
+	if cfg.RefInterp {
+		engine = vm.InterpRef
+	}
 	rep := &Report{
 		Schema:       SchemaVersion,
 		Workers:      workers,
 		Scale:        cfg.Scale,
+		Engine:       engine.String(),
 		ElapsedNanos: time.Since(start).Nanoseconds(),
 		Runs:         runs,
 	}

@@ -90,6 +90,12 @@ type Config struct {
 	// corruption by wrapping the facility. One injector serves one run.
 	Faults *faults.Injector
 
+	// RefInterp runs the reference (per-step switch) interpreter instead
+	// of the default pre-decoded fast engine. The differential suite runs
+	// both and requires identical results; exposed so harnesses and serve
+	// clients can do the same.
+	RefInterp bool
+
 	// MetaFacility, when non-nil, constructs the metadata facility
 	// directly, overriding Meta. The bench harness uses this to run
 	// registered schemes whose Kind alone cannot name them.
@@ -368,10 +374,17 @@ func ExecuteContext(ctx context.Context, mod *ir.Module, cfg Config) *Result {
 		HeapLimit:     cfg.HeapLimit,
 		MaxStackDepth: cfg.MaxStackDepth,
 	}
+	if cfg.RefInterp {
+		vmCfg.Interp = vm.InterpRef
+	}
 	if inj := cfg.Faults; inj != nil {
 		vmCfg.Meta = inj.WrapFacility(fac)
 		vmCfg.PtrStoreFault = inj.PtrStoreMask
 		vmCfg.AllocFault = inj.AllowAlloc
+		// The injector's Lookup consumes scheduled metadata drop/corrupt
+		// events; a lookaside hit would silently skip them, so the cache
+		// stays off for fault-injected runs.
+		vmCfg.DisableMetaCache = true
 	}
 	machine, err := vm.New(mod, vmCfg)
 	if err != nil {

@@ -1,0 +1,117 @@
+package driver
+
+import (
+	"fmt"
+	"testing"
+
+	"softbound/internal/attacks"
+	"softbound/internal/bugbench"
+	"softbound/internal/meta"
+	"softbound/internal/progs"
+)
+
+// Engine differential gate: the fast pre-decoded interpreter must be
+// observationally equal to the reference per-step interpreter on every
+// real program — same output, same exit code, same violation fields, and
+// the same modeled statistics, across schemes and protection modes. Each
+// case compiles once and executes the module on both engines.
+
+// describeWithStats extends describe with the full modeled-cost view.
+// The metadata-cache counters are excluded: they exist only on the fast
+// engine and are a reporting lookaside, not part of the engine contract.
+func describeWithStats(r *Result) string {
+	st := *r.Stats
+	st.MetaCacheHits, st.MetaCacheMisses, st.MetaCacheSimInsts = 0, 0, 0
+	return fmt.Sprintf("%s trap=%q stats=%+v", describe(r), r.TrapCode(), st)
+}
+
+func requireEngineAgreement(t *testing.T, name, src string, cfg Config) *Result {
+	t.Helper()
+	mod, counters, err := CompileWithStats([]Source{{Name: name + ".c", Text: src}}, cfg)
+	if err != nil {
+		t.Fatalf("%s: compile: %v", name, err)
+	}
+	fastCfg, refCfg := cfg, cfg
+	refCfg.RefInterp = true
+	fast := Execute(mod, fastCfg)
+	ref := Execute(mod, refCfg)
+	fast.Stats.Opt = counters
+	ref.Stats.Opt = counters
+	if fd, rd := describeWithStats(fast), describeWithStats(ref); fd != rd {
+		t.Fatalf("%s: engines diverged:\n  fast: %s\n  ref:  %s", name, fd, rd)
+	}
+	return fast
+}
+
+// engineConfigs is the mode × scheme matrix each program runs under.
+func engineConfigs() []Config {
+	var cfgs []Config
+	for _, mode := range []Mode{ModeStoreOnly, ModeFull} {
+		for _, kind := range []meta.Kind{meta.KindShadowSpace, meta.KindHashTable} {
+			cfg := DefaultConfig(mode)
+			cfg.Meta = kind
+			cfgs = append(cfgs, cfg)
+		}
+	}
+	return cfgs
+}
+
+func TestEngineDifferentialBenchmarks(t *testing.T) {
+	for _, b := range progs.All() {
+		b := b
+		t.Run(b.Name, func(t *testing.T) {
+			t.Parallel()
+			src := b.Source(suiteSmallScale[b.Name])
+			for _, cfg := range engineConfigs() {
+				res := requireEngineAgreement(t, b.Name, src, cfg)
+				if res.Err != nil {
+					t.Fatalf("benchmark errored: %v", res.Err)
+				}
+			}
+		})
+	}
+}
+
+func TestEngineDifferentialAttacks(t *testing.T) {
+	for _, a := range attacks.Suite() {
+		a := a
+		t.Run(a.Name, func(t *testing.T) {
+			t.Parallel()
+			cfg := DefaultConfig(ModeFull)
+			res := requireEngineAgreement(t, a.Name, a.Source, cfg)
+			if !res.Detected() {
+				t.Fatalf("attack not intercepted on the fast engine: %s", describe(res))
+			}
+		})
+	}
+}
+
+func TestEngineDifferentialBugBench(t *testing.T) {
+	for _, p := range bugbench.Suite() {
+		p := p
+		t.Run(p.Name, func(t *testing.T) {
+			t.Parallel()
+			cfg := DefaultConfig(ModeFull)
+			res := requireEngineAgreement(t, p.Name, p.Source, cfg)
+			if detected := res.Violation != nil; detected != p.Full {
+				t.Fatalf("full-mode detection = %v, want %v (%s)",
+					detected, p.Full, describe(res))
+			}
+		})
+	}
+}
+
+// Step limits must trap at the identical instruction on both engines
+// even with batched accounting; the sweep lands the budget across block
+// boundaries and inside fused superinstructions of a real program.
+func TestEngineDifferentialStepLimit(t *testing.T) {
+	src := progs.All()[0].Source(suiteSmallScale[progs.All()[0].Name])
+	for _, limit := range []uint64{1, 2, 3, 5, 17, 100, 1000, 4095, 4096, 4097, 100_000} {
+		cfg := DefaultConfig(ModeFull)
+		cfg.StepLimit = limit
+		res := requireEngineAgreement(t, fmt.Sprintf("limit%d", limit), src, cfg)
+		if limit <= 1000 && res.TrapCode() == "" {
+			t.Fatalf("limit %d did not trap", limit)
+		}
+	}
+}

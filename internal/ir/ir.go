@@ -12,7 +12,10 @@
 // VM can cost them per the chosen metadata facility.
 package ir
 
-import "fmt"
+import (
+	"fmt"
+	"sync"
+)
 
 // Class is the register class of a value.
 type Class int
@@ -436,6 +439,25 @@ type Module struct {
 	Globals []*Global
 
 	funcIdx map[string]*Func
+
+	decodedMu sync.Mutex
+	decoded   any
+}
+
+// Decoded returns the module's cached pre-decoded program, building it
+// with build on first use. The VM's decode stage uses this so concurrent
+// VMs over one module (the serve compile cache, the parallel bench
+// harness) share a single decode. The cache assumes the module is frozen
+// by the time the first VM runs — the same read-only contract the VM
+// already imposes — and the stored value is opaque to this package so ir
+// does not depend on the VM's decoded representation.
+func (m *Module) Decoded(build func() any) any {
+	m.decodedMu.Lock()
+	defer m.decodedMu.Unlock()
+	if m.decoded == nil {
+		m.decoded = build()
+	}
+	return m.decoded
 }
 
 // NewModule returns an empty module.

@@ -27,6 +27,15 @@ type Report struct {
 	MetaBytes   int64  `json:"meta_bytes"`
 	CheckElims  uint64 `json:"check_elims"`
 
+	// Metadata-lookup-cache counters (additive schema-v1 extension;
+	// zero/omitted under the reference engine or with the cache disabled).
+	// meta_cache_sim_insts is the modeled cost of the run's metadata
+	// lookups with the lookaside in front of the facility; sim_insts
+	// always uses the cache-less accounting.
+	MetaCacheHits     uint64 `json:"meta_cache_hits,omitempty"`
+	MetaCacheMisses   uint64 `json:"meta_cache_misses,omitempty"`
+	MetaCacheSimInsts uint64 `json:"meta_cache_sim_insts,omitempty"`
+
 	// Opt carries the compile-time optimizer pass counters (an additive
 	// schema-v1 extension; see DESIGN.md "BENCH.json").
 	Opt OptCounters `json:"opt"`
@@ -62,9 +71,13 @@ func (s *Stats) Report() Report {
 		MaxHeap:     s.MaxHeap,
 		MetaBytes:   s.MetaBytes,
 		CheckElims:  s.CheckElims,
-		Opt:         s.Opt,
-		TrapCode:    s.TrapCode,
-		PtrMemFrac:  s.PtrMemFrac(),
+		MetaCacheHits:     s.MetaCacheHits,
+		MetaCacheMisses:   s.MetaCacheMisses,
+		MetaCacheSimInsts: s.MetaCacheSimInsts,
+
+		Opt:        s.Opt,
+		TrapCode:   s.TrapCode,
+		PtrMemFrac: s.PtrMemFrac(),
 	}
 }
 

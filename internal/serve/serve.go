@@ -137,6 +137,9 @@ type Request struct {
 	Args []string `json:"args,omitempty"`
 	// NoOptimize disables the optimizer for this request.
 	NoOptimize bool `json:"no_optimize,omitempty"`
+	// Engine selects the interpreter: "" or "fast" (default) for the
+	// pre-decoded fast engine, "ref" for the reference interpreter.
+	Engine string `json:"engine,omitempty"`
 }
 
 // Response is the /run result. Field names share the BENCH.json
@@ -385,6 +388,14 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
+	switch req.Engine {
+	case "", "fast", "ref":
+	default:
+		s.counters.Inc("run.bad_request")
+		writeJSON(w, http.StatusBadRequest, ErrorBody{Error: fmt.Sprintf(
+			"unknown engine %q (want \"fast\" or \"ref\")", req.Engine)})
+		return
+	}
 
 	sum := sha256.Sum256([]byte(req.Source))
 	hash := hex.EncodeToString(sum[:])
@@ -611,6 +622,7 @@ func (s *Server) driverConfig(req Request) driver.Config {
 		}
 		_ = applyScheme(&cfg, scheme) // validated at admission
 	}
+	cfg.RefInterp = req.Engine == "ref"
 	timeout := s.opts.DefaultTimeout
 	if req.TimeoutMillis > 0 {
 		timeout = time.Duration(req.TimeoutMillis) * time.Millisecond

@@ -159,10 +159,36 @@ func TestRequestValidation(t *testing.T) {
 		{Source: okSrc, Mode: "sideways"},     // unknown mode
 		{Source: okSrc, Scheme: "nope"},       // unknown scheme
 		{Source: okSrc, Faults: "bogus-plan"}, // malformed fault plan
+		{Source: okSrc, Engine: "turbo"},      // unknown engine
 	} {
 		if status, body := post(t, ts, req); status != http.StatusBadRequest {
 			t.Errorf("%+v: status %d, want 400 (%s)", req, status, body)
 		}
+	}
+}
+
+// Both interpreter engines are selectable per request and must serve the
+// same observable result from the same cached artifact.
+func TestEngineSelection(t *testing.T) {
+	_, ts := newTestServer(t, Options{})
+	var results []Response
+	for _, engine := range []string{"", "fast", "ref"} {
+		status, body := post(t, ts, Request{Source: okSrc, Engine: engine})
+		if status != http.StatusOK {
+			t.Fatalf("engine %q: status %d, body %s", engine, status, body)
+		}
+		results = append(results, decodeRun(t, body))
+	}
+	for i, r := range results {
+		if r.ExitCode != results[0].ExitCode || r.Output != results[0].Output ||
+			r.TrapCode != results[0].TrapCode ||
+			r.Stats.SimInsts != results[0].Stats.SimInsts {
+			t.Fatalf("engine variant %d diverged: %+v vs %+v", i, r, results[0])
+		}
+	}
+	// Engine choice affects execution only, never the compiled artifact.
+	if !results[2].CacheHit {
+		t.Error("ref-engine request recompiled instead of reusing the cache")
 	}
 }
 

@@ -1,0 +1,503 @@
+package vm
+
+import (
+	"math"
+
+	"softbound/internal/ir"
+)
+
+// This file implements the fast engine's decode stage: each *ir.Func is
+// flattened once into a dense []dinst. Block targets become flat
+// instruction indices, operands are pre-resolved (register number vs.
+// immediate — global and function addresses are a deterministic function
+// of the module, so symbol operands become plain constants), direct call
+// targets are bound to their decoded bodies, and the hot adjacent
+// patterns the SoftBound instrumentation emits are fused into
+// superinstructions:
+//
+//	GEP+Check+Load   → dGEPCheckLoad
+//	GEP+Check+Store  → dGEPCheckStore
+//	Check+MetaLoad   → dCheckMetaLoad
+//
+// Fusion never changes semantics: the fused handlers execute the
+// component operations in exactly the reference order, with per-component
+// statistics and step accounting, so a trap inside a superinstruction
+// (bounds violation, step limit) is indistinguishable from the reference
+// engine's. Every control-flow resume point (block starts, the
+// instruction after a call) falls on a decoded-instruction boundary
+// because terminators and calls are never fused into.
+//
+// The decoded program is immutable after construction and cached on the
+// *ir.Module (ir.Module.Decoded), so concurrent VMs — the serve compile
+// cache, the parallel bench harness — share one decode.
+
+// layoutGlobals computes the deterministic global layout: align-rounded
+// offsets from GlobalBase, in declaration order. It fills addrs (and
+// sizes, when non-nil) and returns the total data-segment extent.
+func layoutGlobals(mod *ir.Module, addrs, sizes map[string]uint64) uint64 {
+	var off uint64
+	for _, g := range mod.Globals {
+		align := uint64(g.Align)
+		if align == 0 {
+			align = 8
+		}
+		off = (off + align - 1) &^ (align - 1)
+		addrs[g.Name] = GlobalBase + off
+		if sizes != nil {
+			sizes[g.Name] = uint64(g.Size)
+		}
+		off += uint64(g.Size)
+	}
+	return off
+}
+
+// layoutFuncs assigns the deterministic function-segment addresses.
+func layoutFuncs(mod *ir.Module, addrs map[string]uint64) {
+	for i, f := range mod.Funcs {
+		addrs[f.Name] = FuncBase + uint64(i)*FuncSlot
+	}
+}
+
+// dOp discriminates decoded instructions.
+type dOp uint8
+
+// Decoded operations. dConst..dUnreachable map 1:1 onto InstKinds (with
+// const/reg specialization); the last three are superinstructions.
+const (
+	dBad dOp = iota // malformed instruction or operand: typed RuntimeError
+	dFellOff
+	dConst // dst = immediate
+	dMov   // dst = register
+	dAdd   // 64-bit wrapping add (width 0/64; signedness immaterial)
+	dSub
+	dMul
+	dBin // generic KBin via src
+	dUn
+	dCmp
+	dConv
+	dAlloca
+	dLoad
+	dStore
+	dGEP
+	dCheck
+	dCheckCall
+	dMetaLoad
+	dMetaStore
+	dMetaClear
+	dBr
+	dCondBr
+	dCall
+	dRet
+	dUnreachable
+
+	dGEPCheckLoad
+	dGEPCheckStore
+	dCheckMetaLoad
+)
+
+// dOperand is a pre-resolved operand: a register number, or (reg ==
+// NoReg) an immediate. Constants, global addresses, and function
+// addresses all collapse to immediates at decode time.
+type dOperand struct {
+	reg ir.Reg
+	imm uint64
+}
+
+// get reads the operand against a register file.
+func (o dOperand) get(regs []uint64) uint64 {
+	if o.reg >= 0 {
+		return regs[o.reg]
+	}
+	return o.imm
+}
+
+// dinst is one decoded instruction. The field set is the union of what
+// the handlers need; src keeps the originating ir.Inst for cold fields
+// (call argument metadata, conversion specs) and diagnostics, and blk/ip
+// keep the source position for error wrapping.
+type dinst struct {
+	op     dOp
+	nsteps uint8 // simulated steps this instruction retires (fused: per component)
+	mem    ir.MemType
+	checkK ir.CheckKind
+
+	dst, dst2 ir.Reg
+	a, b      dOperand
+	base, bnd dOperand // check bounds
+	size, off int64    // GEP scale and constant offset; alloca size
+	asize     uint64   // check access size
+
+	target, elseT int32 // branch targets as flat indices (post-patch)
+
+	callee *dfunc     // direct user-function call target
+	args   []dOperand // pre-resolved call arguments
+
+	src     *ir.Inst
+	blk, ip int32
+}
+
+// dfunc is a decoded function body.
+type dfunc struct {
+	fn         *ir.Func
+	code       []dinst
+	blockStart []int32
+}
+
+// program is a decoded module.
+type program struct {
+	funcs map[*ir.Func]*dfunc
+}
+
+// decoder carries the module-wide resolution context.
+type decoder struct {
+	globals   map[string]uint64
+	funcAddrs map[string]uint64
+	mod       *ir.Module
+	prog      *program
+	cur       *ir.Func // function being decoded (branch-target validation)
+}
+
+// decodeModule flattens every function of the module. It is pure with
+// respect to the module (all addresses are recomputed from the layout
+// helpers), so the result is shareable across VMs.
+func decodeModule(mod *ir.Module) *program {
+	dec := &decoder{
+		globals:   make(map[string]uint64),
+		funcAddrs: make(map[string]uint64),
+		mod:       mod,
+		prog:      &program{funcs: make(map[*ir.Func]*dfunc, len(mod.Funcs))},
+	}
+	layoutGlobals(mod, dec.globals, nil)
+	layoutFuncs(mod, dec.funcAddrs)
+	// Shells first, so direct-call operands can bind callees that appear
+	// later (or recursively).
+	for _, fn := range mod.Funcs {
+		dec.prog.funcs[fn] = &dfunc{fn: fn}
+	}
+	for _, fn := range mod.Funcs {
+		dec.decodeFunc(fn, dec.prog.funcs[fn])
+	}
+	return dec.prog
+}
+
+// operand pre-resolves an ir.Value; ok is false for a malformed kind.
+func (dec *decoder) operand(val ir.Value) (dOperand, bool) {
+	switch val.Kind {
+	case ir.VReg:
+		return dOperand{reg: val.Reg}, true
+	case ir.VConstInt:
+		return dOperand{reg: ir.NoReg, imm: uint64(val.Int)}, true
+	case ir.VConstFloat:
+		return dOperand{reg: ir.NoReg, imm: math.Float64bits(val.Float)}, true
+	case ir.VGlobal:
+		return dOperand{reg: ir.NoReg, imm: dec.globals[val.Sym] + uint64(val.Off)}, true
+	case ir.VFunc:
+		return dOperand{reg: ir.NoReg, imm: dec.funcAddrs[val.Sym]}, true
+	}
+	return dOperand{reg: ir.NoReg}, false
+}
+
+func isTerminator(k ir.InstKind) bool {
+	switch k {
+	case ir.KRet, ir.KBr, ir.KCondBr, ir.KUnreachable:
+		return true
+	}
+	return false
+}
+
+func (dec *decoder) decodeFunc(fn *ir.Func, df *dfunc) {
+	dec.cur = fn
+	df.blockStart = make([]int32, len(fn.Blocks))
+	var code []dinst
+	for bi, blk := range fn.Blocks {
+		df.blockStart[bi] = int32(len(code))
+		insts := blk.Insts
+		for i := 0; i < len(insts); i++ {
+			in := &insts[i]
+
+			// Superinstruction fusion. Conditions are structural (the
+			// check guards the GEP result, the access goes through it),
+			// which is exactly the shape the instrumentation emits.
+			if in.Kind == ir.KGEP && i+2 < len(insts) {
+				chk, acc := &insts[i+1], &insts[i+2]
+				if chk.Kind == ir.KCheck && chk.CheckK != ir.CheckCall &&
+					chk.A.IsReg() && chk.A.Reg == in.Dst &&
+					(acc.Kind == ir.KLoad || acc.Kind == ir.KStore) &&
+					acc.A.IsReg() && acc.A.Reg == in.Dst {
+					if d, ok := dec.fuseGEPCheckAccess(in, chk, acc, bi, i); ok {
+						code = append(code, d)
+						i += 2
+						continue
+					}
+				}
+			}
+			if in.Kind == ir.KCheck && in.CheckK != ir.CheckCall && i+1 < len(insts) {
+				if ml := &insts[i+1]; ml.Kind == ir.KMetaLoad {
+					if d, ok := dec.fuseCheckMetaLoad(in, ml, bi, i); ok {
+						code = append(code, d)
+						i++
+						continue
+					}
+				}
+			}
+
+			code = append(code, dec.decodeInst(in, bi, i))
+		}
+		if len(insts) == 0 || !isTerminator(insts[len(insts)-1].Kind) {
+			// The reference engine reports "fell off block" when ip runs
+			// past the last instruction; a sentinel keeps the decoded
+			// stream from sliding into the next block.
+			code = append(code, dinst{op: dFellOff, nsteps: 1,
+				blk: int32(bi), ip: int32(len(insts))})
+		}
+	}
+	// Branch targets were recorded as block indices; patch them to flat
+	// instruction indices now that every block start is known.
+	for i := range code {
+		switch code[i].op {
+		case dBr:
+			code[i].target = df.blockStart[code[i].target]
+		case dCondBr:
+			code[i].target = df.blockStart[code[i].target]
+			code[i].elseT = df.blockStart[code[i].elseT]
+		}
+	}
+	df.code = code
+}
+
+// decodeInst translates one instruction; any malformed piece degrades to
+// dBad, which traps with a typed RuntimeError if ever executed.
+func (dec *decoder) decodeInst(in *ir.Inst, bi, ii int) dinst {
+	d := dinst{nsteps: 1, src: in, blk: int32(bi), ip: int32(ii)}
+	bad := func() dinst {
+		d.op = dBad
+		return d
+	}
+	switch in.Kind {
+	case ir.KConst, ir.KMov:
+		a, ok := dec.operand(in.A)
+		if !ok {
+			return bad()
+		}
+		d.a, d.dst = a, in.Dst
+		if a.reg >= 0 {
+			d.op = dMov
+		} else {
+			d.op = dConst
+		}
+
+	case ir.KBin:
+		a, okA := dec.operand(in.A)
+		b, okB := dec.operand(in.B)
+		if !okA || !okB {
+			return bad()
+		}
+		d.a, d.b, d.dst = a, b, in.Dst
+		// Full-width adds/subs/muls (the address arithmetic workhorses)
+		// skip the generic width/sign dispatch: wrapInt is the identity
+		// at width 0/64 regardless of signedness.
+		if in.IntWidth == 0 || in.IntWidth == 64 {
+			switch in.Op {
+			case ir.OpAdd:
+				d.op = dAdd
+				return d
+			case ir.OpSub:
+				d.op = dSub
+				return d
+			case ir.OpMul:
+				d.op = dMul
+				return d
+			}
+		}
+		d.op = dBin
+
+	case ir.KUn:
+		a, ok := dec.operand(in.A)
+		if !ok {
+			return bad()
+		}
+		d.op, d.a, d.dst = dUn, a, in.Dst
+
+	case ir.KCmp:
+		a, okA := dec.operand(in.A)
+		b, okB := dec.operand(in.B)
+		if !okA || !okB {
+			return bad()
+		}
+		d.op, d.a, d.b, d.dst = dCmp, a, b, in.Dst
+
+	case ir.KConv:
+		a, ok := dec.operand(in.A)
+		if !ok {
+			return bad()
+		}
+		d.op, d.a, d.dst = dConv, a, in.Dst
+
+	case ir.KAlloca:
+		d.op, d.dst = dAlloca, in.Dst
+		d.off = in.C.Int
+		d.size = in.Size
+
+	case ir.KLoad:
+		a, ok := dec.operand(in.A)
+		if !ok {
+			return bad()
+		}
+		d.op, d.a, d.dst, d.mem = dLoad, a, in.Dst, in.Mem
+
+	case ir.KStore:
+		a, okA := dec.operand(in.A)
+		b, okB := dec.operand(in.B)
+		if !okA || !okB {
+			return bad()
+		}
+		d.op, d.a, d.b, d.mem = dStore, a, b, in.Mem
+
+	case ir.KGEP:
+		a, okA := dec.operand(in.A)
+		b, okB := dec.operand(in.B)
+		if !okA || !okB {
+			return bad()
+		}
+		d.op, d.a, d.b, d.dst = dGEP, a, b, in.Dst
+		d.size, d.off = in.Size, in.C.Int
+
+	case ir.KCheck:
+		a, okA := dec.operand(in.A)
+		base, okB := dec.operand(in.Base)
+		bnd, okC := dec.operand(in.Bound)
+		if !okA || !okB || !okC {
+			return bad()
+		}
+		d.a, d.base, d.bnd = a, base, bnd
+		d.checkK = in.CheckK
+		if in.CheckK == ir.CheckCall {
+			d.op = dCheckCall
+		} else {
+			d.op = dCheck
+			d.asize = uint64(in.AccessSize)
+		}
+
+	case ir.KMetaLoad:
+		a, ok := dec.operand(in.A)
+		if !ok {
+			return bad()
+		}
+		d.op, d.a = dMetaLoad, a
+		d.dst, d.dst2 = in.DstBaseR, in.DstBndR
+
+	case ir.KMetaStore:
+		a, okA := dec.operand(in.A)
+		base, okB := dec.operand(in.SrcBase)
+		bnd, okC := dec.operand(in.SrcBound)
+		if !okA || !okB || !okC {
+			return bad()
+		}
+		d.op, d.a, d.base, d.bnd = dMetaStore, a, base, bnd
+
+	case ir.KMetaClear:
+		a, okA := dec.operand(in.A)
+		b, okB := dec.operand(in.MemSize)
+		if !okA || !okB {
+			return bad()
+		}
+		d.op, d.a, d.b = dMetaClear, a, b
+
+	case ir.KBr:
+		if in.Target < 0 || in.Target >= len(dec.curBlocks()) {
+			return bad()
+		}
+		d.op, d.target = dBr, int32(in.Target)
+
+	case ir.KCondBr:
+		a, ok := dec.operand(in.A)
+		if !ok || in.Target < 0 || in.Target >= len(dec.curBlocks()) ||
+			in.Else < 0 || in.Else >= len(dec.curBlocks()) {
+			return bad()
+		}
+		d.op, d.a = dCondBr, a
+		d.target, d.elseT = int32(in.Target), int32(in.Else)
+
+	case ir.KCall:
+		d.op = dCall
+		d.args = make([]dOperand, len(in.Args))
+		for i, a := range in.Args {
+			op, ok := dec.operand(a)
+			if !ok {
+				return bad()
+			}
+			d.args[i] = op
+		}
+		switch in.Callee.Kind {
+		case ir.VFunc:
+			if fn := dec.mod.Lookup(in.Callee.Sym); fn != nil {
+				d.callee = dec.prog.funcs[fn]
+			}
+		case ir.VReg:
+			// Indirect: resolved per call through the register.
+		default:
+			return bad()
+		}
+
+	case ir.KRet:
+		d.op = dRet
+
+	case ir.KUnreachable:
+		d.op = dUnreachable
+
+	default:
+		return bad()
+	}
+	return d
+}
+
+// curBlocks returns the block slice of the function being decoded.
+func (dec *decoder) curBlocks() []*ir.Block { return dec.cur.Blocks }
+
+func (dec *decoder) fuseGEPCheckAccess(gep, chk, acc *ir.Inst, bi, ii int) (dinst, bool) {
+	a, okA := dec.operand(gep.A)
+	b, okB := dec.operand(gep.B)
+	base, okC := dec.operand(chk.Base)
+	bnd, okD := dec.operand(chk.Bound)
+	if !okA || !okB || !okC || !okD {
+		return dinst{}, false
+	}
+	d := dinst{
+		nsteps: 3,
+		src:    gep, blk: int32(bi), ip: int32(ii),
+		a: a, b: b, dst: gep.Dst,
+		size: gep.Size, off: gep.C.Int,
+		base: base, bnd: bnd, asize: uint64(chk.AccessSize), checkK: chk.CheckK,
+		mem: acc.Mem,
+	}
+	if acc.Kind == ir.KLoad {
+		d.op = dGEPCheckLoad
+		d.dst2 = acc.Dst
+	} else {
+		val, ok := dec.operand(acc.B)
+		if !ok {
+			return dinst{}, false
+		}
+		d.op = dGEPCheckStore
+		// The store-value operand rides in args (unused by non-call ops).
+		d.args = []dOperand{val}
+	}
+	return d, true
+}
+
+func (dec *decoder) fuseCheckMetaLoad(chk, ml *ir.Inst, bi, ii int) (dinst, bool) {
+	a, okA := dec.operand(chk.A)
+	base, okB := dec.operand(chk.Base)
+	bnd, okC := dec.operand(chk.Bound)
+	addr, okD := dec.operand(ml.A)
+	if !okA || !okB || !okC || !okD {
+		return dinst{}, false
+	}
+	return dinst{
+		op: dCheckMetaLoad, nsteps: 2,
+		src: chk, blk: int32(bi), ip: int32(ii),
+		a: a, base: base, bnd: bnd, asize: uint64(chk.AccessSize), checkK: chk.CheckK,
+		b:   addr,
+		dst: ml.DstBaseR, dst2: ml.DstBndR,
+	}, true
+}

@@ -20,7 +20,10 @@ const (
 	costCheck  = 3
 )
 
-// eval resolves an operand against the current frame.
+// eval resolves an operand against the current frame. A malformed
+// operand kind is a typed RuntimeError delivered by panic (the hot
+// signature stays a plain uint64); the engine loops convert it back to
+// an ordinary error via recoverRuntime.
 func (v *VM) eval(f *frame, val ir.Value) uint64 {
 	switch val.Kind {
 	case ir.VReg:
@@ -34,12 +37,26 @@ func (v *VM) eval(f *frame, val ir.Value) uint64 {
 	case ir.VFunc:
 		return v.funcAddrs[val.Sym]
 	}
-	return 0
+	panic(&RuntimeError{Msg: fmt.Sprintf("unknown operand kind %d in %s", val.Kind, f.fn.Name)})
+}
+
+// recoverRuntime converts a panicked *RuntimeError (raised by eval on a
+// malformed operand) into the returned error; any other panic value is
+// re-raised untouched.
+func recoverRuntime(errp *error) {
+	if r := recover(); r != nil {
+		re, ok := r.(*RuntimeError)
+		if !ok {
+			panic(r)
+		}
+		*errp = re
+	}
 }
 
 // loop runs until the outermost frame returns, exit() is called, or an
 // error occurs.
-func (v *VM) loop() error {
+func (v *VM) loop() (err error) {
+	defer recoverRuntime(&err)
 	for !v.halted && len(v.stack) > 0 {
 		if err := v.step(); err != nil {
 			// Attach the faulting site for diagnostics; callers unwrap
@@ -93,15 +110,7 @@ func (v *VM) step() error {
 		v.stats.SimInsts += costALU
 
 	case ir.KUn:
-		a := v.eval(f, in.A)
-		switch in.Op {
-		case ir.OpNeg:
-			f.regs[in.Dst] = wrapInt(-a, in.IntWidth, in.Signed)
-		case ir.OpNot:
-			f.regs[in.Dst] = wrapInt(^a, in.IntWidth, in.Signed)
-		case ir.OpFNeg:
-			f.regs[in.Dst] = floatOp(a, 0, in.IntWidth, func(x, _ float64) float64 { return -x })
-		}
+		f.regs[in.Dst] = unOp(f.regs[in.Dst], v.eval(f, in.A), in)
 		v.stats.SimInsts += costALU
 
 	case ir.KCmp:
@@ -111,12 +120,6 @@ func (v *VM) step() error {
 	case ir.KConv:
 		f.regs[in.Dst] = execConv(v.eval(f, in.A), in)
 		v.stats.SimInsts += costALU
-		if in.Mem == ir.MemPtr {
-			// int→pointer: metadata becomes NULL bounds; handled by
-			// the instrumentation (it emits no metadata copy), cost
-			// only here.
-			_ = in
-		}
 
 	case ir.KAlloca:
 		f.regs[in.Dst] = f.fp + uint64(in.C.Int)
@@ -326,8 +329,26 @@ func floatOp(a, b uint64, width int, op func(x, y float64) float64) uint64 {
 }
 
 func (v *VM) execBin(f *frame, in *ir.Inst) (uint64, error) {
-	a := v.eval(f, in.A)
-	b := v.eval(f, in.B)
+	return binOp(v.eval(f, in.A), v.eval(f, in.B), in, f.fn.Name)
+}
+
+// unOp applies a unary operator; an unknown op leaves the destination
+// unchanged (old), matching the reference dispatch.
+func unOp(old, a uint64, in *ir.Inst) uint64 {
+	switch in.Op {
+	case ir.OpNeg:
+		return wrapInt(-a, in.IntWidth, in.Signed)
+	case ir.OpNot:
+		return wrapInt(^a, in.IntWidth, in.Signed)
+	case ir.OpFNeg:
+		return floatOp(a, 0, in.IntWidth, func(x, _ float64) float64 { return -x })
+	}
+	return old
+}
+
+// binOp applies a binary operator to pre-evaluated operands; both
+// engines share it so arithmetic semantics cannot drift.
+func binOp(a, b uint64, in *ir.Inst, fname string) (uint64, error) {
 	switch in.Op {
 	case ir.OpFAdd:
 		return floatOp(a, b, in.IntWidth, func(x, y float64) float64 { return x + y }), nil
@@ -348,7 +369,7 @@ func (v *VM) execBin(f *frame, in *ir.Inst) (uint64, error) {
 		r = a * b
 	case ir.OpDiv:
 		if b == 0 {
-			return 0, &RuntimeError{Msg: "division by zero in " + f.fn.Name}
+			return 0, &RuntimeError{Msg: "division by zero in " + fname}
 		}
 		if in.Signed {
 			r = uint64(int64(a) / int64(b))
@@ -357,7 +378,7 @@ func (v *VM) execBin(f *frame, in *ir.Inst) (uint64, error) {
 		}
 	case ir.OpRem:
 		if b == 0 {
-			return 0, &RuntimeError{Msg: "modulo by zero in " + f.fn.Name}
+			return 0, &RuntimeError{Msg: "modulo by zero in " + fname}
 		}
 		if in.Signed {
 			r = uint64(int64(a) % int64(b))
@@ -393,8 +414,11 @@ func (v *VM) execBin(f *frame, in *ir.Inst) (uint64, error) {
 }
 
 func (v *VM) execCmp(f *frame, in *ir.Inst) uint64 {
-	a := v.eval(f, in.A)
-	b := v.eval(f, in.B)
+	return cmpOp(v.eval(f, in.A), v.eval(f, in.B), in)
+}
+
+// cmpOp applies a comparison predicate to pre-evaluated operands.
+func cmpOp(a, b uint64, in *ir.Inst) uint64 {
 	var res bool
 	switch in.Pred {
 	case ir.PredEQ:
@@ -499,17 +523,30 @@ func (v *VM) execCall(f *frame, in *ir.Inst) error {
 	v.stats.Calls++
 	v.stats.SimInsts += costCall + uint64(len(in.Args))
 
-	// Evaluate arguments and metadata in the caller's frame.
+	// Evaluate arguments and metadata in the caller's frame. The metas
+	// slice is materialized only when some argument actually carries
+	// metadata: the common metadata-free call used to allocate (and
+	// immediately discard) a zeroed slice per call. Consumers tolerate a
+	// nil slice (builtins guard on its length); the variadic path below
+	// backfills one when the vararg area needs parallel metadata.
 	args := make([]uint64, len(in.Args))
 	for i, a := range in.Args {
 		args[i] = v.eval(f, a)
 	}
-	metas := make([]meta.Entry, len(in.Args))
+	var metas []meta.Entry
 	for i := range in.MetaArgs {
-		if i < len(metas) && in.MetaArgs[i].Valid {
-			metas[i] = meta.Entry{
-				Base:  v.eval(f, in.MetaArgs[i].Base),
-				Bound: v.eval(f, in.MetaArgs[i].Bound),
+		if i < len(in.Args) && in.MetaArgs[i].Valid {
+			metas = make([]meta.Entry, len(in.Args))
+			break
+		}
+	}
+	if metas != nil {
+		for i := range in.MetaArgs {
+			if i < len(metas) && in.MetaArgs[i].Valid {
+				metas[i] = meta.Entry{
+					Base:  v.eval(f, in.MetaArgs[i].Base),
+					Bound: v.eval(f, in.MetaArgs[i].Bound),
+				}
 			}
 		}
 	}
@@ -565,6 +602,12 @@ func (v *VM) execCall(f *frame, in *ir.Inst) error {
 	var varargs []uint64
 	var varMetas []meta.Entry
 	if callee.Variadic && len(args) > callee.OrigParams {
+		if metas == nil {
+			// The checked va_arg decode indexes varMetas in parallel
+			// with varargs, so a metadata-free variadic call still
+			// carries (zero) entries for its extra arguments.
+			metas = make([]meta.Entry, len(in.Args))
+		}
 		varargs = args[callee.OrigParams:]
 		varMetas = metas[callee.OrigParams:]
 		callArgs = args[:callee.OrigParams]
@@ -578,7 +621,7 @@ func (v *VM) execCall(f *frame, in *ir.Inst) error {
 		}
 	}
 	f.ip++ // resume after the call upon return
-	if err := v.pushFrame(callee, callArgs, metas, in.Dst, in.DstBase, in.DstBound); err != nil {
+	if err := v.pushFrame(callee, callArgs, in.Dst, in.DstBase, in.DstBound); err != nil {
 		return err
 	}
 	top := &v.stack[len(v.stack)-1]

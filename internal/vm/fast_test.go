@@ -1,0 +1,464 @@
+package vm
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"softbound/internal/ir"
+	"softbound/internal/meta"
+	"softbound/internal/metrics"
+)
+
+// Engine differential tests: the fast (pre-decoded) engine must be
+// observationally identical to the reference interpreter — exit code,
+// trap classification, violation fields, and every modeled statistic.
+// The driver-level suite holds this over compiled C programs; the tests
+// here pin the tricky hand-built cases (fused superinstructions, step
+// limits landing mid-fusion, metadata caching).
+
+type engineResult struct {
+	code  int64
+	err   error
+	stats metrics.Stats
+}
+
+func runEngine(t *testing.T, mod *ir.Module, cfg Config, kind InterpKind) engineResult {
+	t.Helper()
+	cfg.Interp = kind
+	v, err := New(mod, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	code, rerr := v.Run()
+	st := *v.Stats()
+	// The cache counters exist only under the fast engine; everything
+	// else must match bit-for-bit.
+	st.MetaCacheHits, st.MetaCacheMisses, st.MetaCacheSimInsts = 0, 0, 0
+	return engineResult{code: code, err: rerr, stats: st}
+}
+
+func requireEngineAgreement(t *testing.T, mod *ir.Module, cfg Config) engineResult {
+	t.Helper()
+	fast := runEngine(t, mod, cfg, InterpFast)
+	ref := runEngine(t, mod, cfg, InterpRef)
+	if fast.code != ref.code {
+		t.Fatalf("exit code: fast=%d ref=%d (fast err=%v, ref err=%v)",
+			fast.code, ref.code, fast.err, ref.err)
+	}
+	if CodeOf(fast.err) != CodeOf(ref.err) {
+		t.Fatalf("trap code: fast=%q (%v) ref=%q (%v)",
+			CodeOf(fast.err), fast.err, CodeOf(ref.err), ref.err)
+	}
+	var fv, rv *SpatialViolation
+	errors.As(fast.err, &fv)
+	errors.As(ref.err, &rv)
+	if (fv == nil) != (rv == nil) {
+		t.Fatalf("violation presence: fast=%v ref=%v", fast.err, ref.err)
+	}
+	if fv != nil && *fv != *rv {
+		t.Fatalf("violation fields:\n  fast: %+v\n  ref:  %+v", *fv, *rv)
+	}
+	if fast.stats != ref.stats {
+		t.Fatalf("stats diverged:\n  fast: %+v\n  ref:  %+v", fast.stats, ref.stats)
+	}
+	return fast
+}
+
+// arithLoopModule sums i*3 over 1000 iterations with a mix of binary ops
+// and both branch kinds.
+func arithLoopModule() *ir.Module {
+	f := &ir.Func{Name: "main", HasRet: true, RetClass: ir.ClassInt}
+	r0 := f.NewReg(ir.ClassInt) // i
+	r1 := f.NewReg(ir.ClassInt) // sum
+	r2 := f.NewReg(ir.ClassInt) // scratch
+	r3 := f.NewReg(ir.ClassInt) // condition
+	f.Blocks = []*ir.Block{
+		{Insts: []ir.Inst{
+			{Kind: ir.KConst, Dst: r0, A: ir.CI(0)},
+			{Kind: ir.KConst, Dst: r1, A: ir.CI(0)},
+			{Kind: ir.KBr, Target: 1},
+		}},
+		{Insts: []ir.Inst{
+			{Kind: ir.KCmp, Dst: r3, Pred: ir.PredLT, Signed: true, A: ir.R(r0), B: ir.CI(1000)},
+			{Kind: ir.KCondBr, A: ir.R(r3), Target: 2, Else: 3},
+		}},
+		{Insts: []ir.Inst{
+			{Kind: ir.KBin, Dst: r2, Op: ir.OpMul, A: ir.R(r0), B: ir.CI(3)},
+			{Kind: ir.KBin, Dst: r1, Op: ir.OpAdd, A: ir.R(r1), B: ir.R(r2)},
+			{Kind: ir.KBin, Dst: r2, Op: ir.OpXor, A: ir.R(r1), B: ir.R(r0), IntWidth: 32},
+			{Kind: ir.KBin, Dst: r2, Op: ir.OpAnd, A: ir.R(r2), B: ir.CI(0xFF), IntWidth: 32},
+			{Kind: ir.KUn, Dst: r2, Op: ir.OpNot, A: ir.R(r2), IntWidth: 32},
+			{Kind: ir.KBin, Dst: r0, Op: ir.OpAdd, A: ir.R(r0), B: ir.CI(1)},
+			{Kind: ir.KBr, Target: 1},
+		}},
+		{Insts: []ir.Inst{
+			{Kind: ir.KBin, Dst: r1, Op: ir.OpAnd, A: ir.R(r1), B: ir.CI(0xFFFF)},
+			{Kind: ir.KRet, HasVal: true, A: ir.R(r1)},
+		}},
+	}
+	return buildModule(f)
+}
+
+// fusedAccessModule walks a 64-byte global with the exact
+// GEP+Check+Load and GEP+Check+Store shapes the instrumentation emits.
+// iters > 8 runs the fused check out of bounds.
+func fusedAccessModule(iters int64) *ir.Module {
+	g := &ir.Global{Name: "g", Size: 64, Align: 8}
+	f := &ir.Func{Name: "main", HasRet: true, RetClass: ir.ClassInt}
+	r0 := f.NewReg(ir.ClassInt) // i
+	r1 := f.NewReg(ir.ClassInt) // sum
+	r2 := f.NewReg(ir.ClassPtr) // p
+	r3 := f.NewReg(ir.ClassInt) // v
+	r4 := f.NewReg(ir.ClassInt) // condition
+	f.Blocks = []*ir.Block{
+		{Insts: []ir.Inst{
+			{Kind: ir.KConst, Dst: r0, A: ir.CI(0)},
+			{Kind: ir.KConst, Dst: r1, A: ir.CI(0)},
+			{Kind: ir.KBr, Target: 1},
+		}},
+		{Insts: []ir.Inst{
+			{Kind: ir.KCmp, Dst: r4, Pred: ir.PredLT, Signed: true, A: ir.R(r0), B: ir.CI(iters)},
+			{Kind: ir.KCondBr, A: ir.R(r4), Target: 2, Else: 3},
+		}},
+		{Insts: []ir.Inst{
+			// Fused triple #1: load g[i].
+			{Kind: ir.KGEP, Dst: r2, A: ir.GV("g", 0), B: ir.R(r0), Size: 8},
+			{Kind: ir.KCheck, CheckK: ir.CheckLoad, A: ir.R(r2),
+				Base: ir.GV("g", 0), Bound: ir.GV("g", 64), AccessSize: 8},
+			{Kind: ir.KLoad, Dst: r3, A: ir.R(r2), Mem: ir.MemI64},
+			{Kind: ir.KBin, Dst: r1, Op: ir.OpAdd, A: ir.R(r1), B: ir.R(r3)},
+			{Kind: ir.KBin, Dst: r3, Op: ir.OpAdd, A: ir.R(r3), B: ir.CI(5)},
+			// Fused triple #2: store g[i] back.
+			{Kind: ir.KGEP, Dst: r2, A: ir.GV("g", 0), B: ir.R(r0), Size: 8},
+			{Kind: ir.KCheck, CheckK: ir.CheckStore, A: ir.R(r2),
+				Base: ir.GV("g", 0), Bound: ir.GV("g", 64), AccessSize: 8},
+			{Kind: ir.KStore, A: ir.R(r2), B: ir.R(r3), Mem: ir.MemI64},
+			{Kind: ir.KBin, Dst: r0, Op: ir.OpAdd, A: ir.R(r0), B: ir.CI(1)},
+			{Kind: ir.KBr, Target: 1},
+		}},
+		{Insts: []ir.Inst{
+			{Kind: ir.KRet, HasVal: true, A: ir.R(r1)},
+		}},
+	}
+	return buildModule(f, g)
+}
+
+func TestEngineAgreementArithLoop(t *testing.T) {
+	res := requireEngineAgreement(t, arithLoopModule(), Config{})
+	if res.err != nil {
+		t.Fatalf("clean program errored: %v", res.err)
+	}
+	if want := int64((3 * 999 * 1000 / 2) & 0xFFFF); res.code != want {
+		t.Fatalf("exit = %d, want %d", res.code, want)
+	}
+}
+
+func TestEngineAgreementFusedAccess(t *testing.T) {
+	res := requireEngineAgreement(t, fusedAccessModule(8), Config{})
+	if res.err != nil {
+		t.Fatalf("in-bounds walk errored: %v", res.err)
+	}
+	// Second pass over the stored values: 8 stores of +5 each.
+	if res.stats.Stores != 8 || res.stats.Loads != 8 || res.stats.Checks != 16 {
+		t.Fatalf("unexpected op mix: %+v", res.stats)
+	}
+}
+
+func TestEngineAgreementFusedViolation(t *testing.T) {
+	res := requireEngineAgreement(t, fusedAccessModule(9), Config{})
+	var sv *SpatialViolation
+	if !errors.As(res.err, &sv) {
+		t.Fatalf("out-of-bounds fused access not caught: %v", res.err)
+	}
+	if sv.Kind != ir.CheckLoad || sv.Size != 8 {
+		t.Fatalf("violation: %+v", sv)
+	}
+}
+
+// Sweeping the step limit across the whole run drives the budget
+// exhaustion point through every instruction — including the middle of
+// both fused triples — and demands bit-identical traps and statistics at
+// each position.
+func TestEngineAgreementStepLimitSweep(t *testing.T) {
+	mod := fusedAccessModule(8)
+	for limit := uint64(1); limit <= 120; limit++ {
+		requireEngineAgreement(t, mod, Config{StepLimit: limit})
+	}
+}
+
+// A violation that the reference engine hits on exactly the step the
+// budget would also expire must report the violation, not the limit, in
+// both engines (the check runs before the budget poll on the next inst).
+func TestEngineAgreementViolationVsLimitSweep(t *testing.T) {
+	mod := fusedAccessModule(9)
+	for limit := uint64(80); limit <= 110; limit++ {
+		requireEngineAgreement(t, mod, Config{StepLimit: limit})
+	}
+}
+
+func TestEngineAgreementMetaOps(t *testing.T) {
+	g := &ir.Global{Name: "p", Size: 8, Align: 8}
+	f := &ir.Func{Name: "main", HasRet: true, RetClass: ir.ClassInt}
+	rb := f.NewReg(ir.ClassInt)
+	re := f.NewReg(ir.ClassInt)
+	f.Blocks = []*ir.Block{{Insts: []ir.Inst{
+		{Kind: ir.KMetaStore, A: ir.GV("p", 0), SrcBase: ir.CI(0x1000), SrcBound: ir.CI(0x1040)},
+		// Check+MetaLoad adjacency: the fused form on the fast engine.
+		{Kind: ir.KCheck, CheckK: ir.CheckLoad, A: ir.GV("p", 0),
+			Base: ir.GV("p", 0), Bound: ir.GV("p", 8), AccessSize: 8},
+		{Kind: ir.KMetaLoad, A: ir.GV("p", 0), DstBaseR: rb, DstBndR: re},
+		{Kind: ir.KMetaLoad, A: ir.GV("p", 0), DstBaseR: rb, DstBndR: re}, // repeat: cache hit
+		{Kind: ir.KBin, Dst: rb, Op: ir.OpAdd, A: ir.R(rb), B: ir.R(re)},
+		{Kind: ir.KRet, HasVal: true, A: ir.R(rb)},
+	}}}
+	res := requireEngineAgreement(t, buildModule(f, g), Config{})
+	if res.err != nil {
+		t.Fatal(res.err)
+	}
+	if res.code != 0x1000+0x1040 {
+		t.Fatalf("metadata round-trip: exit=%#x", res.code)
+	}
+	if res.stats.MetaLoads != 2 || res.stats.MetaStores != 1 {
+		t.Fatalf("meta op counts: %+v", res.stats)
+	}
+}
+
+// The clock builtin returns v.steps, so the fast engine must flush its
+// batched step count before every builtin call; agreement on the exit
+// code proves the flush is exact.
+func TestEngineAgreementClockSeesBatchedSteps(t *testing.T) {
+	f := &ir.Func{Name: "main", HasRet: true, RetClass: ir.ClassInt}
+	r0 := f.NewReg(ir.ClassInt)
+	r1 := f.NewReg(ir.ClassInt)
+	f.Blocks = []*ir.Block{{Insts: []ir.Inst{
+		{Kind: ir.KConst, Dst: r0, A: ir.CI(1)},
+		{Kind: ir.KBin, Dst: r0, Op: ir.OpAdd, A: ir.R(r0), B: ir.R(r0)},
+		{Kind: ir.KBin, Dst: r0, Op: ir.OpAdd, A: ir.R(r0), B: ir.R(r0)},
+		{Kind: ir.KCall, Callee: ir.FV("clock"), Dst: r1,
+			DstBase: ir.NoReg, DstBound: ir.NoReg},
+		{Kind: ir.KRet, HasVal: true, A: ir.R(r1)},
+	}}}
+	res := requireEngineAgreement(t, buildModule(f), Config{})
+	if res.err != nil {
+		t.Fatal(res.err)
+	}
+	if res.code == 0 {
+		t.Fatal("clock returned 0: batched steps were not flushed")
+	}
+}
+
+func TestEngineAgreementCallsAndIndirect(t *testing.T) {
+	leaf := &ir.Func{Name: "leaf", HasRet: true, RetClass: ir.ClassInt, OrigParams: 2}
+	a := leaf.NewReg(ir.ClassInt)
+	b := leaf.NewReg(ir.ClassInt)
+	s := leaf.NewReg(ir.ClassInt)
+	leaf.ParamRegs = []ir.Reg{a, b}
+	leaf.Blocks = []*ir.Block{{Insts: []ir.Inst{
+		{Kind: ir.KBin, Dst: s, Op: ir.OpAdd, A: ir.R(a), B: ir.R(b)},
+		{Kind: ir.KRet, HasVal: true, A: ir.R(s)},
+	}}}
+
+	f := &ir.Func{Name: "main", HasRet: true, RetClass: ir.ClassInt}
+	r0 := f.NewReg(ir.ClassInt) // i
+	r1 := f.NewReg(ir.ClassInt) // sum
+	r2 := f.NewReg(ir.ClassInt) // call result
+	r3 := f.NewReg(ir.ClassInt) // condition
+	rp := f.NewReg(ir.ClassPtr) // function pointer
+	f.Blocks = []*ir.Block{
+		{Insts: []ir.Inst{
+			{Kind: ir.KConst, Dst: r0, A: ir.CI(0)},
+			{Kind: ir.KConst, Dst: r1, A: ir.CI(0)},
+			{Kind: ir.KConst, Dst: rp, A: ir.FV("leaf")},
+			{Kind: ir.KBr, Target: 1},
+		}},
+		{Insts: []ir.Inst{
+			{Kind: ir.KCmp, Dst: r3, Pred: ir.PredLT, Signed: true, A: ir.R(r0), B: ir.CI(200)},
+			{Kind: ir.KCondBr, A: ir.R(r3), Target: 2, Else: 3},
+		}},
+		{Insts: []ir.Inst{
+			// Direct call, then the same leaf through a function pointer.
+			{Kind: ir.KCall, Callee: ir.FV("leaf"), Dst: r2,
+				DstBase: ir.NoReg, DstBound: ir.NoReg,
+				Args: []ir.Value{ir.R(r0), ir.CI(7)}},
+			{Kind: ir.KBin, Dst: r1, Op: ir.OpAdd, A: ir.R(r1), B: ir.R(r2)},
+			{Kind: ir.KCall, Callee: ir.R(rp), Dst: r2,
+				DstBase: ir.NoReg, DstBound: ir.NoReg,
+				Args: []ir.Value{ir.R(r0), ir.CI(9)}},
+			{Kind: ir.KBin, Dst: r1, Op: ir.OpAdd, A: ir.R(r1), B: ir.R(r2)},
+			{Kind: ir.KBin, Dst: r0, Op: ir.OpAdd, A: ir.R(r0), B: ir.CI(1)},
+			{Kind: ir.KBr, Target: 1},
+		}},
+		{Insts: []ir.Inst{
+			{Kind: ir.KBin, Dst: r1, Op: ir.OpAnd, A: ir.R(r1), B: ir.CI(0xFF)},
+			{Kind: ir.KRet, HasVal: true, A: ir.R(r1)},
+		}},
+	}
+	mod := ir.NewModule("test")
+	mod.AddFunc(f)
+	mod.AddFunc(leaf)
+	res := requireEngineAgreement(t, mod, Config{})
+	if res.err != nil {
+		t.Fatal(res.err)
+	}
+	if res.stats.Calls != 400 {
+		t.Fatalf("calls = %d", res.stats.Calls)
+	}
+}
+
+// A malformed operand kind must surface as a typed runtime error on both
+// engines, never a silent zero (the eval fallthrough used to return 0).
+func TestEngineAgreementUnknownOperandKind(t *testing.T) {
+	f := &ir.Func{Name: "main", HasRet: true, RetClass: ir.ClassInt}
+	r0 := f.NewReg(ir.ClassInt)
+	f.Blocks = []*ir.Block{{Insts: []ir.Inst{
+		{Kind: ir.KMov, Dst: r0, A: ir.Value{Kind: ir.ValueKind(99)}},
+		{Kind: ir.KRet, HasVal: true, A: ir.R(r0)},
+	}}}
+	res := requireEngineAgreement(t, buildModule(f), Config{})
+	if res.err == nil {
+		t.Fatal("malformed operand executed silently")
+	}
+	var re *RuntimeError
+	if !errors.As(res.err, &re) {
+		t.Fatalf("want RuntimeError, got %T: %v", res.err, res.err)
+	}
+}
+
+func TestEvalUnknownOperandKindMessage(t *testing.T) {
+	f := &ir.Func{Name: "main", HasRet: true, RetClass: ir.ClassInt}
+	r0 := f.NewReg(ir.ClassInt)
+	f.Blocks = []*ir.Block{{Insts: []ir.Inst{
+		{Kind: ir.KMov, Dst: r0, A: ir.Value{Kind: ir.ValueKind(99)}},
+		{Kind: ir.KRet, HasVal: true, A: ir.R(r0)},
+	}}}
+	res := runEngine(t, buildModule(f), Config{}, InterpRef)
+	if res.err == nil || !strings.Contains(res.err.Error(), "unknown operand kind") {
+		t.Fatalf("reference engine error: %v", res.err)
+	}
+}
+
+// ------------------------------------------------------------- decode
+
+func TestDecodeFusesInstrumentationTriples(t *testing.T) {
+	mod := fusedAccessModule(8)
+	prog := decodeModule(mod)
+	df := prog.funcs[mod.Lookup("main")]
+	var haveLoad, haveStore bool
+	for _, d := range df.code {
+		switch d.op {
+		case dGEPCheckLoad:
+			haveLoad = true
+			if d.nsteps != 3 {
+				t.Fatalf("fused load nsteps = %d", d.nsteps)
+			}
+		case dGEPCheckStore:
+			haveStore = true
+		case dGEP, dCheck, dLoad, dStore:
+			t.Fatalf("unfused %v survived in the hot block", d.op)
+		}
+	}
+	if !haveLoad || !haveStore {
+		t.Fatalf("fusion missed: load=%v store=%v", haveLoad, haveStore)
+	}
+	// Branch targets must be flat indices at block starts.
+	for _, d := range df.code {
+		if d.op == dBr || d.op == dCondBr {
+			found := false
+			for _, s := range df.blockStart {
+				if d.target == s {
+					found = true
+				}
+			}
+			if !found {
+				t.Fatalf("branch target %d is not a block start (%v)", d.target, df.blockStart)
+			}
+		}
+	}
+}
+
+func TestDecodeSharedAcrossVMs(t *testing.T) {
+	mod := arithLoopModule()
+	v1, err := New(mod, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	v2, err := New(mod, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v1.prog == nil || v1.prog != v2.prog {
+		t.Fatal("decoded program not shared via the module cache")
+	}
+}
+
+// ------------------------------------------------------- metadata cache
+
+func TestFastEngineMetaCacheStats(t *testing.T) {
+	g := &ir.Global{Name: "p", Size: 8, Align: 8}
+	f := &ir.Func{Name: "main", HasRet: true, RetClass: ir.ClassInt}
+	r0 := f.NewReg(ir.ClassInt)
+	rb := f.NewReg(ir.ClassInt)
+	re := f.NewReg(ir.ClassInt)
+	rc := f.NewReg(ir.ClassInt)
+	f.Blocks = []*ir.Block{
+		{Insts: []ir.Inst{
+			{Kind: ir.KConst, Dst: r0, A: ir.CI(0)},
+			{Kind: ir.KMetaStore, A: ir.GV("p", 0), SrcBase: ir.CI(16), SrcBound: ir.CI(32)},
+			{Kind: ir.KBr, Target: 1},
+		}},
+		{Insts: []ir.Inst{
+			{Kind: ir.KCmp, Dst: rc, Pred: ir.PredLT, Signed: true, A: ir.R(r0), B: ir.CI(100)},
+			{Kind: ir.KCondBr, A: ir.R(rc), Target: 2, Else: 3},
+		}},
+		{Insts: []ir.Inst{
+			{Kind: ir.KMetaLoad, A: ir.GV("p", 0), DstBaseR: rb, DstBndR: re},
+			{Kind: ir.KBin, Dst: r0, Op: ir.OpAdd, A: ir.R(r0), B: ir.CI(1)},
+			{Kind: ir.KBr, Target: 1},
+		}},
+		{Insts: []ir.Inst{
+			{Kind: ir.KRet, HasVal: true, A: ir.R(rb)},
+		}},
+	}
+	mod := buildModule(f, g)
+
+	v, err := New(mod, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := v.Run(); err != nil {
+		t.Fatal(err)
+	}
+	st := v.Stats()
+	if st.MetaLoads != 100 {
+		t.Fatalf("meta loads = %d", st.MetaLoads)
+	}
+	if st.MetaCacheHits+st.MetaCacheMisses != st.MetaLoads {
+		t.Fatalf("cache probes (%d+%d) != metaloads (%d)",
+			st.MetaCacheHits, st.MetaCacheMisses, st.MetaLoads)
+	}
+	if st.MetaCacheHits < 99 {
+		t.Fatalf("repeated lookup of one slot should hit: hits=%d", st.MetaCacheHits)
+	}
+	wantSim := (st.MetaCacheHits+st.MetaCacheMisses)*meta.CacheHitCost +
+		st.MetaCacheMisses*uint64(v.fac.Costs().Lookup)
+	if st.MetaCacheSimInsts != wantSim {
+		t.Fatalf("cache cost line = %d, want %d", st.MetaCacheSimInsts, wantSim)
+	}
+
+	// Disabled cache: counters stay zero, everything else unchanged.
+	v2, err := New(mod, Config{DisableMetaCache: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := v2.Run(); err != nil {
+		t.Fatal(err)
+	}
+	st2 := v2.Stats()
+	if st2.MetaCacheHits != 0 || st2.MetaCacheMisses != 0 || st2.MetaCacheSimInsts != 0 {
+		t.Fatalf("disabled cache reported activity: %+v", st2)
+	}
+	if st2.SimInsts != st.SimInsts {
+		t.Fatalf("cache changed modeled cost: %d vs %d", st2.SimInsts, st.SimInsts)
+	}
+}

@@ -4,7 +4,6 @@ import (
 	"fmt"
 
 	"softbound/internal/ir"
-	"softbound/internal/meta"
 )
 
 // setjmp/longjmp support. The jmp_buf lives in ordinary user memory, so a
@@ -22,6 +21,7 @@ func (v *VM) doSetjmp(f *frame, in *ir.Inst, args []uint64) error {
 		depth:  len(v.stack),
 		block:  f.block,
 		ip:     f.ip,
+		fip:    f.fip,
 		retDst: in.Dst,
 	}
 	v.jmpSPs[tok] = v.sp
@@ -33,6 +33,7 @@ func (v *VM) doSetjmp(f *frame, in *ir.Inst, args []uint64) error {
 	}
 	v.stats.SimInsts += 10
 	f.ip++
+	f.fip++
 	return nil
 }
 
@@ -54,18 +55,17 @@ func (v *VM) doLongjmp(f *frame, args []uint64) error {
 		v.sp = v.jmpSPs[tok]
 		top := &v.stack[len(v.stack)-1]
 		top.block = cp.block
-		top.ip = cp.ip
+		top.ip = cp.ip + 1  // resume after the setjmp call
+		top.fip = cp.fip + 1 // same point in the decoded body
 		if cp.retDst != ir.NoReg {
 			top.regs[cp.retDst] = val
 		}
-		top.ip++ // resume after the setjmp call
 		return nil
 	}
 	if target := v.funcByAddr(tok); target != nil {
 		// Corrupted jmp_buf redirected control: the attack succeeded.
 		v.Hijacks = append(v.Hijacks, ControlHijack{Via: "longjmp", Target: target.Name})
-		metas := make([]meta.Entry, len(target.Params))
-		return v.pushFrame(target, nil, metas, ir.NoReg, ir.NoReg, ir.NoReg)
+		return v.pushFrame(target, nil, ir.NoReg, ir.NoReg, ir.NoReg)
 	}
 	return &RuntimeError{Msg: fmt.Sprintf("longjmp through corrupted jmp_buf (token 0x%x)", tok)}
 }

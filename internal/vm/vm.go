@@ -41,6 +41,27 @@ type Checker interface {
 // guard is the fail-closed backstop for tiny-frame recursion.
 const DefaultMaxStackDepth = 1 << 20
 
+// InterpKind selects the execution engine.
+type InterpKind int
+
+// Engines. The fast engine is the default (zero value): it runs the
+// module's pre-decoded form (decode.go) with fused superinstructions,
+// batched step accounting, and a metadata lookup cache. The reference
+// engine is the original per-step switch interpreter, kept as the
+// semantic baseline: the differential suite holds the two engines to
+// identical exit codes, traps, and modeled statistics.
+const (
+	InterpFast InterpKind = iota
+	InterpRef
+)
+
+func (k InterpKind) String() string {
+	if k == InterpRef {
+		return "ref"
+	}
+	return "fast"
+}
+
 // Config parameterizes a VM run.
 type Config struct {
 	Mode      CheckMode
@@ -74,6 +95,14 @@ type Config struct {
 	// returning false forces that allocation to fail as if out of memory
 	// (malloc returns NULL).
 	AllocFault func(size uint64) bool
+
+	// Interp selects the execution engine (default InterpFast).
+	Interp InterpKind
+	// DisableMetaCache turns off the metadata lookup cache under the fast
+	// engine. The driver sets it when fault injection wraps the facility:
+	// the injector's Lookup consumes scheduled fault events, so a cache
+	// hit would silently skip them.
+	DisableMetaCache bool
 }
 
 // SpatialViolation is a bounds-check failure: SoftBound aborts the
@@ -142,6 +171,12 @@ type frame struct {
 	varargs  []uint64
 	varMetas []meta.Entry
 	vaCursor int
+
+	// Fast-engine state: the decoded body and the flat instruction index
+	// (decode.go). Maintained alongside block/ip so cold paths shared
+	// with the reference engine (hijacks, diagnostics) keep working.
+	df  *dfunc
+	fip int
 }
 
 // jmpCheckpoint is a setjmp capture.
@@ -149,6 +184,7 @@ type jmpCheckpoint struct {
 	depth  int
 	block  int
 	ip     int // index of the setjmp call instruction
+	fip    int // flat index of the same instruction (fast engine)
 	retDst ir.Reg
 }
 
@@ -167,6 +203,24 @@ type VM struct {
 	cfg   Config
 	fac   meta.Facility
 	stats metrics.Stats
+
+	// prog is the module's pre-decoded form (nil under the reference
+	// engine); mcache, when non-nil, is the metadata lookup cache that
+	// v.fac has been replaced with, held concretely so the hot metaload
+	// path probes it without an interface dispatch.
+	prog   *program
+	mcache *meta.LookupCache
+
+	// argScratch/metaScratch are per-VM buffers the fast call path reuses
+	// for builtin argument marshaling, so steady-state calls allocate
+	// nothing. Builtins never re-enter user code, so one buffer suffices.
+	argScratch  []uint64
+	metaScratch []meta.Entry
+
+	// lookupCost/updateCost cache the facility's constant modeled costs so
+	// the fast metaload/metastore handlers skip the interface dispatch.
+	lookupCost uint64
+	updateCost uint64
 
 	globalAddrs map[string]uint64
 	globalSizes map[string]uint64
@@ -234,28 +288,32 @@ func New(mod *ir.Module, cfg Config) (*VM, error) {
 		v.maxDepth = DefaultMaxStackDepth
 	}
 
-	// Lay out globals.
-	var off uint64
-	for _, g := range mod.Globals {
-		align := uint64(g.Align)
-		if align == 0 {
-			align = 8
-		}
-		off = (off + align - 1) &^ (align - 1)
-		v.globalAddrs[g.Name] = GlobalBase + off
-		v.globalSizes[g.Name] = uint64(g.Size)
-		off += uint64(g.Size)
-	}
+	// Lay out globals and function addresses. The layout is a pure,
+	// deterministic function of the module (decode.go helpers), shared
+	// with the decode stage so pre-resolved operand addresses agree with
+	// the VM's own maps.
+	off := layoutGlobals(mod, v.globalAddrs, v.globalSizes)
 	v.mem = NewMem(off, cfg.HeapSize, cfg.StackSize)
 	v.alloc = newHeapAllocator(v.mem.heapEnd)
 	v.sp = StackTop
 
-	// Function addresses.
-	for i, f := range mod.Funcs {
-		v.funcs = append(v.funcs, f)
-		v.funcAddrs[f.Name] = FuncBase + uint64(i)*FuncSlot
-		_ = i
+	v.funcs = append(v.funcs, mod.Funcs...)
+	layoutFuncs(mod, v.funcAddrs)
+
+	// Fast engine: fetch (or build) the module's pre-decoded program and
+	// put the metadata lookup cache in front of the facility. Decode is
+	// module-pure — global and function addresses are a deterministic
+	// function of the module — so the decoded form is shared across all
+	// VMs of this module via the ir-side cache.
+	if cfg.Interp == InterpFast {
+		v.prog = mod.Decoded(func() any { return decodeModule(mod) }).(*program)
+		if !cfg.DisableMetaCache {
+			v.mcache = meta.NewLookupCache(v.fac)
+			v.fac = v.mcache
+		}
 	}
+	v.lookupCost = uint64(v.fac.Costs().Lookup)
+	v.updateCost = uint64(v.fac.Costs().Update)
 
 	// Initialize global contents and relocations.
 	for _, g := range mod.Globals {
@@ -305,6 +363,16 @@ func New(mod *ir.Module, cfg Config) (*VM, error) {
 func (v *VM) Stats() *metrics.Stats {
 	v.stats.MetaBytes = v.fac.Footprint()
 	v.stats.MaxHeap = v.alloc.maxInUse
+	if v.mcache != nil {
+		v.stats.MetaCacheHits = v.mcache.Hits()
+		v.stats.MetaCacheMisses = v.mcache.Misses()
+		// The modeled cost line under the lookaside: every probe pays
+		// CacheHitCost, misses additionally pay the facility's lookup.
+		// SimInsts keeps the cache-less accounting so engines compare
+		// bit-for-bit; this line is the what-if the evaluation plots.
+		v.stats.MetaCacheSimInsts = (v.mcache.Hits()+v.mcache.Misses())*meta.CacheHitCost +
+			v.mcache.Misses()*uint64(v.fac.Costs().Lookup)
+	}
 	return &v.stats
 }
 
@@ -388,13 +456,21 @@ func (v *VM) run(ctx context.Context) (int64, error) {
 			}
 		}
 	}
-	if err := v.pushFrame(mainFn, callArgs, callMeta, ir.NoReg, ir.NoReg, ir.NoReg); err != nil {
+	if err := v.pushFrame(mainFn, callArgs, ir.NoReg, ir.NoReg, ir.NoReg); err != nil {
 		return -1, err
 	}
-	if err := v.loop(); err != nil {
+	if err := v.runLoop(); err != nil {
 		return v.exitCode, err
 	}
 	return v.exitCode, nil
+}
+
+// runLoop dispatches to the configured engine.
+func (v *VM) runLoop() error {
+	if v.prog != nil {
+		return v.loopFast()
+	}
+	return v.loop()
 }
 
 func minInt(a, b int) int {
@@ -417,11 +493,10 @@ func (v *VM) CallFunctionContext(ctx context.Context, name string, args ...uint6
 	if fn == nil {
 		return -1, Classify(&RuntimeError{Msg: "vm: no function " + name})
 	}
-	metas := make([]meta.Entry, len(args))
-	if err := v.pushFrame(fn, args, metas, ir.NoReg, ir.NoReg, ir.NoReg); err != nil {
+	if err := v.pushFrame(fn, args, ir.NoReg, ir.NoReg, ir.NoReg); err != nil {
 		return -1, Classify(err)
 	}
-	if err := v.loop(); err != nil {
+	if err := v.runLoop(); err != nil {
 		return v.exitCode, Classify(err)
 	}
 	return v.exitCode, nil
@@ -447,8 +522,11 @@ func (v *VM) allocate(size uint64) (uint64, error) {
 
 // pushFrame establishes an activation record: reserve the frame in stack
 // memory, write the saved frame pointer and the return token into
-// simulated memory, and seed parameter registers.
-func (v *VM) pushFrame(fn *ir.Func, args []uint64, metas []meta.Entry, retDst, retBase, retBound ir.Reg) error {
+// simulated memory, and seed parameter registers. Popped stack slots and
+// their register files are reused (the backing array keeps them), so the
+// steady-state call path allocates nothing once the deepest frame and
+// widest register file have been seen.
+func (v *VM) pushFrame(fn *ir.Func, args []uint64, retDst, retBase, retBound ir.Reg) error {
 	if len(v.stack) >= v.maxDepth {
 		return &Trap{Code: TrapStackOverflow, Cause: &RuntimeError{Msg: fmt.Sprintf(
 			"stack depth limit (%d frames) exceeded in %s", v.maxDepth, fn.Name)}}
@@ -477,9 +555,23 @@ func (v *VM) pushFrame(fn *ir.Func, args []uint64, metas []meta.Entry, retDst, r
 		return err
 	}
 
-	f := frame{
+	n := len(v.stack)
+	if n < cap(v.stack) {
+		v.stack = v.stack[:n+1]
+	} else {
+		v.stack = append(v.stack, frame{})
+	}
+	nf := &v.stack[n]
+	regs := nf.regs // register file left behind by a popped frame
+	if cap(regs) >= fn.NumRegs {
+		regs = regs[:fn.NumRegs]
+		clear(regs)
+	} else {
+		regs = make([]uint64, fn.NumRegs)
+	}
+	*nf = frame{
 		fn:       fn,
-		regs:     make([]uint64, fn.NumRegs),
+		regs:     regs,
 		fp:       fp,
 		fpEff:    fp,
 		retDst:   retDst,
@@ -487,12 +579,14 @@ func (v *VM) pushFrame(fn *ir.Func, args []uint64, metas []meta.Entry, retDst, r
 		retBound: retBound,
 		token:    tok,
 	}
+	if v.prog != nil {
+		nf.df = v.prog.funcs[fn]
+	}
 	for i, r := range fn.ParamRegs {
 		if i < len(args) {
-			f.regs[r] = args[i]
+			regs[r] = args[i]
 		}
 	}
-	v.stack = append(v.stack, f)
 	return nil
 }
 
@@ -522,8 +616,7 @@ func (v *VM) popFrame() (*frame, error) {
 			})
 			v.stack = v.stack[:len(v.stack)-1]
 			v.sp += frameBytes
-			metas := make([]meta.Entry, len(target.Params))
-			if err := v.pushFrame(target, nil, metas, ir.NoReg, ir.NoReg, ir.NoReg); err != nil {
+			if err := v.pushFrame(target, nil, ir.NoReg, ir.NoReg, ir.NoReg); err != nil {
 				return nil, err
 			}
 			return nil, nil // control continues in the hijacked target
