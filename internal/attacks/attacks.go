@@ -414,3 +414,59 @@ int main(void) {
 		},
 	}
 }
+
+// MetadataLaundering is the function-pointer metadata-laundering scenario
+// that motivated the shadow-stack call ABI (ISSUE 6). It is deliberately
+// NOT part of Suite(): Table 3 is pinned at 18 entries, and this attack
+// is not an overflow — every store it performs would be in bounds under
+// the *caller's* view of its arguments. Instead it exploits call-site
+// metadata misrouting: a function pointer is laundered through memory
+// with a cast, so the static call-site signature (two pointer args)
+// disagrees with the dynamic callee's (one scalar, one pointer). Under
+// the old inline-metadata ABI the callee popped the first pushed
+// (base,bound) pair — the whole-struct bounds — for its pointer
+// parameter, so writing 24 bytes through a pointer to an 8-byte field
+// passed every check. The positional shadow-stack ABI routes the
+// shrunk field bounds to the parameter that actually received the field
+// pointer, and the write traps at byte 8.
+func MetadataLaundering() Attack {
+	return Attack{
+		Name: "indirect-call-metadata-laundering", Technique: "indirect",
+		Location: "stack", Target: "call-site bounds metadata",
+		Source: `
+struct record { char name[8]; long privileged; long secret; };
+typedef void (*copy_fn)(char *dst, char *src);
+typedef void (*init_fn)(long tag, char *p);
+init_fn table[1];
+void init_rec(long tag, char *p) {
+    long i;
+    /* "Initialize" a full 24-byte record through p. The dynamic callee
+       believes p spans the whole struct; only the shrunk field bounds
+       pushed by the caller say otherwise. */
+    for (i = 0; i < 24; i = i + 1)
+        p[i] = 'A';
+}
+int main(void) {
+    struct record r;
+    copy_fn f;
+    r.privileged = 0;
+    table[0] = init_rec;
+    /* Launder the function pointer through memory with a cast: the call
+       site below has signature (char*, char*) while the callee popped
+       from the table is (long, char*). */
+    f = *(copy_fn*)&table[0];
+    /* Arg 0: whole-struct pointer [r, r+24). Arg 1: field pointer with
+       shrunk bounds [r.name, r.name+8). Same numeric address. A
+       metadata ABI that pops pairs in push order hands the callee's
+       pointer parameter the WIDE bounds; positional routing hands it
+       the narrow ones. */
+    f((char*)&r, r.name);
+    if (r.privileged) {
+        printf("ATTACK SUCCESSFUL\n");
+        exit(66);
+    }
+    printf("OK\n");
+    return 0;
+}`,
+	}
+}

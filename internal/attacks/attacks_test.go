@@ -1,10 +1,13 @@
 package attacks
 
 import (
+	"fmt"
 	"strings"
 	"testing"
 
 	"softbound/internal/driver"
+	"softbound/internal/meta"
+	"softbound/internal/vm"
 )
 
 // run executes one attack under the given mode.
@@ -87,5 +90,56 @@ func TestStoreOnlyCheckingDetectsAll(t *testing.T) {
 				t.Fatal("attack succeeded despite store-only checking")
 			}
 		})
+	}
+}
+
+// TestMetadataLaunderingSucceedsUnprotected verifies the laundering
+// attack genuinely corrupts the record when checking is off: the
+// in-bounds-per-caller writes really do smash the privileged field.
+func TestMetadataLaunderingSucceedsUnprotected(t *testing.T) {
+	res := run(t, MetadataLaundering(), driver.ModeNone)
+	if !succeeded(res) {
+		t.Fatalf("attack did not succeed unprotected: exit=%d err=%v output=%q",
+			res.ExitCode, res.Err, res.Output)
+	}
+}
+
+// TestMetadataLaunderingDetected is the ISSUE 6 regression: the
+// signature-mismatched indirect call must route the shrunk field bounds
+// to the dynamic callee's pointer parameter, so the 24-byte write
+// through the 8-byte field traps — under every checking mode, both
+// metadata schemes, and both interpreter engines. The old inline
+// push-order ABI missed this under ALL of these configurations.
+func TestMetadataLaunderingDetected(t *testing.T) {
+	a := MetadataLaundering()
+	for _, mode := range []driver.Mode{driver.ModeStoreOnly, driver.ModeFull} {
+		for _, kind := range []meta.Kind{meta.KindShadowSpace, meta.KindHashTable} {
+			for _, ref := range []bool{false, true} {
+				engine := "fast"
+				if ref {
+					engine = "ref"
+				}
+				name := fmt.Sprintf("%v/%v/%s", mode, kind, engine)
+				t.Run(name, func(t *testing.T) {
+					cfg := driver.DefaultConfig(mode)
+					cfg.Meta = kind
+					cfg.RefInterp = ref
+					res, err := driver.RunSource(a.Source, cfg)
+					if err != nil {
+						t.Fatalf("compile: %v", err)
+					}
+					if succeeded(res) {
+						t.Fatal("attack succeeded despite checking: call-site metadata was misrouted")
+					}
+					if res.Violation == nil {
+						t.Fatalf("attack not detected as a spatial violation: exit=%d err=%v output=%q",
+							res.ExitCode, res.Err, res.Output)
+					}
+					if code := vm.CodeOf(res.Err); code != vm.TrapSpatial {
+						t.Fatalf("trap code = %q, want %q", code, vm.TrapSpatial)
+					}
+				})
+			}
+		}
 	}
 }

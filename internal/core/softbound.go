@@ -370,9 +370,12 @@ func (x *xform) rewrite(in *ir.Inst) {
 	}
 }
 
-// rewriteCall attaches metadata arguments for pointer arguments, inserts
+// rewriteCall fills shadow-stack slots for pointer arguments, inserts
 // the function-pointer check for indirect calls, and receives metadata
-// for pointer-returning calls (paper §3.3).
+// for pointer-returning calls (paper §3.3). Slots are positional (one
+// per pointer argument, keyed by argument index), so the runtime can
+// hand them to the *dynamic* callee by its own parameter layout even
+// when an indirect call site's static signature disagrees.
 func (x *xform) rewriteCall(in *ir.Inst) {
 	out := *in
 	if out.Callee.Kind == ir.VReg && x.opts.CheckFuncPtrCalls {
@@ -380,11 +383,11 @@ func (x *xform) rewriteCall(in *ir.Inst) {
 		x.emit(ir.Inst{Kind: ir.KCheck, A: out.Callee, Base: b, Bound: e,
 			AccessSize: 0, CheckK: ir.CheckCall})
 	}
-	out.MetaArgs = make([]ir.Meta, len(out.Args))
+	out.Shadow = nil
 	for i, a := range out.Args {
 		if x.valueIsPtr(a) {
 			b, e := x.metaOf(a)
-			out.MetaArgs[i] = ir.Meta{Base: b, Bound: e, Valid: true}
+			out.Shadow = append(out.Shadow, ir.ShadowSlot{Arg: i, Base: b, Bound: e})
 		}
 	}
 	if out.Dst != ir.NoReg && x.isPtrReg(out.Dst) {

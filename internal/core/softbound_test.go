@@ -225,7 +225,7 @@ int caller(int* p) { return callee(p); }
 		for i := range b.Insts {
 			in := &b.Insts[i]
 			if in.Kind == ir.KCall {
-				if len(in.MetaArgs) == 1 && in.MetaArgs[0].Valid {
+				if len(in.Shadow) == 1 && in.Shadow[0].Arg == 0 {
 					found = true
 				}
 			}

@@ -115,3 +115,94 @@ func TestEngineDifferentialStepLimit(t *testing.T) {
 		}
 	}
 }
+
+// TestEngineDifferentialIndirectSignatureMismatch (ISSUE 6): indirect
+// calls whose static site signature and dynamic callee disagree must be
+// handled identically — and detected — across scheme × mode × engine.
+// The shadow-stack ABI routes each (base,bound) pair by argument
+// position and fails closed (zero bounds) for parameters no slot
+// reached, so none of these mismatches can launder wide metadata onto a
+// narrow pointer.
+func TestEngineDifferentialIndirectSignatureMismatch(t *testing.T) {
+	cases := []struct {
+		name string
+		src  string
+	}{
+		// The tentpole scenario: same address, different bounds — the
+		// callee's pointer param must get the shrunk field bounds.
+		{"metadata-laundering", attacks.MetadataLaundering().Source},
+		// Site passes more arguments than the dynamic callee declares:
+		// the callee's single pointer param pops the slot for arg 0.
+		{"site-passes-extra", `
+typedef void (*two_ptr)(char *a, char *b);
+typedef void (*one_ptr)(char *a);
+char g[16];
+char h[8];
+void write12(char *a) {
+    long i;
+    for (i = 0; i < 12; i = i + 1)
+        a[i] = 'B';
+}
+one_ptr table[1];
+int main(void) {
+    two_ptr f;
+    table[0] = write12;
+    f = *(two_ptr*)&table[0];
+    f(h, g);
+    printf("%c\n", h[0]);
+    return 0;
+}`},
+		// Site passes fewer arguments than the dynamic callee declares:
+		// the unseeded pointer param fails closed to zero bounds.
+		{"site-passes-fewer", `
+typedef void (*one)(char *a);
+typedef void (*two)(char *a, char *b);
+char g[8];
+void copy2(char *a, char *b) {
+    b[0] = a[0];
+}
+two table[1];
+int main(void) {
+    one f;
+    table[0] = copy2;
+    f = *(one*)&table[0];
+    f(g);
+    printf("ok\n");
+    return 0;
+}`},
+		// A pointer passed both fixed and variadic in one call: the
+		// va_arg'd copy carries its own positional slot, so the OOB
+		// write through it is caught in the callee.
+		{"vararg-fixed-and-variadic", `
+char buf[8];
+void sink(char *fixed, ...) {
+    long ap;
+    char *p;
+    long i;
+    fixed[0] = 'F';
+    va_start(&ap, fixed);
+    p = (char*)va_arg_ptr(&ap);
+    for (i = 0; i < 12; i = i + 1)
+        p[i] = 'C';
+    va_end(&ap);
+}
+int main(void) {
+    sink(buf, buf);
+    printf("%c\n", buf[0]);
+    return 0;
+}`},
+	}
+	for _, c := range cases {
+		c := c
+		t.Run(c.name, func(t *testing.T) {
+			t.Parallel()
+			for _, cfg := range engineConfigs() {
+				res := requireEngineAgreement(t, c.name, c.src, cfg)
+				if !res.Detected() {
+					t.Fatalf("mode=%v meta=%v: mismatch not detected: %s",
+						cfg.Mode, cfg.Meta, describe(res))
+				}
+			}
+		})
+	}
+}

@@ -251,9 +251,17 @@ type Inst struct {
 	Name  string // local variable name for diagnostics
 
 	// KCall.
-	Callee   Value   // VFunc for direct calls or VReg holding a function pointer
-	Args     []Value // regular arguments
-	MetaArgs []Meta  // per-arg metadata (parallel to Args; zero Meta for non-pointers)
+	Callee Value   // VFunc for direct calls or VReg holding a function pointer
+	Args   []Value // regular arguments
+	// Shadow lists the shadow-stack slots the caller fills for this
+	// call's metadata window: one entry per pointer argument, identified
+	// by argument index. At runtime the VM reserves a window of
+	// 1+len(Args) (base, bound) slots per call — slot 0 receives the
+	// callee's return metadata, slot 1+i carries argument i's metadata —
+	// and the callee pops slots by its *own* parameter layout, so
+	// metadata survives indirect calls whose static site signature
+	// disagrees with the dynamic callee (paper §3.3, §5.2).
+	Shadow []ShadowSlot
 	// DstBase/DstBound receive the returned pointer's metadata when the
 	// callee returns a pointer and instrumentation is on.
 	DstBase, DstBound Reg
@@ -282,10 +290,13 @@ type Inst struct {
 	MemcpyLen, MemSize Value // KMemMeta ops
 }
 
-// Meta is a (base, bound) metadata value pair attached to a call argument.
-type Meta struct {
+// ShadowSlot is one caller-filled slot of a call's shadow-stack metadata
+// window: the (base, bound) pair for the pointer passed as argument Arg.
+// Arguments without a slot (non-pointers) leave their window slot zeroed,
+// which the runtime treats as "no metadata" (fail-closed NULL bounds).
+type ShadowSlot struct {
+	Arg         int // argument index; rides in window slot 1+Arg
 	Base, Bound Value
-	Valid       bool
 }
 
 // InstKind discriminates instructions.

@@ -132,3 +132,25 @@ func TestFuncAndModuleString(t *testing.T) {
 		}
 	}
 }
+
+// TestCallShadowSlotsPrinted pins the ISSUE 6 print fix: a call's
+// shadow-stack slots render explicitly — every slot the caller fills,
+// keyed by argument index — with no silent truncation when the slot
+// list is shorter than (or disjoint from) the argument list.
+func TestCallShadowSlotsPrinted(t *testing.T) {
+	in := Inst{Kind: KCall, Dst: 0, Callee: FV("sink"),
+		DstBase: NoReg, DstBound: NoReg,
+		Args: []Value{R(1), R(2), R(3)},
+		Shadow: []ShadowSlot{
+			{Arg: 2, Base: R(4), Bound: R(5)},
+		}}
+	s := in.String()
+	if !strings.Contains(s, "shadow{2:[%4,%5]}") {
+		t.Fatalf("shadow slot not printed explicitly: %q", s)
+	}
+	// No slots → no shadow clause, rather than an empty brace pair.
+	in.Shadow = nil
+	if s := in.String(); strings.Contains(s, "shadow") {
+		t.Fatalf("slot-free call printed a shadow clause: %q", s)
+	}
+}

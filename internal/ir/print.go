@@ -85,12 +85,8 @@ func (in *Inst) String() string {
 		return fmt.Sprintf("%s = gep %s + %s*%d + %d", in.Dst, in.A, in.B, in.Size, in.C.Int)
 	case KCall:
 		var args []string
-		for i, a := range in.Args {
-			s := a.String()
-			if i < len(in.MetaArgs) && in.MetaArgs[i].Valid {
-				s += fmt.Sprintf("[%s,%s]", in.MetaArgs[i].Base, in.MetaArgs[i].Bound)
-			}
-			args = append(args, s)
+		for _, a := range in.Args {
+			args = append(args, a.String())
 		}
 		dst := ""
 		if in.Dst != NoReg {
@@ -99,7 +95,18 @@ func (in *Inst) String() string {
 				dst = fmt.Sprintf("%s,%s,%s = ", in.Dst, in.DstBase, in.DstBound)
 			}
 		}
-		return fmt.Sprintf("%scall %s(%s)", dst, in.Callee, strings.Join(args, ", "))
+		s := fmt.Sprintf("%scall %s(%s)", dst, in.Callee, strings.Join(args, ", "))
+		// Every shadow-stack slot the caller fills is printed, including
+		// slots whose Arg index does not name an argument (a malformed
+		// module prints what would actually flow, never a truncation).
+		if len(in.Shadow) > 0 {
+			var slots []string
+			for _, sl := range in.Shadow {
+				slots = append(slots, fmt.Sprintf("%d:[%s,%s]", sl.Arg, sl.Base, sl.Bound))
+			}
+			s += fmt.Sprintf(" shadow{%s}", strings.Join(slots, ", "))
+		}
+		return s
 	case KRet:
 		if !in.HasVal {
 			return "ret"

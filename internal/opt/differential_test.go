@@ -202,7 +202,7 @@ func cloneModule(m *ir.Module) *ir.Module {
 			for _, in := range blk.Insts {
 				ci := in
 				ci.Args = append([]ir.Value(nil), in.Args...)
-				ci.MetaArgs = append([]ir.Meta(nil), in.MetaArgs...)
+				ci.Shadow = append([]ir.ShadowSlot(nil), in.Shadow...)
 				cb.Insts = append(cb.Insts, ci)
 			}
 			cf.Blocks = append(cf.Blocks, cb)

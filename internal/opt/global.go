@@ -287,8 +287,8 @@ func readsReg(in *ir.Inst, reg ir.Reg) bool {
 			return true
 		}
 	}
-	for _, ma := range in.MetaArgs {
-		if ma.Valid && (is(ma.Base) || is(ma.Bound)) {
+	for _, sh := range in.Shadow {
+		if is(sh.Base) || is(sh.Bound) {
 			return true
 		}
 	}

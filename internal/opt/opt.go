@@ -292,15 +292,13 @@ func deadCodeElim(f *ir.Func, removeMetaLoads bool) (removed, removedMetaLoads i
 			markVal(in.RetBase)
 			markVal(in.RetBound)
 			markVal(in.MemcpyLen)
-		markVal(in.MemSize)
+			markVal(in.MemSize)
 			for _, a := range in.Args {
 				markVal(a)
 			}
-			for _, ma := range in.MetaArgs {
-				if ma.Valid {
-					markVal(ma.Base)
-					markVal(ma.Bound)
-				}
+			for _, s := range in.Shadow {
+				markVal(s.Base)
+				markVal(s.Bound)
 			}
 		}
 	}

@@ -134,6 +134,66 @@ func callLoopModule(iters int64) *ir.Module {
 	return mod
 }
 
+// indirectCallLoopModule calls a transformed two-argument leaf through a
+// function-pointer register once per iteration, pushing a shadow-window
+// slot for its pointer argument — the full ABI cost of a metadata-
+// carrying indirect call (dynamic callee resolution, window push/fill,
+// positional pop).
+func indirectCallLoopModule(iters int64) *ir.Module {
+	leaf := &ir.Func{Name: "leaf", HasRet: true, RetClass: ir.ClassInt,
+		OrigParams: 2, Transformed: true,
+		Params: []ir.Param{{Class: ir.ClassInt}, {Class: ir.ClassPtr, IsPtr: true}}}
+	a := leaf.NewReg(ir.ClassInt)
+	p := leaf.NewReg(ir.ClassPtr)
+	pb := leaf.NewReg(ir.ClassPtr)
+	pe := leaf.NewReg(ir.ClassPtr)
+	s := leaf.NewReg(ir.ClassInt)
+	leaf.ParamRegs = []ir.Reg{a, p, pb, pe}
+	leaf.Blocks = []*ir.Block{{Insts: []ir.Inst{
+		{Kind: ir.KBin, Dst: s, Op: ir.OpSub, A: ir.R(pe), B: ir.R(pb)},
+		{Kind: ir.KBin, Dst: s, Op: ir.OpAdd, A: ir.R(s), B: ir.R(a)},
+		{Kind: ir.KRet, HasVal: true, A: ir.R(s)},
+	}}}
+
+	f := &ir.Func{Name: "main", HasRet: true, RetClass: ir.ClassInt}
+	r0 := f.NewReg(ir.ClassInt)
+	r1 := f.NewReg(ir.ClassInt)
+	r2 := f.NewReg(ir.ClassInt)
+	rc := f.NewReg(ir.ClassInt)
+	rp := f.NewReg(ir.ClassPtr)
+	f.Blocks = []*ir.Block{
+		{Insts: []ir.Inst{
+			{Kind: ir.KConst, Dst: r0, A: ir.CI(0)},
+			{Kind: ir.KConst, Dst: r1, A: ir.CI(0)},
+			{Kind: ir.KConst, Dst: rp, A: ir.FV("leaf")},
+			{Kind: ir.KBr, Target: 1},
+		}},
+		{Insts: []ir.Inst{
+			{Kind: ir.KCmp, Dst: rc, Pred: ir.PredLT, Signed: true, A: ir.R(r0), B: ir.CI(iters)},
+			{Kind: ir.KCondBr, A: ir.R(rc), Target: 2, Else: 3},
+		}},
+		{Insts: []ir.Inst{
+			{Kind: ir.KCall, Callee: ir.R(rp), Dst: r2,
+				DstBase: ir.NoReg, DstBound: ir.NoReg,
+				Args: []ir.Value{ir.R(r0), ir.CI(0x100)},
+				Shadow: []ir.ShadowSlot{
+					{Arg: 1, Base: ir.CI(0x100), Bound: ir.CI(0x140)},
+				}},
+			{Kind: ir.KBin, Dst: r1, Op: ir.OpAdd, A: ir.R(r1), B: ir.R(r2)},
+			{Kind: ir.KBin, Dst: r0, Op: ir.OpAdd, A: ir.R(r0), B: ir.CI(1)},
+			{Kind: ir.KBr, Target: 1},
+		}},
+		{Insts: []ir.Inst{
+			{Kind: ir.KBin, Dst: r1, Op: ir.OpAnd, A: ir.R(r1), B: ir.CI(0xFF)},
+			{Kind: ir.KRet, HasVal: true, A: ir.R(r1)},
+		}},
+	}
+	mod := ir.NewModule("bench")
+	mod.AddFunc(f)
+	mod.AddFunc(leaf)
+	return mod
+}
+
 // metaLoadModule performs one metadata load per iteration. With
 // stride == 0 every load probes the same shadow slot (cache hit); with a
 // nonzero stride over a window wider than the lookup cache every probe
@@ -172,9 +232,13 @@ func metaLoadModule(iters, stride, window int64) *ir.Module {
 	return buildModule(f, g)
 }
 
-func BenchmarkInterpLoop(b *testing.B)  { benchBoth(b, benchLoopModule(1<<16)) }
-func BenchmarkCallReturn(b *testing.B)  { benchBoth(b, callLoopModule(1<<16)) }
-func BenchmarkMetaLoadHit(b *testing.B) { benchBoth(b, metaLoadModule(1<<16, 0, 8192)) }
+func BenchmarkInterpLoop(b *testing.B) { benchBoth(b, benchLoopModule(1<<16)) }
+func BenchmarkCallReturn(b *testing.B) { benchBoth(b, callLoopModule(1<<16)) }
+
+// BenchmarkIndirectCall tracks the shadow-stack call ABI overhead in
+// BENCH.json: one metadata-carrying indirect call per iteration.
+func BenchmarkIndirectCall(b *testing.B) { benchBoth(b, indirectCallLoopModule(1<<16)) }
+func BenchmarkMetaLoadHit(b *testing.B)  { benchBoth(b, metaLoadModule(1<<16, 0, 8192)) }
 func BenchmarkMetaLoadMiss(b *testing.B) {
 	// Stride of 8 bytes over an 8 KiB window touches 1024 distinct shadow
 	// slots against 256 cache slots: every probe evicts before reuse.

@@ -131,9 +131,17 @@ type dinst struct {
 
 	callee *dfunc     // direct user-function call target
 	args   []dOperand // pre-resolved call arguments
+	shadow []dshadow  // pre-resolved shadow-window slots (KCall)
 
 	src     *ir.Inst
 	blk, ip int32
+}
+
+// dshadow is a pre-resolved shadow-stack slot of a call: the (base,
+// bound) operands destined for window slot 1+arg.
+type dshadow struct {
+	arg       int32
+	base, bnd dOperand
 }
 
 // dfunc is a decoded function body.
@@ -427,6 +435,17 @@ func (dec *decoder) decodeInst(in *ir.Inst, bi, ii int) dinst {
 				return bad()
 			}
 			d.args[i] = op
+		}
+		if len(in.Shadow) > 0 {
+			d.shadow = make([]dshadow, len(in.Shadow))
+			for i, s := range in.Shadow {
+				base, okB := dec.operand(s.Base)
+				bnd, okE := dec.operand(s.Bound)
+				if !okB || !okE {
+					return bad()
+				}
+				d.shadow[i] = dshadow{arg: int32(s.Arg), base: base, bnd: bnd}
+			}
 		}
 		switch in.Callee.Kind {
 		case ir.VFunc:

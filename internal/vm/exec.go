@@ -518,37 +518,19 @@ func execConv(a uint64, in *ir.Inst) uint64 {
 	}
 }
 
-// execCall dispatches direct, indirect, and builtin calls.
+// execCall dispatches direct, indirect, and builtin calls under the
+// shadow-stack metadata ABI: the caller pushes a window of (base, bound)
+// slots — slot 0 for return metadata, slot 1+i for argument i — and the
+// callee pops slots by its *dynamic* parameter layout (paper §3.3), so
+// indirect calls keep metadata even when the call site's static
+// signature disagrees with the function actually reached.
 func (v *VM) execCall(f *frame, in *ir.Inst) error {
 	v.stats.Calls++
-	v.stats.SimInsts += costCall + uint64(len(in.Args))
+	v.stats.SimInsts += costCall + uint64(len(in.Args)) + 2*uint64(len(in.Shadow))
 
-	// Evaluate arguments and metadata in the caller's frame. The metas
-	// slice is materialized only when some argument actually carries
-	// metadata: the common metadata-free call used to allocate (and
-	// immediately discard) a zeroed slice per call. Consumers tolerate a
-	// nil slice (builtins guard on its length); the variadic path below
-	// backfills one when the vararg area needs parallel metadata.
 	args := make([]uint64, len(in.Args))
 	for i, a := range in.Args {
 		args[i] = v.eval(f, a)
-	}
-	var metas []meta.Entry
-	for i := range in.MetaArgs {
-		if i < len(in.Args) && in.MetaArgs[i].Valid {
-			metas = make([]meta.Entry, len(in.Args))
-			break
-		}
-	}
-	if metas != nil {
-		for i := range in.MetaArgs {
-			if i < len(metas) && in.MetaArgs[i].Valid {
-				metas[i] = meta.Entry{
-					Base:  v.eval(f, in.MetaArgs[i].Base),
-					Bound: v.eval(f, in.MetaArgs[i].Bound),
-				}
-			}
-		}
 	}
 
 	var callee *ir.Func
@@ -561,8 +543,7 @@ func (v *VM) execCall(f *frame, in *ir.Inst) error {
 		addr := f.regs[in.Callee.Reg]
 		callee = v.funcByAddr(addr)
 		if callee == nil {
-			return &RuntimeError{Msg: fmt.Sprintf(
-				"wild jump: call through corrupted function pointer 0x%x in %s", addr, f.fn.Name)}
+			return &WildJumpError{Addr: addr, Func: f.fn.Name}
 		}
 		name = callee.Name
 	default:
@@ -570,14 +551,32 @@ func (v *VM) execCall(f *frame, in *ir.Inst) error {
 	}
 
 	if callee == nil {
-		// Control-transfer builtins need the raw frame.
+		// Control-transfer builtins run before any window is pushed, so
+		// setjmp checkpoints never capture a transient builtin window.
 		switch name {
 		case "setjmp", "_setjmp":
 			return v.doSetjmp(f, in, args)
 		case "longjmp", "_longjmp":
 			return v.doLongjmp(f, args)
 		}
-		// Builtin (libc/runtime) call.
+	}
+
+	// Push and fill this call's shadow window in the caller's frame.
+	wbase := v.pushShadow(len(in.Args))
+	for _, s := range in.Shadow {
+		if s.Arg >= 0 && s.Arg < len(in.Args) {
+			v.shadow[wbase+1+s.Arg] = meta.Entry{
+				Base:  v.eval(f, s.Base),
+				Bound: v.eval(f, s.Bound),
+			}
+		}
+	}
+
+	if callee == nil {
+		// Builtin (libc/runtime) call: its wrappers read argument
+		// metadata straight from the window (a zero slot means "no
+		// metadata flowed here"); the window pops when it returns.
+		metas := v.shadow[wbase+1 : wbase+1+len(args)]
 		ret, retMeta, err := v.callBuiltin(name, f, in, args, metas)
 		if err != nil {
 			return err
@@ -589,42 +588,35 @@ func (v *VM) execCall(f *frame, in *ir.Inst) error {
 			f.regs[in.DstBase] = retMeta.Base
 			f.regs[in.DstBound] = retMeta.Bound
 		}
+		v.shadow = v.shadow[:wbase]
 		f.ip++
 		return nil
 	}
 
-	// User function: flatten metadata args after regular args when the
-	// callee was transformed (paper §3.3 calling convention). Metadata
-	// travels for each pointer argument among the original parameters.
-	// For variadic callees (paper §5.2), arguments beyond the fixed
-	// parameters go to the frame's vararg area with their metadata.
+	// User function. Fixed arguments seed parameter registers; for
+	// variadic callees (paper §5.2) the extras go to the frame's vararg
+	// area with their metadata aliasing the window slots, which stay
+	// live (and immutable) for the callee's whole activation.
 	callArgs := args
 	var varargs []uint64
 	var varMetas []meta.Entry
 	if callee.Variadic && len(args) > callee.OrigParams {
-		if metas == nil {
-			// The checked va_arg decode indexes varMetas in parallel
-			// with varargs, so a metadata-free variadic call still
-			// carries (zero) entries for its extra arguments.
-			metas = make([]meta.Entry, len(in.Args))
-		}
 		varargs = args[callee.OrigParams:]
-		varMetas = metas[callee.OrigParams:]
+		varMetas = v.shadow[wbase+1+callee.OrigParams : wbase+1+len(args)]
 		callArgs = args[:callee.OrigParams]
 	}
-	if callee.Transformed {
-		callArgs = callArgs[:len(callArgs):len(callArgs)]
-		for i, m := range in.MetaArgs {
-			if i < len(in.Args) && i < callee.OrigParams && m.Valid {
-				callArgs = append(callArgs, v.eval(f, m.Base), v.eval(f, m.Bound))
-			}
-		}
+	if callee.Transformed && len(callArgs) > callee.OrigParams {
+		// Excess arguments at a mismatched non-variadic site must not
+		// spill into the appended metadata parameter registers.
+		callArgs = callArgs[:callee.OrigParams]
 	}
 	f.ip++ // resume after the call upon return
 	if err := v.pushFrame(callee, callArgs, in.Dst, in.DstBase, in.DstBound); err != nil {
 		return err
 	}
 	top := &v.stack[len(v.stack)-1]
+	top.shadowBase = wbase
+	v.seedShadowParams(top, len(args))
 	top.varargs = varargs
 	top.varMetas = varMetas
 	return nil
@@ -633,13 +625,19 @@ func (v *VM) execCall(f *frame, in *ir.Inst) error {
 func (v *VM) execRet(f *frame, in *ir.Inst) error {
 	v.stats.SimInsts += costRet
 	var retVal uint64
-	var retBase, retBound uint64
 	if in.HasVal {
 		retVal = v.eval(f, in.A)
 	}
 	if in.RetMetaValid {
-		retBase = v.eval(f, in.RetBase)
-		retBound = v.eval(f, in.RetBound)
+		// Return metadata travels through slot 0 of the returning
+		// frame's shadow window, never inline (paper §3.3).
+		v.stats.SimInsts += 2
+		if f.shadowBase < len(v.shadow) {
+			v.shadow[f.shadowBase] = meta.Entry{
+				Base:  v.eval(f, in.RetBase),
+				Bound: v.eval(f, in.RetBound),
+			}
+		}
 	}
 	popped, err := v.popFrame()
 	if err != nil {
@@ -654,6 +652,7 @@ func (v *VM) execRet(f *frame, in *ir.Inst) error {
 		}
 	}
 	if len(v.stack) == 0 {
+		v.shadow = v.shadow[:popped.shadowBase]
 		if in.HasVal {
 			v.exitCode = int64(retVal)
 		}
@@ -665,8 +664,14 @@ func (v *VM) execRet(f *frame, in *ir.Inst) error {
 		caller.regs[popped.retDst] = retVal
 	}
 	if popped.retBase != ir.NoReg {
-		caller.regs[popped.retBase] = retBase
-		caller.regs[popped.retBound] = retBound
+		// The caller pops the return-metadata slot.
+		var e meta.Entry
+		if popped.shadowBase < len(v.shadow) {
+			e = v.shadow[popped.shadowBase]
+		}
+		caller.regs[popped.retBase] = e.Base
+		caller.regs[popped.retBound] = e.Bound
 	}
+	v.shadow = v.shadow[:popped.shadowBase]
 	return nil
 }

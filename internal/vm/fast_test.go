@@ -462,3 +462,187 @@ func TestFastEngineMetaCacheStats(t *testing.T) {
 		t.Fatalf("cache changed modeled cost: %d vs %d", st2.SimInsts, st.SimInsts)
 	}
 }
+
+// TestWildJumpTrapCode pins the typed classification of a call through a
+// corrupted function pointer (ISSUE 6 satellite): both engines must
+// return a *WildJumpError carrying the bogus address, classified as
+// TrapWildJump — not the generic runtime-error bucket — so breakers and
+// BENCH.json trap_code can tell a hijacked call site from a stray fault.
+func TestWildJumpTrapCode(t *testing.T) {
+	f := &ir.Func{Name: "main", HasRet: true, RetClass: ir.ClassInt}
+	rp := f.NewReg(ir.ClassPtr)
+	r0 := f.NewReg(ir.ClassInt)
+	f.Blocks = []*ir.Block{{Insts: []ir.Inst{
+		{Kind: ir.KConst, Dst: rp, A: ir.CI(0xdead0)},
+		{Kind: ir.KCall, Callee: ir.R(rp), Dst: r0,
+			DstBase: ir.NoReg, DstBound: ir.NoReg},
+		{Kind: ir.KRet, HasVal: true, A: ir.R(r0)},
+	}}}
+	res := requireEngineAgreement(t, buildModule(f), Config{})
+	if res.err == nil {
+		t.Fatal("wild jump executed silently")
+	}
+	var wj *WildJumpError
+	if !errors.As(res.err, &wj) {
+		t.Fatalf("want WildJumpError, got %T: %v", res.err, res.err)
+	}
+	if wj.Addr != 0xdead0 || wj.Func != "main" {
+		t.Fatalf("wild-jump fields: %+v", wj)
+	}
+	if code := CodeOf(res.err); code != TrapWildJump {
+		t.Fatalf("trap code = %q, want %q", code, TrapWildJump)
+	}
+	if TrapWildJump.Retryable() {
+		t.Fatal("wild jump is deterministic; it must not be retryable")
+	}
+}
+
+// TestEngineAgreementSignatureMismatchIndirect pins the positional
+// shadow-window contract when the static call-site signature and the
+// dynamic callee disagree (ISSUE 6). The callee observes the width of
+// the bounds seeded into its pointer-parameter metadata registers, so
+// the test sees exactly which window slot each parameter popped.
+func TestEngineAgreementSignatureMismatchIndirect(t *testing.T) {
+	// sink(scalar, ptr): the ptr parameter is arg index 1, so positional
+	// routing must hand it window slot 2 — never the first pushed pair.
+	sink := &ir.Func{Name: "sink", HasRet: true, RetClass: ir.ClassInt,
+		OrigParams: 2, Transformed: true,
+		Params: []ir.Param{{Class: ir.ClassInt}, {Class: ir.ClassPtr, IsPtr: true}}}
+	sa := sink.NewReg(ir.ClassInt)
+	sp := sink.NewReg(ir.ClassPtr)
+	sb := sink.NewReg(ir.ClassPtr)
+	se := sink.NewReg(ir.ClassPtr)
+	sw := sink.NewReg(ir.ClassInt)
+	sink.ParamRegs = []ir.Reg{sa, sp, sb, se}
+	sink.Blocks = []*ir.Block{{Insts: []ir.Inst{
+		{Kind: ir.KBin, Dst: sw, Op: ir.OpSub, A: ir.R(se), B: ir.R(sb)},
+		{Kind: ir.KRet, HasVal: true, A: ir.R(sw)},
+	}}}
+
+	// pair(ptr, ptr): two pointer params; a site pushing only one slot
+	// must leave the second pair zero (fail-closed), not misaligned.
+	pair := &ir.Func{Name: "pair", HasRet: true, RetClass: ir.ClassInt,
+		OrigParams: 2, Transformed: true,
+		Params: []ir.Param{{Class: ir.ClassPtr, IsPtr: true}, {Class: ir.ClassPtr, IsPtr: true}}}
+	p0 := pair.NewReg(ir.ClassPtr)
+	p1 := pair.NewReg(ir.ClassPtr)
+	b0 := pair.NewReg(ir.ClassPtr)
+	e0 := pair.NewReg(ir.ClassPtr)
+	b1 := pair.NewReg(ir.ClassPtr)
+	e1 := pair.NewReg(ir.ClassPtr)
+	w0 := pair.NewReg(ir.ClassInt)
+	w1 := pair.NewReg(ir.ClassInt)
+	pair.ParamRegs = []ir.Reg{p0, p1, b0, e0, b1, e1}
+	pair.Blocks = []*ir.Block{{Insts: []ir.Inst{
+		{Kind: ir.KBin, Dst: w0, Op: ir.OpSub, A: ir.R(e0), B: ir.R(b0)},
+		{Kind: ir.KBin, Dst: w1, Op: ir.OpSub, A: ir.R(e1), B: ir.R(b1)},
+		{Kind: ir.KBin, Dst: w0, Op: ir.OpMul, A: ir.R(w0), B: ir.CI(1000)},
+		{Kind: ir.KBin, Dst: w0, Op: ir.OpAdd, A: ir.R(w0), B: ir.R(w1)},
+		{Kind: ir.KRet, HasVal: true, A: ir.R(w0)},
+	}}}
+
+	f := &ir.Func{Name: "main", HasRet: true, RetClass: ir.ClassInt}
+	rp := f.NewReg(ir.ClassPtr)
+	r1 := f.NewReg(ir.ClassInt)
+	r2 := f.NewReg(ir.ClassInt)
+	f.Blocks = []*ir.Block{{Insts: []ir.Inst{
+		{Kind: ir.KConst, Dst: rp, A: ir.FV("sink")},
+		// Mismatched site: static signature (ptr, ptr) pushes two slots
+		// with different widths; the dynamic callee's only pointer param
+		// is position 1 and must get the 8-wide pair, not the 256-wide.
+		{Kind: ir.KCall, Callee: ir.R(rp), Dst: r1,
+			DstBase: ir.NoReg, DstBound: ir.NoReg,
+			Args: []ir.Value{ir.CI(0x300), ir.CI(0x300)},
+			Shadow: []ir.ShadowSlot{
+				{Arg: 0, Base: ir.CI(0x100), Bound: ir.CI(0x200)},
+				{Arg: 1, Base: ir.CI(0x300), Bound: ir.CI(0x308)},
+			}},
+		// Cast-through-void site: no metadata pushed at all. Every
+		// pointer param fails closed to the zero pair.
+		{Kind: ir.KCall, Callee: ir.R(rp), Dst: r2,
+			DstBase: ir.NoReg, DstBound: ir.NoReg,
+			Args: []ir.Value{ir.CI(5), ir.CI(0x300)}},
+		{Kind: ir.KBin, Dst: r2, Op: ir.OpMul, A: ir.R(r2), B: ir.CI(100)},
+		{Kind: ir.KBin, Dst: r1, Op: ir.OpAdd, A: ir.R(r1), B: ir.R(r2)},
+		// Fewer slots than pointer params: only arg 0 carries metadata.
+		{Kind: ir.KCall, Callee: ir.FV("pair"), Dst: r2,
+			DstBase: ir.NoReg, DstBound: ir.NoReg,
+			Args: []ir.Value{ir.CI(0x400), ir.CI(0x500)},
+			Shadow: []ir.ShadowSlot{
+				{Arg: 0, Base: ir.CI(0x400), Bound: ir.CI(0x410)},
+			}},
+		{Kind: ir.KBin, Dst: r1, Op: ir.OpAdd, A: ir.R(r1), B: ir.R(r2)},
+		{Kind: ir.KRet, HasVal: true, A: ir.R(r1)},
+	}}}
+	mod := ir.NewModule("test")
+	mod.AddFunc(f)
+	mod.AddFunc(sink)
+	mod.AddFunc(pair)
+	res := requireEngineAgreement(t, mod, Config{})
+	if res.err != nil {
+		t.Fatal(res.err)
+	}
+	// 8 (positional pair) + 0*100 (fail-closed) + 16*1000+0 (partial).
+	if res.code != 8+0+16000 {
+		t.Fatalf("exit = %d, want %d (metadata misrouted)", res.code, 8+0+16000)
+	}
+}
+
+// TestEngineAgreementVarargFixedAndVariadicPointer passes the same
+// pointer both as a fixed parameter and as a variadic extra in one call
+// (ISSUE 6 satellite). The fast engine used to drop metadata for the
+// extras (its caller loop gated on i < OrigParams), so the va_arg'd
+// pointer arrived with no bounds; both engines must now observe both
+// pairs, each routed by position.
+func TestEngineAgreementVarargFixedAndVariadicPointer(t *testing.T) {
+	vsink := &ir.Func{Name: "vsink", HasRet: true, RetClass: ir.ClassInt,
+		OrigParams: 1, Variadic: true, Transformed: true,
+		Params: []ir.Param{{Class: ir.ClassPtr, IsPtr: true}}}
+	vp := vsink.NewReg(ir.ClassPtr)
+	vb := vsink.NewReg(ir.ClassPtr)
+	ve := vsink.NewReg(ir.ClassPtr)
+	q := vsink.NewReg(ir.ClassPtr)
+	qb := vsink.NewReg(ir.ClassPtr)
+	qe := vsink.NewReg(ir.ClassPtr)
+	w := vsink.NewReg(ir.ClassInt)
+	u := vsink.NewReg(ir.ClassInt)
+	vsink.ParamRegs = []ir.Reg{vp, vb, ve}
+	vsink.Blocks = []*ir.Block{{Insts: []ir.Inst{
+		{Kind: ir.KCall, Callee: ir.FV("va_start"),
+			Dst: ir.NoReg, DstBase: ir.NoReg, DstBound: ir.NoReg},
+		{Kind: ir.KCall, Callee: ir.FV("va_arg_ptr"),
+			Dst: q, DstBase: qb, DstBound: qe},
+		{Kind: ir.KBin, Dst: w, Op: ir.OpSub, A: ir.R(ve), B: ir.R(vb)},
+		{Kind: ir.KBin, Dst: u, Op: ir.OpSub, A: ir.R(qe), B: ir.R(qb)},
+		{Kind: ir.KBin, Dst: w, Op: ir.OpMul, A: ir.R(w), B: ir.CI(1000)},
+		{Kind: ir.KBin, Dst: w, Op: ir.OpAdd, A: ir.R(w), B: ir.R(u)},
+		{Kind: ir.KRet, HasVal: true, A: ir.R(w)},
+	}}}
+
+	f := &ir.Func{Name: "main", HasRet: true, RetClass: ir.ClassInt}
+	r1 := f.NewReg(ir.ClassInt)
+	f.Blocks = []*ir.Block{{Insts: []ir.Inst{
+		// Same numeric pointer, fixed and variadic, with different
+		// bounds: fixed sees [0x500,0x510) (width 16), the extra sees
+		// [0x500,0x508) (width 8).
+		{Kind: ir.KCall, Callee: ir.FV("vsink"), Dst: r1,
+			DstBase: ir.NoReg, DstBound: ir.NoReg,
+			Args: []ir.Value{ir.CI(0x500), ir.CI(0x500)},
+			Shadow: []ir.ShadowSlot{
+				{Arg: 0, Base: ir.CI(0x500), Bound: ir.CI(0x510)},
+				{Arg: 1, Base: ir.CI(0x500), Bound: ir.CI(0x508)},
+			}},
+		{Kind: ir.KRet, HasVal: true, A: ir.R(r1)},
+	}}}
+	mod := ir.NewModule("test")
+	mod.AddFunc(f)
+	mod.AddFunc(vsink)
+	res := requireEngineAgreement(t, mod, Config{})
+	if res.err != nil {
+		t.Fatal(res.err)
+	}
+	if res.code != 16*1000+8 {
+		t.Fatalf("exit = %d, want %d (vararg metadata dropped or misrouted)",
+			res.code, 16*1000+8)
+	}
+}

@@ -518,15 +518,16 @@ func (v *VM) stepLimited(f *frame, d *dinst, st *fastState) error {
 
 // execCallFast dispatches calls under the fast engine without heap
 // allocation on the steady-state path: builtin arguments marshal into
-// per-VM scratch, and user-call arguments are written straight into the
-// callee's register file (frames come from pushFrame's slot pool). On a
-// successful builtin the caller's fip is advanced past the call; on a
-// user call the new frame is ready to run. The caller reloads its frame
-// state afterwards in all cases.
+// per-VM scratch, metadata rides the reusable shadow stack, and
+// user-call arguments are written straight into the callee's register
+// file (frames come from pushFrame's slot pool). On a successful builtin
+// the caller's fip is advanced past the call; on a user call the new
+// frame is ready to run. The caller reloads its frame state afterwards
+// in all cases.
 func (v *VM) execCallFast(f *frame, d *dinst, st *fastState) error {
 	in := d.src
 	st.insts++
-	st.sim += costCall + uint64(len(in.Args))
+	st.sim += costCall + uint64(len(in.Args)) + 2*uint64(len(d.shadow))
 	v.stats.Calls++
 
 	var callee *dfunc
@@ -536,15 +537,14 @@ func (v *VM) execCallFast(f *frame, d *dinst, st *fastState) error {
 		addr := f.regs[in.Callee.Reg]
 		fn := v.funcByAddr(addr)
 		if fn == nil {
-			return &RuntimeError{Msg: fmt.Sprintf(
-				"wild jump: call through corrupted function pointer 0x%x in %s", addr, f.fn.Name)}
+			return &WildJumpError{Addr: addr, Func: f.fn.Name}
 		}
 		callee = v.prog.funcs[fn]
 	}
 
 	if callee == nil {
-		// Builtin call: marshal arguments (and metadata, when any flows)
-		// into the reusable scratch buffers.
+		// Builtin call: marshal arguments into the reusable scratch
+		// buffer; metadata goes through a shadow window like any call.
 		name := in.Callee.Sym
 		args := v.argScratch
 		if cap(args) < len(d.args) {
@@ -556,39 +556,29 @@ func (v *VM) execCallFast(f *frame, d *dinst, st *fastState) error {
 		}
 		v.argScratch = args
 
-		var metas []meta.Entry
-		for i := range in.MetaArgs {
-			if i < len(in.Args) && in.MetaArgs[i].Valid {
-				metas = v.metaScratch
-				if cap(metas) < len(in.Args) {
-					metas = make([]meta.Entry, 0, len(in.Args)+8)
-				}
-				metas = metas[:len(in.Args)]
-				for j := range metas {
-					metas[j] = meta.Entry{}
-				}
-				for j := range in.MetaArgs {
-					if j < len(metas) && in.MetaArgs[j].Valid {
-						metas[j] = meta.Entry{
-							Base:  v.eval(f, in.MetaArgs[j].Base),
-							Bound: v.eval(f, in.MetaArgs[j].Bound),
-						}
-					}
-				}
-				v.metaScratch = metas
-				break
-			}
-		}
-
 		switch name {
 		case "setjmp", "_setjmp":
 			// The shared checkpoint code records block/ip/fip; keep the
-			// reference-engine coordinates in sync first.
+			// reference-engine coordinates in sync first. Dispatched
+			// before the window push, like the reference engine.
 			f.block, f.ip = int(d.blk), int(d.ip)
 			return v.doSetjmp(f, in, args)
 		case "longjmp", "_longjmp":
 			return v.doLongjmp(f, args)
 		}
+
+		wbase := v.pushShadow(len(in.Args))
+		regs := f.regs
+		for _, s := range d.shadow {
+			if int(s.arg) < len(in.Args) {
+				v.shadow[wbase+1+int(s.arg)] = meta.Entry{
+					Base:  s.base.get(regs),
+					Bound: s.bnd.get(regs),
+				}
+			}
+		}
+		metas := v.shadow[wbase+1 : wbase+1+len(args)]
+
 		// Builtins observe v.steps (clock/time) and add their own
 		// modeled costs; commit the batched state first.
 		v.flushFast(st)
@@ -603,12 +593,29 @@ func (v *VM) execCallFast(f *frame, d *dinst, st *fastState) error {
 			f.regs[in.DstBase] = retMeta.Base
 			f.regs[in.DstBound] = retMeta.Bound
 		}
+		v.shadow = v.shadow[:wbase]
 		f.fip++
 		return nil
 	}
 
-	// User call.
+	// User call. Fill the shadow window from the caller's registers
+	// before the frame switch; the callee then pops slots by its own
+	// parameter layout, whatever the call site's static signature was.
 	fn := callee.fn
+	nargs := len(d.args)
+	wbase := v.pushShadow(nargs)
+	{
+		regs := f.regs
+		for _, s := range d.shadow {
+			if int(s.arg) < nargs {
+				v.shadow[wbase+1+int(s.arg)] = meta.Entry{
+					Base:  s.base.get(regs),
+					Bound: s.bnd.get(regs),
+				}
+			}
+		}
+	}
+
 	ci := len(v.stack) - 1
 	f.fip++ // resume after the call upon return
 	if err := v.pushFrame(fn, nil, in.Dst, in.DstBase, in.DstBound); err != nil {
@@ -617,60 +624,37 @@ func (v *VM) execCallFast(f *frame, d *dinst, st *fastState) error {
 	// pushFrame may have grown the stack's backing array.
 	f = &v.stack[ci]
 	nf := &v.stack[ci+1]
+	nf.shadowBase = wbase
 
-	// Seed parameters directly into the callee's registers, replicating
-	// the reference calling convention: fixed arguments (truncated to
-	// OrigParams when variadic extras follow), then base/bound pairs for
-	// transformed callees (paper §3.3).
+	// Seed fixed arguments directly into the callee's registers. The
+	// argument list is truncated to OrigParams when variadic extras
+	// follow, and for transformed callees also at a mismatched
+	// non-variadic site, so excess values never spill into the appended
+	// metadata parameter registers.
 	pr := fn.ParamRegs
-	nargs := len(d.args)
 	fixed := nargs
 	variadicExtra := fn.Variadic && nargs > fn.OrigParams
-	if variadicExtra {
+	if variadicExtra || (fn.Transformed && nargs > fn.OrigParams) {
 		fixed = fn.OrigParams
 	}
-	pos := 0
-	for i := 0; i < fixed; i++ {
-		if pos < len(pr) {
-			nf.regs[pr[pos]] = d.args[i].get(f.regs)
-		}
-		pos++
+	for i := 0; i < fixed && i < len(pr); i++ {
+		nf.regs[pr[i]] = d.args[i].get(f.regs)
 	}
-	if fn.Transformed {
-		for i := range in.MetaArgs {
-			if i < nargs && i < fn.OrigParams && in.MetaArgs[i].Valid {
-				if pos < len(pr) {
-					nf.regs[pr[pos]] = v.eval(f, in.MetaArgs[i].Base)
-				}
-				pos++
-				if pos < len(pr) {
-					nf.regs[pr[pos]] = v.eval(f, in.MetaArgs[i].Bound)
-				}
-				pos++
-			}
-		}
-	}
+	v.seedShadowParams(nf, nargs)
 
-	// Variadic extras (with parallel metadata) go to the frame's vararg
-	// area (paper §5.2). These slices must outlive the call for va_arg,
-	// so this one call shape still allocates — the same cost the
-	// reference engine pays.
+	// Variadic extras go to the frame's vararg area (paper §5.2); their
+	// metadata aliases the window slots — including extras the caller
+	// filled past OrigParams — which stay live for the whole activation.
+	// The value slice must outlive the call for va_arg, so this one call
+	// shape still allocates, the same cost the reference engine pays.
 	if variadicExtra {
 		n := nargs - fn.OrigParams
 		varargs := make([]uint64, n)
-		varMetas := make([]meta.Entry, n)
 		for i := 0; i < n; i++ {
-			j := fn.OrigParams + i
-			varargs[i] = d.args[j].get(f.regs)
-			if j < len(in.MetaArgs) && in.MetaArgs[j].Valid {
-				varMetas[i] = meta.Entry{
-					Base:  v.eval(f, in.MetaArgs[j].Base),
-					Bound: v.eval(f, in.MetaArgs[j].Bound),
-				}
-			}
+			varargs[i] = d.args[fn.OrigParams+i].get(f.regs)
 		}
 		nf.varargs = varargs
-		nf.varMetas = varMetas
+		nf.varMetas = v.shadow[wbase+1+fn.OrigParams : wbase+1+nargs]
 	}
 	return nil
 }

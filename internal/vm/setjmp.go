@@ -18,11 +18,12 @@ func (v *VM) doSetjmp(f *frame, in *ir.Inst, args []uint64) error {
 	tok := JmpTokenBase + v.nextJmp*16
 	v.nextJmp++
 	v.jmpPoints[tok] = &jmpCheckpoint{
-		depth:  len(v.stack),
-		block:  f.block,
-		ip:     f.ip,
-		fip:    f.fip,
-		retDst: in.Dst,
+		depth:     len(v.stack),
+		shadowLen: len(v.shadow),
+		block:     f.block,
+		ip:        f.ip,
+		fip:       f.fip,
+		retDst:    in.Dst,
 	}
 	v.jmpSPs[tok] = v.sp
 	if err := v.mem.WriteU64(env, tok); err != nil {
@@ -53,9 +54,14 @@ func (v *VM) doLongjmp(f *frame, args []uint64) error {
 	if cp, ok := v.jmpPoints[tok]; ok && cp.depth <= len(v.stack) {
 		v.stack = v.stack[:cp.depth]
 		v.sp = v.jmpSPs[tok]
+		// Unwind the shadow stack with the frames: every window pushed
+		// by calls since the setjmp is abandoned.
+		if cp.shadowLen <= len(v.shadow) {
+			v.shadow = v.shadow[:cp.shadowLen]
+		}
 		top := &v.stack[len(v.stack)-1]
 		top.block = cp.block
-		top.ip = cp.ip + 1  // resume after the setjmp call
+		top.ip = cp.ip + 1   // resume after the setjmp call
 		top.fip = cp.fip + 1 // same point in the decoded body
 		if cp.retDst != ir.NoReg {
 			top.regs[cp.retDst] = val
@@ -64,8 +70,14 @@ func (v *VM) doLongjmp(f *frame, args []uint64) error {
 	}
 	if target := v.funcByAddr(tok); target != nil {
 		// Corrupted jmp_buf redirected control: the attack succeeded.
+		// The hijacked target runs with a fresh, empty shadow window.
 		v.Hijacks = append(v.Hijacks, ControlHijack{Via: "longjmp", Target: target.Name})
-		return v.pushFrame(target, nil, ir.NoReg, ir.NoReg, ir.NoReg)
+		wbase := v.pushShadow(0)
+		if err := v.pushFrame(target, nil, ir.NoReg, ir.NoReg, ir.NoReg); err != nil {
+			return err
+		}
+		v.stack[len(v.stack)-1].shadowBase = wbase
+		return nil
 	}
 	return &RuntimeError{Msg: fmt.Sprintf("longjmp through corrupted jmp_buf (token 0x%x)", tok)}
 }

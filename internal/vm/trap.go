@@ -17,6 +17,12 @@ const (
 	TrapBaseline TrapCode = "baseline-violation"
 	// TrapMemFault is an access to unmapped simulated memory (FaultError).
 	TrapMemFault TrapCode = "memory-fault"
+	// TrapWildJump is a call through a corrupted function pointer: the
+	// callee operand does not decode to a function-table address
+	// (WildJumpError). Memory-fault family — control left the program
+	// text — but distinct, so breakers and BENCH.json consumers can
+	// tell a hijacked call site from a stray data access.
+	TrapWildJump TrapCode = "wild-jump"
 	// TrapOOM is the heap-size cap firing (Config.HeapLimit exceeded).
 	TrapOOM TrapCode = "oom"
 	// TrapStepLimit is the instruction-step budget firing.
@@ -83,6 +89,10 @@ func codeFor(err error) TrapCode {
 	var fe *FaultError
 	if errors.As(err, &fe) {
 		return TrapMemFault
+	}
+	var wj *WildJumpError
+	if errors.As(err, &wj) {
+		return TrapWildJump
 	}
 	return TrapRuntime
 }

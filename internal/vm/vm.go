@@ -138,11 +138,24 @@ type ControlHijack struct {
 	Target string // function name reached
 }
 
-// RuntimeError is any other execution error (wild jump, division by zero,
-// step limit, stack overflow).
+// RuntimeError is any other execution error (division by zero, step
+// limit, stack overflow, smashed stack).
 type RuntimeError struct{ Msg string }
 
 func (e *RuntimeError) Error() string { return e.Msg }
+
+// WildJumpError is an indirect call through a value that is not a
+// function-table address — the dynamic signature of a corrupted or
+// forged function pointer. It classifies as TrapWildJump.
+type WildJumpError struct {
+	Addr uint64 // the value the call went through
+	Func string // function containing the call site
+}
+
+func (e *WildJumpError) Error() string {
+	return fmt.Sprintf("wild jump: call through corrupted function pointer 0x%x in %s",
+		e.Addr, e.Func)
+}
 
 // frame is one activation record. Register contents are Go-side (they
 // model machine registers); fp points at the frame's memory block, which
@@ -163,6 +176,12 @@ type frame struct {
 	retBase, retBound ir.Reg
 	token             uint64 // the return token written at call time
 
+	// shadowBase indexes this frame's metadata window on the VM shadow
+	// stack: slot shadowBase receives the return metadata, slot
+	// shadowBase+1+i carries argument i's metadata. The window is pushed
+	// by the caller before the frame and popped when the frame unwinds.
+	shadowBase int
+
 	// Variadic support (paper §5.2): arguments beyond the fixed
 	// parameters, with their metadata, plus the va_arg cursor. The
 	// SoftBound vararg convention passes the argument count and pointer
@@ -181,11 +200,12 @@ type frame struct {
 
 // jmpCheckpoint is a setjmp capture.
 type jmpCheckpoint struct {
-	depth  int
-	block  int
-	ip     int // index of the setjmp call instruction
-	fip    int // flat index of the same instruction (fast engine)
-	retDst ir.Reg
+	depth     int
+	shadowLen int // shadow-stack length to restore on longjmp
+	block     int
+	ip        int // index of the setjmp call instruction
+	fip       int // flat index of the same instruction (fast engine)
+	retDst    ir.Reg
 }
 
 // VM executes a linked module.
@@ -211,11 +231,18 @@ type VM struct {
 	prog   *program
 	mcache *meta.LookupCache
 
-	// argScratch/metaScratch are per-VM buffers the fast call path reuses
-	// for builtin argument marshaling, so steady-state calls allocate
-	// nothing. Builtins never re-enter user code, so one buffer suffices.
-	argScratch  []uint64
-	metaScratch []meta.Entry
+	// argScratch is a per-VM buffer the fast call path reuses for builtin
+	// argument marshaling, so steady-state calls allocate nothing.
+	// Builtins never re-enter user code, so one buffer suffices.
+	argScratch []uint64
+
+	// shadow is the metadata shadow stack (paper §3.3; softboundcets'
+	// __softboundcets_*_shadow_stack): one window of (base, bound) slots
+	// per in-flight call, pushed by the caller and popped by the dynamic
+	// callee's layout. The backing array is reused across calls — length
+	// resets on pop, capacity persists — so the steady-state call path
+	// stays allocation-free once the deepest window has been seen.
+	shadow []meta.Entry
 
 	// lookupCost/updateCost cache the facility's constant modeled costs so
 	// the fast metaload/metastore handlers skip the interface dispatch.
@@ -449,16 +476,18 @@ func (v *VM) run(ctx context.Context) (int64, error) {
 		callArgs = callArgs[:mainFn.OrigParams]
 		callMeta = callMeta[:mainFn.OrigParams]
 	}
-	if mainFn.Transformed {
-		for i := range callArgs {
-			if i < mainFn.OrigParams && mainFn.Params[i].IsPtr {
-				callArgs = append(callArgs, callMeta[i].Base, callMeta[i].Bound)
-			}
-		}
+	// Entry calls use the same shadow-stack ABI as everything else: push
+	// a window, fill argv's slot, let the callee pop by its own layout.
+	wbase := v.pushShadow(len(callArgs))
+	for i := range callArgs {
+		v.shadow[wbase+1+i] = callMeta[i]
 	}
 	if err := v.pushFrame(mainFn, callArgs, ir.NoReg, ir.NoReg, ir.NoReg); err != nil {
 		return -1, err
 	}
+	nf := &v.stack[len(v.stack)-1]
+	nf.shadowBase = wbase
+	v.seedShadowParams(nf, len(callArgs))
 	if err := v.runLoop(); err != nil {
 		return v.exitCode, err
 	}
@@ -493,9 +522,13 @@ func (v *VM) CallFunctionContext(ctx context.Context, name string, args ...uint6
 	if fn == nil {
 		return -1, Classify(&RuntimeError{Msg: "vm: no function " + name})
 	}
+	wbase := v.pushShadow(len(args))
 	if err := v.pushFrame(fn, args, ir.NoReg, ir.NoReg, ir.NoReg); err != nil {
 		return -1, Classify(err)
 	}
+	nf := &v.stack[len(v.stack)-1]
+	nf.shadowBase = wbase
+	v.seedShadowParams(nf, len(args))
 	if err := v.runLoop(); err != nil {
 		return v.exitCode, Classify(err)
 	}
@@ -518,6 +551,58 @@ func (v *VM) allocate(size uint64) (uint64, error) {
 			v.alloc.inUse, size, v.cfg.HeapLimit)}}
 	}
 	return v.alloc.alloc(size), nil
+}
+
+// pushShadow reserves a zeroed call window of 1+nargs metadata slots on
+// the shadow stack — slot 0 for the callee's return metadata, slot 1+i
+// for argument i — and returns its base index. The backing array is
+// reused across calls (length shrinks on pop, capacity persists), so the
+// steady-state call path allocates nothing.
+func (v *VM) pushShadow(nargs int) int {
+	base := len(v.shadow)
+	need := base + 1 + nargs
+	if cap(v.shadow) >= need {
+		v.shadow = v.shadow[:need]
+		clear(v.shadow[base:need])
+		return base
+	}
+	for len(v.shadow) < need {
+		v.shadow = append(v.shadow, meta.Entry{})
+	}
+	return base
+}
+
+// seedShadowParams pops the metadata for a transformed callee's pointer
+// parameters out of its shadow window into the appended base/bound
+// parameter registers — by the *dynamic* callee's parameter layout, not
+// the call site's static signature (the compatibility contract of paper
+// §3.3/§5.2). Slots that carry no metadata (non-pointer arguments,
+// missing arguments, out-of-range indices) yield NULL bounds, which
+// fail closed at the first dereference. nargs is the number of actual
+// arguments the call supplied.
+func (v *VM) seedShadowParams(nf *frame, nargs int) {
+	fn := nf.fn
+	if !fn.Transformed {
+		return
+	}
+	pos := fn.OrigParams
+	for i := 0; i < fn.OrigParams; i++ {
+		if !fn.Params[i].IsPtr {
+			continue
+		}
+		var e meta.Entry
+		if idx := nf.shadowBase + 1 + i; i < nargs && idx < len(v.shadow) {
+			e = v.shadow[idx]
+		}
+		if pos < len(fn.ParamRegs) {
+			nf.regs[fn.ParamRegs[pos]] = e.Base
+		}
+		pos++
+		if pos < len(fn.ParamRegs) {
+			nf.regs[fn.ParamRegs[pos]] = e.Bound
+		}
+		pos++
+	}
 }
 
 // pushFrame establishes an activation record: reserve the frame in stack
@@ -610,15 +695,22 @@ func (v *VM) popFrame() (*frame, error) {
 
 	if tok != f.token {
 		if target := v.funcByAddr(tok); target != nil {
-			// The attacker redirected the return: transfer control.
+			// The attacker redirected the return: transfer control. The
+			// victim's shadow window is discarded and the hijacked target
+			// gets a fresh, empty one (a real transfer would push one too;
+			// all its slots read as NULL bounds).
 			v.Hijacks = append(v.Hijacks, ControlHijack{
 				Via: "return-address", Target: target.Name,
 			})
+			wbase := f.shadowBase
 			v.stack = v.stack[:len(v.stack)-1]
 			v.sp += frameBytes
+			v.shadow = v.shadow[:wbase]
+			hb := v.pushShadow(0)
 			if err := v.pushFrame(target, nil, ir.NoReg, ir.NoReg, ir.NoReg); err != nil {
 				return nil, err
 			}
+			v.stack[len(v.stack)-1].shadowBase = hb
 			return nil, nil // control continues in the hijacked target
 		}
 		return nil, &RuntimeError{Msg: fmt.Sprintf(
