@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	softbound [-mode=none|store|full] [-meta=hash|shadow] [-stats] [-dump]
+//	softbound [-mode=none|store|full] [-meta=<scheme>] [-stats] [-dump]
 //	          [-timeout=10s] [-steps=N] [-faults=seed=7,flip=200]
 //	          [-format=text|json] file.c...
 //
@@ -33,7 +33,9 @@ import (
 
 func main() {
 	mode := flag.String("mode", "full", "checking mode: none, store, full")
-	metaKind := flag.String("meta", "shadow", "metadata facility: hash, shadow")
+	metaKind := flag.String("meta", "shadow",
+		"metadata scheme: any registered name (shadowspace, hashtable, "+
+			"shadow-cets, hashtable-cets) or the aliases hash, shadow")
 	stats := flag.Bool("stats", false, "print execution statistics")
 	dump := flag.Bool("dump", false, "dump the instrumented IR instead of running")
 	noOpt := flag.Bool("no-opt", false, "disable the optimizer")
@@ -73,10 +75,22 @@ func main() {
 		fmt.Fprintf(os.Stderr, "unknown mode %q\n", *mode)
 		os.Exit(2)
 	}
-	schemeName := "shadowspace"
-	if *metaKind == "hash" {
-		cfg.Meta = meta.KindHashTable
+	schemeName := *metaKind
+	switch *metaKind { // short aliases kept for compatibility
+	case "shadow":
+		schemeName = "shadowspace"
+	case "hash":
 		schemeName = "hashtable"
+	}
+	if sc, ok := meta.SchemeByName(schemeName); ok {
+		cfg.Meta = sc.Kind
+		if ctor := sc.New; ctor != nil {
+			cfg.MetaFacility = func() (meta.Facility, error) { return ctor(), nil }
+		}
+	} else {
+		fmt.Fprintf(os.Stderr, "unknown metadata scheme %q (have %v)\n",
+			*metaKind, meta.SchemeNames())
+		os.Exit(2)
 	}
 	cfg.Optimize = !*noOpt
 	cfg.Stdout = os.Stdout

@@ -415,6 +415,125 @@ int main(void) {
 	}
 }
 
+// DanglingSuite returns the dangling-pointer attacks behind the CETS
+// lock-and-key extension (ISSUE 7). They are deliberately NOT part of
+// Suite(): Table 3 is pinned at 18 entries, and none of these is an
+// overflow — every write is *in bounds of the pointer's original
+// object*, so spatial checking alone passes it. The violation is
+// temporal: the object was freed (or its frame popped) and the memory
+// recycled, so the stale alias now writes someone else's live data.
+// Executed unchecked OR under a spatial-only scheme the attacks
+// genuinely corrupt the recycled allocation (ATTACK SUCCESSFUL, exit
+// 66); under the -cets schemes the revoked lock is caught at the first
+// dangling use and the run aborts with a temporal violation.
+func DanglingSuite() []Attack {
+	return []Attack{
+		{
+			Name: "heap-use-after-free", Technique: "temporal",
+			Location: "heap", Target: "recycled heap allocation",
+			Source: payloadPrelude + `
+int main(void) {
+    long* stale;
+    long* account;
+    stale = (long*)malloc(16);
+    stale[0] = 41;
+    free(stale);
+    /* A same-size allocation recycles the freed address. */
+    account = (long*)malloc(16);
+    account[0] = 0;      /* 0 = unprivileged */
+    /* In bounds of stale's original block, so every spatial check
+       passes; the write lands in the live account. */
+    stale[0] = 1;
+    if (account[0]) {
+        printf("ATTACK SUCCESSFUL\n");
+        exit(66);
+    }
+    printf("OK\n");
+    return 0;
+}`,
+		},
+		{
+			Name: "heap-use-after-realloc", Technique: "temporal",
+			Location: "heap", Target: "recycled pre-realloc block",
+			Source: payloadPrelude + `
+int main(void) {
+    long* old;
+    long* moved;
+    long* account;
+    old = (long*)malloc(16);
+    old[0] = 7;
+    moved = (long*)realloc(old, 32);
+    moved[0] = 7;
+    /* realloc released the 16-byte block; this allocation recycles it. */
+    account = (long*)malloc(16);
+    account[0] = 0;      /* 0 = unprivileged */
+    old[0] = 1;          /* stale pre-realloc alias, spatially in bounds */
+    if (account[0]) {
+        printf("ATTACK SUCCESSFUL\n");
+        exit(66);
+    }
+    printf("OK\n");
+    return 0;
+}`,
+		},
+		{
+			Name: "stack-use-after-return", Technique: "temporal",
+			Location: "stack", Target: "recycled stack frame",
+			Source: payloadPrelude + `
+long* leak;
+long* grab(void) {
+    long slot[2];
+    slot[0] = 0;
+    return &slot[0];
+}
+void victim(void) {
+    long secret[2];
+    secret[0] = 0;       /* 0 = unprivileged */
+    /* grab's frame was popped and victim's frame occupies the same
+       stack bytes: leak aliases secret. The write is in bounds of
+       slot's original extent, so spatial checks pass. */
+    leak[0] = 1;
+    if (secret[0]) {
+        printf("ATTACK SUCCESSFUL\n");
+        exit(66);
+    }
+}
+int main(void) {
+    leak = grab();
+    victim();
+    printf("OK\n");
+    return 0;
+}`,
+		},
+		{
+			Name: "heap-double-free", Technique: "temporal",
+			Location: "heap", Target: "live recycled allocation",
+			Source: payloadPrelude + `
+int main(void) {
+    long* p;
+    long* account;
+    long* attacker;
+    p = (long*)malloc(16);
+    free(p);
+    /* The recycled address now backs a live allocation... */
+    account = (long*)malloc(16);
+    account[0] = 7;
+    /* ...which this double free releases out from under it: the
+       allocator sees a live block at p and frees the account. */
+    free(p);
+    attacker = (long*)malloc(16);
+    attacker[0] = 1;     /* aliases the still-in-use account */
+    if (account[0] == 1) {
+        printf("ATTACK SUCCESSFUL\n");
+        exit(66);
+    }
+    printf("OK\n");
+    return 0;
+}`,
+		},
+	}
+}
+
 // MetadataLaundering is the function-pointer metadata-laundering scenario
 // that motivated the shadow-stack call ABI (ISSUE 6). It is deliberately
 // NOT part of Suite(): Table 3 is pinned at 18 entries, and this attack

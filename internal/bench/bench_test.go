@@ -71,9 +71,9 @@ func TestExecuteParallel(t *testing.T) {
 	if rep.Schema != SchemaVersion {
 		t.Errorf("schema = %d", rep.Schema)
 	}
-	// 2 programs × (1 + 2 schemes × 2 modes) = 10 runs.
-	if len(rep.Runs) != 10 {
-		t.Fatalf("got %d runs: %+v", len(rep.Runs), rep.Runs)
+	// 2 programs × (1 baseline + every registered scheme × 2 modes).
+	if want := 2 * (1 + len(meta.Schemes())*2); len(rep.Runs) != want {
+		t.Fatalf("got %d runs, want %d: %+v", len(rep.Runs), want, rep.Runs)
 	}
 	baselines := map[string]Run{}
 	for _, r := range rep.Runs {

@@ -133,8 +133,8 @@ func TestDeadlineCellInMatrix(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(rep.Runs) != 3 {
-		t.Fatalf("report has %d runs, want 3", len(rep.Runs))
+	if want := 1 + len(meta.Schemes()); len(rep.Runs) != want {
+		t.Fatalf("report has %d runs, want %d", len(rep.Runs), want)
 	}
 	var deadlined bool
 	for _, r := range rep.Runs {

@@ -70,6 +70,13 @@ type Options struct {
 	// arithmetic-time check both costs more and raises false positives
 	// on downward iteration). Exposed only for the ablation benchmark.
 	CheckArith bool
+	// Temporal lowers CETS lock-and-key metadata alongside the spatial
+	// bounds: every pointer register gains key/lock companions, pointer
+	// loads/stores move four metadata words, dereference checks carry the
+	// key/lock operands (verified before the spatial compare), and
+	// functions get a frame lock for their allocas. Off by default; the
+	// driver enables it when a -cets metadata scheme is selected.
+	Temporal bool
 }
 
 // DefaultOptions returns the paper's default configuration for a mode.
@@ -112,6 +119,10 @@ type xform struct {
 	base  map[ir.Reg]ir.Reg
 	bound map[ir.Reg]ir.Reg
 
+	// key/lock shadow registers (temporal lowering only).
+	key  map[ir.Reg]ir.Reg
+	lock map[ir.Reg]ir.Reg
+
 	// allocaRegs maps frame offsets to the register holding the slot
 	// address (for epilogue metadata clearing).
 	allocaRegs map[int64]ir.Reg
@@ -128,9 +139,16 @@ func transformFunc(f *ir.Func, sizes GlobalSizer, opts Options) {
 		bound:      make(map[ir.Reg]ir.Reg),
 		allocaRegs: make(map[int64]ir.Reg),
 	}
+	if opts.Temporal {
+		x.key = make(map[ir.Reg]ir.Reg)
+		x.lock = make(map[ir.Reg]ir.Reg)
+	}
 
 	// Extend the signature: metadata parameters for pointer parameters
-	// (paper §3.3). The function is renamed with the _sb_ marker.
+	// (paper §3.3); under temporal lowering each pointer parameter
+	// carries four metadata registers (base, bound, key, lock — the
+	// softboundcets convention). The function is renamed with the _sb_
+	// marker.
 	for i := 0; i < f.OrigParams; i++ {
 		if !f.Params[i].IsPtr {
 			continue
@@ -145,9 +163,28 @@ func transformFunc(f *ir.Func, sizes GlobalSizer, opts Options) {
 		f.ParamRegs = append(f.ParamRegs, br, er)
 		x.base[pr] = br
 		x.bound[pr] = er
+		if opts.Temporal {
+			kr := f.NewReg(ir.ClassInt)
+			lr := f.NewReg(ir.ClassInt)
+			f.Params = append(f.Params,
+				ir.Param{Name: f.Params[i].Name + ".key", Class: ir.ClassInt},
+				ir.Param{Name: f.Params[i].Name + ".lock", Class: ir.ClassInt},
+			)
+			f.ParamRegs = append(f.ParamRegs, kr, lr)
+			x.key[pr] = kr
+			x.lock[pr] = lr
+		}
 	}
 	f.Transformed = true
 	f.SBName = "_sb_" + f.Name
+	if opts.Temporal {
+		// The VM issues a frame lock on entry and seeds its (key, lock)
+		// into these registers; alloca'd pointers inherit them, so every
+		// retained pointer into the frame dies with the frame.
+		f.Temporal = true
+		f.FrameKeyReg = f.NewReg(ir.ClassInt)
+		f.FrameLockReg = f.NewReg(ir.ClassInt)
+	}
 
 	// Pre-scan for alloca address registers (needed by epilogue clears
 	// that may precede the textual alloca in block order — allocas all
@@ -185,6 +222,22 @@ func (x *xform) ensure(r ir.Reg) (ir.Reg, ir.Reg) {
 	return b, e
 }
 
+// ensureT returns the shadow key/lock registers for a pointer register
+// (temporal lowering only).
+func (x *xform) ensureT(r ir.Reg) (ir.Reg, ir.Reg) {
+	k, ok := x.key[r]
+	if !ok {
+		k = x.f.NewReg(ir.ClassInt)
+		x.key[r] = k
+	}
+	l, ok := x.lock[r]
+	if !ok {
+		l = x.f.NewReg(ir.ClassInt)
+		x.lock[r] = l
+	}
+	return k, l
+}
+
 // metaOf returns base/bound values describing the metadata of a pointer
 // operand (paper §3.1 "creating pointers"):
 //
@@ -210,13 +263,44 @@ func (x *xform) metaOf(v ir.Value) (ir.Value, ir.Value) {
 	}
 }
 
+// metaOfT returns key/lock values describing the temporal metadata of a
+// pointer operand: shadow registers for registers; the never-revoked
+// global lock (key 1, lock 1) for globals and functions; zero — which
+// fails the temporal check, fail-closed — for integer-manufactured
+// pointers. Only meaningful under Options.Temporal.
+func (x *xform) metaOfT(v ir.Value) (ir.Value, ir.Value) {
+	switch v.Kind {
+	case ir.VReg:
+		k, l := x.ensureT(v.Reg)
+		return ir.R(k), ir.R(l)
+	case ir.VGlobal:
+		if _, ok := x.sizes(v.Sym); ok {
+			return ir.CI(1), ir.CI(1)
+		}
+		return ir.CI(0), ir.CI(0)
+	case ir.VFunc:
+		return ir.CI(1), ir.CI(1)
+	default:
+		return ir.CI(0), ir.CI(0)
+	}
+}
+
 func (x *xform) emit(in ir.Inst) { x.out = append(x.out, in) }
 
-// setMeta emits assignments of the shadow registers for dst.
+// setMeta emits assignments of the shadow registers for dst; under
+// temporal lowering the key/lock companions are assigned from the same
+// source operand's temporal metadata.
 func (x *xform) setMeta(dst ir.Reg, base, bound ir.Value) {
 	b, e := x.ensure(dst)
 	x.emit(ir.Inst{Kind: ir.KMov, Dst: b, A: base})
 	x.emit(ir.Inst{Kind: ir.KMov, Dst: e, A: bound})
+}
+
+// setMetaT emits assignments of the temporal shadow registers for dst.
+func (x *xform) setMetaT(dst ir.Reg, key, lock ir.Value) {
+	k, l := x.ensureT(dst)
+	x.emit(ir.Inst{Kind: ir.KMov, Dst: k, A: key})
+	x.emit(ir.Inst{Kind: ir.KMov, Dst: l, A: lock})
 }
 
 // isPtrReg reports whether r holds pointers.
@@ -237,8 +321,16 @@ func (x *xform) emitCheck(addr ir.Value, size int64, kind ir.CheckKind) {
 	switch addr.Kind {
 	case ir.VReg:
 		b, e := x.metaOf(addr)
-		x.emit(ir.Inst{Kind: ir.KCheck, A: addr, Base: b, Bound: e,
-			AccessSize: size, CheckK: kind})
+		chk := ir.Inst{Kind: ir.KCheck, A: addr, Base: b, Bound: e,
+			AccessSize: size, CheckK: kind}
+		if x.opts.Temporal {
+			// The lock-and-key check runs BEFORE the spatial compare: a
+			// revoked allocation traps as temporal-violation even when
+			// the stale bounds still bracket the access.
+			chk.TMeta = true
+			chk.Key, chk.Lock = x.metaOfT(addr)
+		}
+		x.emit(chk)
 	case ir.VGlobal:
 		objSize, ok := x.sizes(addr.Sym)
 		if ok && addr.Off >= 0 && addr.Off+size <= objSize {
@@ -258,6 +350,10 @@ func (x *xform) rewrite(in *ir.Inst) {
 		if x.isPtrReg(in.Dst) {
 			b, e := x.metaOf(in.A)
 			x.setMeta(in.Dst, b, e)
+			if x.opts.Temporal {
+				k, l := x.metaOfT(in.A)
+				x.setMetaT(in.Dst, k, l)
+			}
 		}
 
 	case ir.KConv:
@@ -266,6 +362,9 @@ func (x *xform) rewrite(in *ir.Inst) {
 			// Pointer manufactured from an integer: NULL bounds
 			// (safe default, paper §5.2). setbound() can widen later.
 			x.setMeta(in.Dst, ir.CI(0), ir.CI(0))
+			if x.opts.Temporal {
+				x.setMetaT(in.Dst, ir.CI(0), ir.CI(0))
+			}
 		}
 
 	case ir.KAlloca:
@@ -275,6 +374,11 @@ func (x *xform) rewrite(in *ir.Inst) {
 		x.emit(ir.Inst{Kind: ir.KMov, Dst: b, A: ir.R(in.Dst)})
 		x.emit(ir.Inst{Kind: ir.KGEP, Dst: e, A: ir.R(in.Dst), B: ir.CI(0),
 			Size: 1, C: ir.CI(in.Size)})
+		if x.opts.Temporal {
+			// Stack storage dies with the frame: the slot's temporal
+			// identity is the frame lock the VM issued on entry.
+			x.setMetaT(in.Dst, ir.R(x.f.FrameKeyReg), ir.R(x.f.FrameLockReg))
+		}
 
 	case ir.KGEP:
 		x.emit(*in)
@@ -311,12 +415,22 @@ func (x *xform) rewrite(in *ir.Inst) {
 			x.emit(ir.Inst{Kind: ir.KBin, Op: ir.OpSub, Dst: de, A: se, B: ir.R(fe)})
 			x.emit(ir.Inst{Kind: ir.KBin, Op: ir.OpMul, Dst: me, A: ir.R(ce), B: ir.R(de)})
 			x.emit(ir.Inst{Kind: ir.KBin, Op: ir.OpAdd, Dst: e, A: ir.R(fe), B: ir.R(me)})
+			if x.opts.Temporal {
+				// Narrowing is spatial-only; the field keeps the
+				// allocation's temporal identity unchanged.
+				k, l := x.metaOfT(in.A)
+				x.setMetaT(in.Dst, k, l)
+			}
 			break
 		}
 		// Pointer arithmetic: result inherits the source bounds; no
 		// check happens until dereference (§3.1).
 		b, e := x.metaOf(in.A)
 		x.setMeta(in.Dst, b, e)
+		if x.opts.Temporal {
+			k, l := x.metaOfT(in.A)
+			x.setMetaT(in.Dst, k, l)
+		}
 		if x.opts.CheckArith && x.opts.Mode == ModeFull {
 			// Ablation: arithmetic-time check, permitting only
 			// [base, bound] (one-past-the-end allowed, size 0).
@@ -331,7 +445,12 @@ func (x *xform) rewrite(in *ir.Inst) {
 			// Loading a pointer pulls its metadata from the disjoint
 			// table (paper §3.2).
 			b, e := x.ensure(in.Dst)
-			x.emit(ir.Inst{Kind: ir.KMetaLoad, A: in.A, DstBaseR: b, DstBndR: e})
+			ml := ir.Inst{Kind: ir.KMetaLoad, A: in.A, DstBaseR: b, DstBndR: e}
+			if x.opts.Temporal {
+				ml.TMeta = true
+				ml.DstKeyR, ml.DstLockR = x.ensureT(in.Dst)
+			}
+			x.emit(ml)
 		}
 
 	case ir.KStore:
@@ -340,7 +459,12 @@ func (x *xform) rewrite(in *ir.Inst) {
 		if in.Mem == ir.MemPtr {
 			// Storing a pointer records its metadata (paper §3.2).
 			b, e := x.metaOf(in.B)
-			x.emit(ir.Inst{Kind: ir.KMetaStore, A: in.A, SrcBase: b, SrcBound: e})
+			ms := ir.Inst{Kind: ir.KMetaStore, A: in.A, SrcBase: b, SrcBound: e}
+			if x.opts.Temporal {
+				ms.TMeta = true
+				ms.SrcKey, ms.SrcLock = x.metaOfT(in.B)
+			}
+			x.emit(ms)
 		}
 
 	case ir.KCall:
@@ -362,6 +486,10 @@ func (x *xform) rewrite(in *ir.Inst) {
 			b, e := x.metaOf(out.A)
 			out.RetBase, out.RetBound = b, e
 			out.RetMetaValid = true
+			if x.opts.Temporal {
+				out.TMeta = true
+				out.RetKey, out.RetLock = x.metaOfT(out.A)
+			}
 		}
 		x.emit(out)
 
@@ -387,14 +515,27 @@ func (x *xform) rewriteCall(in *ir.Inst) {
 	for i, a := range out.Args {
 		if x.valueIsPtr(a) {
 			b, e := x.metaOf(a)
-			out.Shadow = append(out.Shadow, ir.ShadowSlot{Arg: i, Base: b, Bound: e})
+			sl := ir.ShadowSlot{Arg: i, Base: b, Bound: e}
+			if x.opts.Temporal {
+				sl.Temporal = true
+				sl.Key, sl.Lock = x.metaOfT(a)
+			}
+			out.Shadow = append(out.Shadow, sl)
 		}
 	}
 	if out.Dst != ir.NoReg && x.isPtrReg(out.Dst) {
 		b, e := x.ensure(out.Dst)
 		out.DstBase, out.DstBound = b, e
+		if x.opts.Temporal {
+			out.DstKey, out.DstLock = x.ensureT(out.Dst)
+		}
 	} else {
 		out.DstBase, out.DstBound = ir.NoReg, ir.NoReg
+	}
+	if x.opts.Temporal {
+		// TMeta on the call gates the wider shadow window (key/lock ride
+		// in every slot) and the temporal return registers.
+		out.TMeta = true
 	}
 	x.emit(out)
 }

@@ -42,6 +42,11 @@ func describe(r *Result) string {
 		return fmt.Sprintf("exit=%d out=%q violation=%v ptr=%#x base=%#x bound=%#x size=%d fn=%s",
 			r.ExitCode, r.Output, v.Kind, v.Ptr, v.Base, v.Bound, v.Size, v.Func)
 	}
+	if r.TemporalHit != nil {
+		v := r.TemporalHit
+		return fmt.Sprintf("exit=%d out=%q temporal=%v ptr=%#x key=%d lock=%d fn=%s",
+			r.ExitCode, r.Output, v.Kind, v.Ptr, v.Key, v.Lock, v.Func)
+	}
 	return fmt.Sprintf("exit=%d out=%q err=%v hijacks=%d",
 		r.ExitCode, r.Output, r.Err != nil, len(r.Hijacks))
 }

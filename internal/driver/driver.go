@@ -136,6 +136,9 @@ type Result struct {
 	Hijacks []vm.ControlHijack
 	// Violation is Err narrowed to a SoftBound detection, if it is one.
 	Violation *vm.SpatialViolation
+	// TemporalHit is Err narrowed to a CETS lock-and-key detection (only
+	// possible under the -cets metadata schemes).
+	TemporalHit *vm.TemporalViolation
 	// BaselineHit is Err narrowed to a baseline checker detection.
 	BaselineHit *vm.BaselineViolation
 	// Trap is Err's typed classification (nil on clean termination); its
@@ -153,8 +156,10 @@ func (r *Result) TrapCode() vm.TrapCode {
 }
 
 // Detected reports whether SoftBound (or a baseline checker) flagged a
-// spatial violation.
-func (r *Result) Detected() bool { return r.Violation != nil || r.BaselineHit != nil }
+// spatial or temporal violation.
+func (r *Result) Detected() bool {
+	return r.Violation != nil || r.TemporalHit != nil || r.BaselineHit != nil
+}
 
 // CompileError is the typed failure of the compile pipeline: which stage
 // rejected the input, on which translation unit, and the underlying
@@ -253,6 +258,11 @@ func CompileWithStats(sources []Source, cfg Config) (mod *ir.Module, counters me
 		opts.ShrinkBounds = cfg.ShrinkBounds
 		opts.ClearOnReturn = cfg.ClearOnReturn
 		opts.CheckArith = cfg.CheckArith
+		// Temporal lowering follows the metadata scheme: the -cets
+		// facilities store (key, lock) words, so selecting one turns the
+		// CETS instrumentation on; spatial-only schemes compile exactly
+		// as before.
+		opts.Temporal = cfg.Meta.Temporal()
 		for _, m := range mods {
 			core.Transform(m, sizer, opts)
 		}
@@ -364,6 +374,7 @@ func ExecuteContext(ctx context.Context, mod *ir.Module, cfg Config) *Result {
 	vmCfg := vm.Config{
 		Mode:          vmMode(cfg.Mode),
 		Meta:          fac,
+		Temporal:      cfg.Meta.Temporal(),
 		Checker:       cfg.Checker,
 		Stdout:        out,
 		StepLimit:     cfg.StepLimit,
@@ -401,6 +412,10 @@ func ExecuteContext(ctx context.Context, mod *ir.Module, cfg Config) *Result {
 	var sv *vm.SpatialViolation
 	if errors.As(runErr, &sv) {
 		res.Violation = sv
+	}
+	var tv *vm.TemporalViolation
+	if errors.As(runErr, &tv) {
+		res.TemporalHit = tv
 	}
 	var bv *vm.BaselineViolation
 	if errors.As(runErr, &bv) {

@@ -43,11 +43,13 @@ func requireEngineAgreement(t *testing.T, name, src string, cfg Config) *Result 
 	return fast
 }
 
-// engineConfigs is the mode × scheme matrix each program runs under.
+// engineConfigs is the mode × scheme matrix each program runs under —
+// both spatial-only backends and both CETS temporal backends.
 func engineConfigs() []Config {
 	var cfgs []Config
 	for _, mode := range []Mode{ModeStoreOnly, ModeFull} {
-		for _, kind := range []meta.Kind{meta.KindShadowSpace, meta.KindHashTable} {
+		for _, kind := range []meta.Kind{meta.KindShadowSpace, meta.KindHashTable,
+			meta.KindShadowCETS, meta.KindHashTableCETS} {
 			cfg := DefaultConfig(mode)
 			cfg.Meta = kind
 			cfgs = append(cfgs, cfg)
@@ -96,6 +98,31 @@ func TestEngineDifferentialBugBench(t *testing.T) {
 			if detected := res.Violation != nil; detected != p.Full {
 				t.Fatalf("full-mode detection = %v, want %v (%s)",
 					detected, p.Full, describe(res))
+			}
+		})
+	}
+}
+
+// TestEngineDifferentialDanglingAttacks (ISSUE 7): the dangling-pointer
+// suite must behave identically on both engines under every scheme —
+// detected as a temporal violation under the CETS backends, undetected
+// (attack corrupts and exits 66) under the spatial-only ones.
+func TestEngineDifferentialDanglingAttacks(t *testing.T) {
+	for _, a := range attacks.DanglingSuite() {
+		a := a
+		t.Run(a.Name, func(t *testing.T) {
+			t.Parallel()
+			for _, cfg := range engineConfigs() {
+				res := requireEngineAgreement(t, a.Name, a.Source, cfg)
+				if cfg.Meta.Temporal() {
+					if res.TemporalHit == nil {
+						t.Fatalf("mode=%v meta=%v: dangling attack not caught: %s",
+							cfg.Mode, cfg.Meta, describe(res))
+					}
+				} else if res.Detected() {
+					t.Fatalf("mode=%v meta=%v: spatial-only scheme flagged a temporal attack: %s",
+						cfg.Mode, cfg.Meta, describe(res))
+				}
 			}
 		})
 	}

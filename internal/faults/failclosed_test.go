@@ -50,6 +50,7 @@ func runProg(t *testing.T, src string, mode driver.Mode, scheme meta.Scheme, inj
 	cfg := driver.DefaultConfig(mode)
 	if mode != driver.ModeNone {
 		ctor := scheme.New
+		cfg.Meta = scheme.Kind // the Kind drives temporal lowering for CETS schemes
 		cfg.MetaFacility = func() (meta.Facility, error) { return ctor(), nil }
 	}
 	cfg.Faults = inj
@@ -172,6 +173,70 @@ func TestFailClosedAttacks(t *testing.T) {
 				}
 			}
 		}
+	}
+}
+
+// TestStaleKeyFaultsFailClosed (ISSUE 7): StaleEvery perturbs the key of
+// metadata lookups that carry a temporal identity. Under the CETS schemes
+// the perturbed key no longer matches its lock, so every affected
+// dereference must fail closed as a typed temporal violation — or the run
+// must be indistinguishable from the fault-free reference (the damaged
+// entry was never checked again). A stale key can never widen access or
+// silently change program output.
+func TestStaleKeyFaultsFailClosed(t *testing.T) {
+	var detections int
+	for _, name := range failClosedPrograms {
+		b, ok := progs.Get(name)
+		if !ok {
+			t.Fatalf("unknown benchmark %q", name)
+		}
+		src := b.Source(failClosedScale)
+		for _, schemeName := range []string{"hashtable-cets", "shadow-cets"} {
+			scheme, ok := meta.SchemeByName(schemeName)
+			if !ok {
+				t.Fatalf("unknown scheme %q", schemeName)
+			}
+			ref := runProg(t, src, driver.ModeFull, scheme, nil)
+			if ref.Err != nil {
+				t.Fatalf("%s/%s: fault-free reference failed: %v", name, schemeName, ref.Err)
+			}
+			for _, seed := range []uint64{1, 99} {
+				label := fmt.Sprintf("%s/%s/seed%d", name, schemeName, seed)
+				inj := faults.NewInjector(faults.Plan{Seed: seed, StaleEvery: 40})
+				got := runProg(t, src, driver.ModeFull, scheme, inj)
+				if got.Err != nil {
+					if code := vm.CodeOf(got.Err); code != vm.TrapTemporal {
+						t.Errorf("%s: stale key surfaced as %q, want %q (%v)",
+							label, code, vm.TrapTemporal, got.Err)
+					}
+					detections++
+					continue
+				}
+				if inj.Stats().Stales == 0 {
+					continue
+				}
+				if got.Output != ref.Output || got.ExitCode != ref.ExitCode {
+					t.Errorf("%s: SILENT DIVERGENCE under stale keys: exit %d vs %d, faults %+v",
+						label, got.ExitCode, ref.ExitCode, inj.Stats())
+				}
+			}
+		}
+	}
+	if detections == 0 {
+		t.Error("no stale-key fault was ever detected; the class looks like a no-op")
+	}
+
+	// Control arm: spatial-only entries carry no keys, so the stale
+	// schedule only defers — the class is a no-op there by construction.
+	spatial, _ := meta.SchemeByName("shadowspace")
+	b, _ := progs.Get("treeadd")
+	inj := faults.NewInjector(faults.Plan{Seed: 1, StaleEvery: 40})
+	res := runProg(t, b.Source(failClosedScale), driver.ModeFull, spatial, inj)
+	if res.Err != nil {
+		t.Errorf("spatial-only run failed under stale plan: %v", res.Err)
+	}
+	if inj.Stats().Stales != 0 {
+		t.Errorf("stale faults delivered to a keyless scheme: %+v", inj.Stats())
 	}
 }
 

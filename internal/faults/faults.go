@@ -50,11 +50,19 @@ type Plan struct {
 	// OOMAt forces the Nth heap allocation of the run to fail (malloc
 	// returns NULL), 1-based.
 	OOMAt uint64 `json:"oom_at,omitempty"`
+	// StaleEvery perturbs the key of roughly every Nth metadata lookup
+	// that carries a temporal identity (Key != 0), simulating a stale or
+	// damaged lock-and-key word. Under the CETS schemes the perturbed key
+	// no longer matches its lock, so the next dereference through the
+	// entry fails closed as a temporal violation. No-op under spatial-only
+	// schemes, whose entries never carry keys.
+	StaleEvery uint64 `json:"stale_every,omitempty"`
 }
 
 // Enabled reports whether any fault class is active.
 func (p Plan) Enabled() bool {
-	return p.FlipEvery != 0 || p.DropEvery != 0 || p.CorruptEvery != 0 || p.OOMAt != 0
+	return p.FlipEvery != 0 || p.DropEvery != 0 || p.CorruptEvery != 0 ||
+		p.OOMAt != 0 || p.StaleEvery != 0
 }
 
 // String renders the plan in ParsePlan's spec format.
@@ -63,7 +71,8 @@ func (p Plan) String() string {
 	for _, kv := range []struct {
 		k string
 		v uint64
-	}{{"flip", p.FlipEvery}, {"drop", p.DropEvery}, {"corrupt", p.CorruptEvery}, {"oom", p.OOMAt}} {
+	}{{"flip", p.FlipEvery}, {"drop", p.DropEvery}, {"corrupt", p.CorruptEvery},
+		{"oom", p.OOMAt}, {"stale", p.StaleEvery}} {
 		if kv.v != 0 {
 			parts = append(parts, fmt.Sprintf("%s=%d", kv.k, kv.v))
 		}
@@ -72,8 +81,9 @@ func (p Plan) String() string {
 }
 
 // ParsePlan parses a comma-separated spec like
-// "seed=7,flip=200,drop=500,corrupt=300,oom=4". Keys: seed, flip, drop,
-// corrupt, oom; omitted keys stay zero, the empty string is the zero Plan.
+// "seed=7,flip=200,drop=500,corrupt=300,oom=4,stale=100". Keys: seed,
+// flip, drop, corrupt, oom, stale; omitted keys stay zero, the empty
+// string is the zero Plan.
 func ParsePlan(spec string) (Plan, error) {
 	var p Plan
 	if strings.TrimSpace(spec) == "" {
@@ -103,8 +113,10 @@ func ParsePlan(spec string) (Plan, error) {
 			p.CorruptEvery = v
 		case "oom":
 			p.OOMAt = v
+		case "stale":
+			p.StaleEvery = v
 		default:
-			keys := []string{"seed", "flip", "drop", "corrupt", "oom"}
+			keys := []string{"seed", "flip", "drop", "corrupt", "oom", "stale"}
 			sort.Strings(keys)
 			return Plan{}, fmt.Errorf("faults: unknown plan key %q (have %s)",
 				k, strings.Join(keys, ", "))
@@ -121,10 +133,11 @@ type Stats struct {
 	Drops    uint64 `json:"drops"`
 	Corrupts uint64 `json:"corrupts"`
 	OOMs     uint64 `json:"ooms"`
+	Stales   uint64 `json:"stales"`
 }
 
 // Total is the number of faults delivered across all classes.
-func (s Stats) Total() uint64 { return s.Flips + s.Drops + s.Corrupts + s.OOMs }
+func (s Stats) Total() uint64 { return s.Flips + s.Drops + s.Corrupts + s.OOMs + s.Stales }
 
 // Injector delivers one plan's fault schedule into one run. Not safe for
 // concurrent use: it serves the single goroutine executing its VM.
@@ -133,7 +146,7 @@ type Injector struct {
 	rng  uint64
 
 	// Absolute event indices of the next scheduled fault per class.
-	nextFlip, nextDrop, nextCorrupt uint64
+	nextFlip, nextDrop, nextCorrupt, nextStale uint64
 	// Event counters.
 	stores, lookups, allocs uint64
 
@@ -151,6 +164,9 @@ func NewInjector(p Plan) *Injector {
 	}
 	if p.CorruptEvery > 0 {
 		i.nextCorrupt = i.gap(p.CorruptEvery)
+	}
+	if p.StaleEvery > 0 {
+		i.nextStale = i.gap(p.StaleEvery)
 	}
 	return i
 }
@@ -217,7 +233,7 @@ func (i *Injector) AllowAlloc(size uint64) bool {
 // table damage, not tracking bugs. Returns f unchanged when neither
 // metadata class is enabled.
 func (i *Injector) WrapFacility(f meta.Facility) meta.Facility {
-	if i.plan.DropEvery == 0 && i.plan.CorruptEvery == 0 {
+	if i.plan.DropEvery == 0 && i.plan.CorruptEvery == 0 && i.plan.StaleEvery == 0 {
 		return f
 	}
 	return &faultyFacility{Facility: f, inj: i}
@@ -260,6 +276,19 @@ func (i *Injector) mutateLookup(e meta.Entry) meta.Entry {
 			// is detected, never widens access.
 			b := 16 + i.next()%4096
 			return meta.Entry{Base: b, Bound: b + 1}
+		}
+	}
+	if i.plan.StaleEvery > 0 && i.lookups >= i.nextStale {
+		if e.Key == 0 {
+			// Only entries carrying a temporal identity can go stale;
+			// spatial-only entries defer the schedule.
+			i.nextStale++
+		} else {
+			i.nextStale = i.lookups + i.gap(i.plan.StaleEvery)
+			i.stats.Stales++
+			// Perturb the key so it no longer matches its lock's word:
+			// the dereference fails closed as a temporal violation.
+			e.Key ^= 1 + i.next()%255
 		}
 	}
 	return e

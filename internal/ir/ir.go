@@ -288,6 +288,18 @@ type Inst struct {
 	SrcBase, SrcBound  Value // KMetaStore: metadata to store for the pointer at addr A
 	DstBaseR, DstBndR  Reg   // KMetaLoad: receive metadata for pointer loaded from addr A
 	MemcpyLen, MemSize Value // KMemMeta ops
+
+	// Temporal (CETS lock-and-key) operands. TMeta gates every field
+	// below: the zero Value/Reg are VALID operands (register 0), so the
+	// VM and the optimizer must consult these only when TMeta is set —
+	// spatial-only lowering leaves TMeta false and the temporal operands
+	// are then meaningless zero values that nothing reads.
+	TMeta             bool
+	Key, Lock         Value // KCheck: allocation key + lock index of A's metadata
+	SrcKey, SrcLock   Value // KMetaStore: temporal metadata to store
+	DstKeyR, DstLockR Reg   // KMetaLoad: receive temporal metadata
+	DstKey, DstLock   Reg   // KCall: receive returned pointer's temporal metadata
+	RetKey, RetLock   Value // KRet: temporal metadata of a returned pointer
 }
 
 // ShadowSlot is one caller-filled slot of a call's shadow-stack metadata
@@ -297,6 +309,11 @@ type Inst struct {
 type ShadowSlot struct {
 	Arg         int // argument index; rides in window slot 1+Arg
 	Base, Bound Value
+	// Key/Lock carry the argument's temporal metadata when Temporal is
+	// set (the zero Value is a valid register operand, so the flag gates
+	// them exactly like Inst.TMeta gates the instruction-level fields).
+	Key, Lock Value
+	Temporal  bool
 }
 
 // InstKind discriminates instructions.
@@ -392,6 +409,15 @@ type Func struct {
 	// SoftBound epilogue must clear on return (paper §5.2 "memory reuse
 	// and stale metadata").
 	ClearSlots []AllocaSlot
+
+	// Temporal marks functions lowered with CETS lock-and-key metadata:
+	// pointer parameters carry four metadata registers (base, bound, key,
+	// lock) instead of two, the VM issues a frame lock on entry (seeded
+	// into FrameKeyReg/FrameLockReg for alloca'd pointers) and revokes it
+	// on every frame exit. The registers are meaningful only when
+	// Temporal is set — Reg's zero value is the valid register 0.
+	Temporal                  bool
+	FrameKeyReg, FrameLockReg Reg
 }
 
 // AllocaSlot records a stack slot in the frame.

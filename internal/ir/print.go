@@ -93,6 +93,10 @@ func (in *Inst) String() string {
 			dst = fmt.Sprintf("%s = ", in.Dst)
 			if in.DstBase != NoReg {
 				dst = fmt.Sprintf("%s,%s,%s = ", in.Dst, in.DstBase, in.DstBound)
+				if in.TMeta {
+					dst = fmt.Sprintf("%s,%s,%s,%s,%s = ", in.Dst,
+						in.DstBase, in.DstBound, in.DstKey, in.DstLock)
+				}
 			}
 		}
 		s := fmt.Sprintf("%scall %s(%s)", dst, in.Callee, strings.Join(args, ", "))
@@ -102,7 +106,12 @@ func (in *Inst) String() string {
 		if len(in.Shadow) > 0 {
 			var slots []string
 			for _, sl := range in.Shadow {
-				slots = append(slots, fmt.Sprintf("%d:[%s,%s]", sl.Arg, sl.Base, sl.Bound))
+				if sl.Temporal {
+					slots = append(slots, fmt.Sprintf("%d:[%s,%s,%s,%s]",
+						sl.Arg, sl.Base, sl.Bound, sl.Key, sl.Lock))
+				} else {
+					slots = append(slots, fmt.Sprintf("%d:[%s,%s]", sl.Arg, sl.Base, sl.Bound))
+				}
 			}
 			s += fmt.Sprintf(" shadow{%s}", strings.Join(slots, ", "))
 		}
@@ -112,6 +121,10 @@ func (in *Inst) String() string {
 			return "ret"
 		}
 		if in.RetMetaValid {
+			if in.TMeta {
+				return fmt.Sprintf("ret %s [%s,%s,%s,%s]", in.A,
+					in.RetBase, in.RetBound, in.RetKey, in.RetLock)
+			}
 			return fmt.Sprintf("ret %s [%s,%s]", in.A, in.RetBase, in.RetBound)
 		}
 		return fmt.Sprintf("ret %s", in.A)
@@ -120,10 +133,22 @@ func (in *Inst) String() string {
 	case KCondBr:
 		return fmt.Sprintf("condbr %s, b%d, b%d", in.A, in.Target, in.Else)
 	case KCheck:
+		if in.TMeta {
+			return fmt.Sprintf("check.%s %s in [%s, %s) size=%d key=%s lock=%s",
+				in.CheckK, in.A, in.Base, in.Bound, in.AccessSize, in.Key, in.Lock)
+		}
 		return fmt.Sprintf("check.%s %s in [%s, %s) size=%d", in.CheckK, in.A, in.Base, in.Bound, in.AccessSize)
 	case KMetaLoad:
+		if in.TMeta {
+			return fmt.Sprintf("%s,%s,%s,%s = metaload %s",
+				in.DstBaseR, in.DstBndR, in.DstKeyR, in.DstLockR, in.A)
+		}
 		return fmt.Sprintf("%s,%s = metaload %s", in.DstBaseR, in.DstBndR, in.A)
 	case KMetaStore:
+		if in.TMeta {
+			return fmt.Sprintf("metastore %s, [%s,%s,%s,%s]", in.A,
+				in.SrcBase, in.SrcBound, in.SrcKey, in.SrcLock)
+		}
 		return fmt.Sprintf("metastore %s, [%s,%s]", in.A, in.SrcBase, in.SrcBound)
 	case KMetaClear:
 		return fmt.Sprintf("metaclear %s, %s", in.A, in.MemSize)

@@ -1,0 +1,262 @@
+package meta
+
+import "fmt"
+
+// CETS-style temporal metadata organizations (Nagarakatte et al., ISMM
+// 2010, as combined with SoftBound in the softboundcets runtime): each
+// pointer's entry carries, besides [base, bound), the allocation's key
+// and the index of its lock in the VM's lock table. A dereference check
+// first verifies locks[lock] == key — revoking the lock at free /
+// frame-pop invalidates every retained alias at once — then performs the
+// usual spatial compare.
+//
+// Both spatial organizations get a temporal twin here. The entries are
+// wider (five words hashed, four words shadowed), so the modeled
+// per-operation instruction costs grow by ~4: two extra loads on lookup
+// and two extra stores on update.
+
+// HashTableCETS is the open-hashing organization with (tag, base, bound,
+// key, lock) entries — 40 bytes per entry with 64-bit pointers.
+type HashTableCETS struct {
+	tags   []uint64 // pointer address +1 (0 = empty)
+	bases  []uint64
+	bounds []uint64
+	keys   []uint64
+	locks  []uint64
+	mask   uint64
+	used   int
+
+	// Probes counts total probe steps, exposing collision behaviour to
+	// tests and benchmarks.
+	Probes uint64
+}
+
+// NewHashTableCETS returns a table with the given power-of-two entry
+// count; a non-power-of-two size is a constructor error.
+func NewHashTableCETS(entries int) (*HashTableCETS, error) {
+	if entries <= 0 || entries&(entries-1) != 0 {
+		return nil, fmt.Errorf("meta: hash table size %d is not a positive power of two", entries)
+	}
+	return &HashTableCETS{
+		tags:   make([]uint64, entries),
+		bases:  make([]uint64, entries),
+		bounds: make([]uint64, entries),
+		keys:   make([]uint64, entries),
+		locks:  make([]uint64, entries),
+		mask:   uint64(entries - 1),
+	}, nil
+}
+
+// MustHashTableCETS is NewHashTableCETS for compile-time-constant sizes.
+func MustHashTableCETS(entries int) *HashTableCETS {
+	h, err := NewHashTableCETS(entries)
+	if err != nil {
+		panic(err)
+	}
+	return h
+}
+
+func (h *HashTableCETS) hash(addr uint64) uint64 { return (addr >> 3) & h.mask }
+
+// Lookup finds the entry for addr, or the zero entry, keyed like the
+// spatial table on the double-word address.
+func (h *HashTableCETS) Lookup(addr uint64) Entry {
+	addr &^= 7
+	key := addr + 1
+	i := h.hash(addr)
+	for {
+		h.Probes++
+		tag := h.tags[i]
+		if tag == key {
+			return Entry{Base: h.bases[i], Bound: h.bounds[i], Key: h.keys[i], Lock: h.locks[i]}
+		}
+		if tag == 0 {
+			return Entry{}
+		}
+		i = (i + 1) & h.mask
+	}
+}
+
+// Update inserts or replaces the entry for addr, growing at 70% load.
+func (h *HashTableCETS) Update(addr uint64, e Entry) {
+	if uint64(h.used)*10 >= uint64(len(h.tags))*7 {
+		h.grow()
+	}
+	addr &^= 7
+	key := addr + 1
+	i := h.hash(addr)
+	for {
+		h.Probes++
+		tag := h.tags[i]
+		if tag == key {
+			h.bases[i], h.bounds[i] = e.Base, e.Bound
+			h.keys[i], h.locks[i] = e.Key, e.Lock
+			return
+		}
+		if tag == 0 {
+			h.tags[i] = key
+			h.bases[i], h.bounds[i] = e.Base, e.Bound
+			h.keys[i], h.locks[i] = e.Key, e.Lock
+			h.used++
+			return
+		}
+		i = (i + 1) & h.mask
+	}
+}
+
+func (h *HashTableCETS) grow() {
+	old := *h
+	h.tags = make([]uint64, len(old.tags)*2)
+	h.bases = make([]uint64, len(old.bases)*2)
+	h.bounds = make([]uint64, len(old.bounds)*2)
+	h.keys = make([]uint64, len(old.keys)*2)
+	h.locks = make([]uint64, len(old.locks)*2)
+	h.mask = uint64(len(h.tags) - 1)
+	h.used = 0
+	for i, tag := range old.tags {
+		// Rehashing drops cleared tombstones, as in the spatial table;
+		// an entry is live if any of its four metadata words is nonzero.
+		if tag != 0 && (old.bases[i] != 0 || old.bounds[i] != 0 ||
+			old.keys[i] != 0 || old.locks[i] != 0) {
+			h.Update(tag-1, Entry{Base: old.bases[i], Bound: old.bounds[i],
+				Key: old.keys[i], Lock: old.locks[i]})
+		}
+	}
+}
+
+// Clear zeroes metadata for every double-word slot in [addr, addr+size).
+// A zero key fails the temporal check, so clearing stays fail-closed.
+func (h *HashTableCETS) Clear(addr, size uint64) {
+	if size == 0 {
+		return
+	}
+	start := addr &^ 7
+	for a := start; a < addr+size; a += 8 {
+		key := a + 1
+		i := h.hash(a)
+		for {
+			tag := h.tags[i]
+			if tag == key {
+				h.bases[i], h.bounds[i] = 0, 0
+				h.keys[i], h.locks[i] = 0, 0
+				break
+			}
+			if tag == 0 {
+				break
+			}
+			i = (i + 1) & h.mask
+		}
+	}
+}
+
+// CopyRange copies metadata for each pointer-aligned slot with memmove
+// semantics; key and lock travel with the spatial words, so memcpy'd
+// pointers keep their allocation identity.
+func (h *HashTableCETS) CopyRange(dst, src, size uint64) {
+	forEachSlotOffset(dst, src, size, func(off uint64) {
+		e := h.Lookup(src + off)
+		if e != (Entry{}) {
+			h.Update(dst+off, e)
+		} else {
+			h.Clear(dst+off, 8)
+		}
+	})
+}
+
+// Costs reports the ~13-instruction lookup: the spatial table's 9 plus
+// two loads (key, lock) and the lock-table load + compare.
+func (h *HashTableCETS) Costs() Costs { return Costs{Lookup: 13, Update: 13} }
+
+// Footprint reports table bytes (40 per entry).
+func (h *HashTableCETS) Footprint() int64 { return int64(len(h.tags)) * 40 }
+
+// Name identifies the scheme.
+func (h *HashTableCETS) Name() string { return "hashtable-cets" }
+
+// ShadowCETS is the tag-less direct-map organization with four shadow
+// words per pointer slot (base, bound, key, lock).
+type ShadowCETS struct {
+	pages map[uint64]*shadowCETSPage
+}
+
+type shadowCETSPage struct {
+	base  [shadowPageSlots]uint64
+	bound [shadowPageSlots]uint64
+	key   [shadowPageSlots]uint64
+	lock  [shadowPageSlots]uint64
+}
+
+// NewShadowCETS returns an empty temporal shadow space.
+func NewShadowCETS() *ShadowCETS {
+	return &ShadowCETS{pages: make(map[uint64]*shadowCETSPage)}
+}
+
+func (s *ShadowCETS) slot(addr uint64) (uint64, uint64) {
+	dw := addr >> 3
+	return dw >> shadowPageShift, dw & (shadowPageSlots - 1)
+}
+
+// Lookup reads the slot for addr; untouched pages read as zero.
+func (s *ShadowCETS) Lookup(addr uint64) Entry {
+	pn, idx := s.slot(addr)
+	p := s.pages[pn]
+	if p == nil {
+		return Entry{}
+	}
+	return Entry{Base: p.base[idx], Bound: p.bound[idx], Key: p.key[idx], Lock: p.lock[idx]}
+}
+
+// Update writes the slot for addr, materializing its page on first touch.
+func (s *ShadowCETS) Update(addr uint64, e Entry) {
+	pn, idx := s.slot(addr)
+	p := s.pages[pn]
+	if p == nil {
+		p = new(shadowCETSPage)
+		s.pages[pn] = p
+	}
+	p.base[idx] = e.Base
+	p.bound[idx] = e.Bound
+	p.key[idx] = e.Key
+	p.lock[idx] = e.Lock
+}
+
+// Clear zeroes all slots covering [addr, addr+size).
+func (s *ShadowCETS) Clear(addr, size uint64) {
+	if size == 0 {
+		return
+	}
+	start := addr &^ 7
+	for a := start; a < addr+size; a += 8 {
+		pn, idx := s.slot(a)
+		if p := s.pages[pn]; p != nil {
+			p.base[idx] = 0
+			p.bound[idx] = 0
+			p.key[idx] = 0
+			p.lock[idx] = 0
+		}
+	}
+}
+
+// CopyRange copies slot metadata from src to dst with memmove semantics.
+func (s *ShadowCETS) CopyRange(dst, src, size uint64) {
+	forEachSlotOffset(dst, src, size, func(off uint64) {
+		e := s.Lookup(src + off)
+		if e == (Entry{}) {
+			s.Clear(dst+off, 8)
+		} else {
+			s.Update(dst+off, e)
+		}
+	})
+}
+
+// Costs reports the ~9-instruction lookup: the shadow scheme's 5 plus
+// the key/lock loads and the lock-table compare.
+func (s *ShadowCETS) Costs() Costs { return Costs{Lookup: 9, Update: 9} }
+
+// Footprint reports bytes of materialized shadow pages (32 per slot).
+func (s *ShadowCETS) Footprint() int64 {
+	return int64(len(s.pages)) * shadowPageSlots * 32
+}
+
+// Name identifies the scheme.
+func (s *ShadowCETS) Name() string { return "shadow-cets" }

@@ -19,9 +19,17 @@ package meta
 import "fmt"
 
 // Entry is a pointer's metadata: [Base, Bound) bracket the object.
+// Under the CETS-style temporal schemes the entry additionally carries
+// the allocation's key and its lock index into the VM's lock table; the
+// dereference check verifies locks[Lock] == Key before the spatial
+// compare. Spatial-only schemes leave Key and Lock zero, which fails the
+// temporal check — fail-closed — but temporal checks are only emitted
+// when a temporal scheme is selected, so spatial runs never consult them.
 type Entry struct {
 	Base  uint64
 	Bound uint64
+	Key   uint64
+	Lock  uint64
 }
 
 // Costs models the x86 instruction footprint of facility operations,
@@ -55,17 +63,33 @@ type Facility interface {
 // Kind selects a facility implementation.
 type Kind int
 
-// Facility kinds.
+// Facility kinds. The -cets kinds are the lock-and-key temporal variants:
+// same spatial organization, with each entry widened to carry (key, lock).
 const (
 	KindHashTable Kind = iota
 	KindShadowSpace
+	KindHashTableCETS
+	KindShadowCETS
 )
 
 func (k Kind) String() string {
-	if k == KindHashTable {
+	switch k {
+	case KindHashTable:
 		return "hashtable"
+	case KindHashTableCETS:
+		return "hashtable-cets"
+	case KindShadowCETS:
+		return "shadow-cets"
 	}
 	return "shadowspace"
+}
+
+// Temporal reports whether the kind carries lock-and-key temporal
+// metadata. The driver derives all temporal lowering and runtime
+// behaviour from this single predicate, so selecting a spatial kind
+// yields bit-identical execution to a build without temporal support.
+func (k Kind) Temporal() bool {
+	return k == KindHashTableCETS || k == KindShadowCETS
 }
 
 // New constructs a facility of the given kind via the scheme registry. An

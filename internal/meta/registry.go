@@ -46,6 +46,10 @@ func init() {
 		New: func() Facility { return MustHashTable(1 << 20) }})
 	MustRegister(Scheme{Kind: KindShadowSpace, Name: "shadowspace",
 		New: func() Facility { return NewShadowSpace() }})
+	MustRegister(Scheme{Kind: KindHashTableCETS, Name: "hashtable-cets",
+		New: func() Facility { return MustHashTableCETS(1 << 20) }})
+	MustRegister(Scheme{Kind: KindShadowCETS, Name: "shadow-cets",
+		New: func() Facility { return NewShadowCETS() }})
 }
 
 // Schemes returns every registered scheme, sorted by name for stable

@@ -18,9 +18,13 @@ type Stats struct {
 	LoadChecks  uint64
 	StoreChecks uint64
 	CallChecks  uint64
-	MetaLoads   uint64 // metadata table lookups
-	MetaStores  uint64 // metadata table updates
-	MetaClears  uint64
+	// TemporalChecks counts CETS lock-and-key verifications, performed
+	// before the spatial compare of checks that carry temporal operands
+	// (zero under the spatial-only schemes).
+	TemporalChecks uint64
+	MetaLoads      uint64 // metadata table lookups
+	MetaStores     uint64 // metadata table updates
+	MetaClears     uint64
 
 	Calls uint64
 

@@ -16,16 +16,19 @@ type Report struct {
 	LoadChecks  uint64 `json:"load_checks"`
 	StoreChecks uint64 `json:"store_checks"`
 	CallChecks  uint64 `json:"call_checks"`
-	MetaLoads   uint64 `json:"meta_loads"`
-	MetaStores  uint64 `json:"meta_stores"`
-	MetaClears  uint64 `json:"meta_clears"`
-	Calls       uint64 `json:"calls"`
-	Mallocs     uint64 `json:"mallocs"`
-	Frees       uint64 `json:"frees"`
-	HeapBytes   uint64 `json:"heap_bytes"`
-	MaxHeap     uint64 `json:"max_heap"`
-	MetaBytes   int64  `json:"meta_bytes"`
-	CheckElims  uint64 `json:"check_elims"`
+	// TemporalChecks counts CETS lock-and-key verifications (an additive
+	// schema-v1 extension; zero/omitted under spatial-only schemes).
+	TemporalChecks uint64 `json:"temporal_checks,omitempty"`
+	MetaLoads      uint64 `json:"meta_loads"`
+	MetaStores     uint64 `json:"meta_stores"`
+	MetaClears     uint64 `json:"meta_clears"`
+	Calls          uint64 `json:"calls"`
+	Mallocs        uint64 `json:"mallocs"`
+	Frees          uint64 `json:"frees"`
+	HeapBytes      uint64 `json:"heap_bytes"`
+	MaxHeap        uint64 `json:"max_heap"`
+	MetaBytes      int64  `json:"meta_bytes"`
+	CheckElims     uint64 `json:"check_elims"`
 
 	// Metadata-lookup-cache counters (additive schema-v1 extension;
 	// zero/omitted under the reference engine or with the cache disabled).
@@ -51,26 +54,27 @@ type Report struct {
 // Report converts the counters into their serializable form.
 func (s *Stats) Report() Report {
 	return Report{
-		Insts:       s.Insts,
-		SimInsts:    s.SimInsts,
-		Loads:       s.Loads,
-		Stores:      s.Stores,
-		PtrLoads:    s.PtrLoads,
-		PtrStores:   s.PtrStores,
-		Checks:      s.Checks,
-		LoadChecks:  s.LoadChecks,
-		StoreChecks: s.StoreChecks,
-		CallChecks:  s.CallChecks,
-		MetaLoads:   s.MetaLoads,
-		MetaStores:  s.MetaStores,
-		MetaClears:  s.MetaClears,
-		Calls:       s.Calls,
-		Mallocs:     s.Mallocs,
-		Frees:       s.Frees,
-		HeapBytes:   s.HeapBytes,
-		MaxHeap:     s.MaxHeap,
-		MetaBytes:   s.MetaBytes,
-		CheckElims:  s.CheckElims,
+		Insts:             s.Insts,
+		SimInsts:          s.SimInsts,
+		Loads:             s.Loads,
+		Stores:            s.Stores,
+		PtrLoads:          s.PtrLoads,
+		PtrStores:         s.PtrStores,
+		Checks:            s.Checks,
+		LoadChecks:        s.LoadChecks,
+		StoreChecks:       s.StoreChecks,
+		CallChecks:        s.CallChecks,
+		TemporalChecks:    s.TemporalChecks,
+		MetaLoads:         s.MetaLoads,
+		MetaStores:        s.MetaStores,
+		MetaClears:        s.MetaClears,
+		Calls:             s.Calls,
+		Mallocs:           s.Mallocs,
+		Frees:             s.Frees,
+		HeapBytes:         s.HeapBytes,
+		MaxHeap:           s.MaxHeap,
+		MetaBytes:         s.MetaBytes,
+		CheckElims:        s.CheckElims,
 		MetaCacheHits:     s.MetaCacheHits,
 		MetaCacheMisses:   s.MetaCacheMisses,
 		MetaCacheSimInsts: s.MetaCacheSimInsts,

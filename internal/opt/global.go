@@ -49,6 +49,15 @@ func transferCheck(s availState, in *ir.Inst) availState {
 			// state from an arbitrary later point: nothing stays known.
 			return make(availState)
 		}
+		if in.Kind == ir.KCall {
+			// Calls can revoke locks (callee free/realloc): temporal
+			// keys do not survive them. See EliminateRedundantChecks.
+			for k := range s {
+				if k.tmeta {
+					delete(s, k)
+				}
+			}
+		}
 		writtenRegs(in, func(dst ir.Reg) {
 			for k := range s {
 				if k.mentions(dst) {
@@ -218,6 +227,11 @@ func findHoistableMetaLoad(f *ir.Func, cfg *ir.CFG, loop *ir.Loop) (int, int) {
 			if in.Kind != ir.KMetaLoad {
 				continue
 			}
+			// A temporal metaload also defines DstKeyR/DstLockR, which
+			// this analysis does not model; never hoist one.
+			if in.TMeta {
+				continue
+			}
 			// Invariant address: non-register, or never written in-loop.
 			if in.A.Kind == ir.VReg && writes[in.A.Reg] != 0 {
 				continue
@@ -282,6 +296,12 @@ func readsReg(in *ir.Inst, reg ir.Reg) bool {
 		is(in.RetBase) || is(in.RetBound) || is(in.MemcpyLen) || is(in.MemSize) {
 		return true
 	}
+	// Temporal operands are meaningful only under TMeta: the zero
+	// ir.Value of a spatial instruction would otherwise read register 0.
+	if in.TMeta && (is(in.Key) || is(in.Lock) || is(in.SrcKey) || is(in.SrcLock) ||
+		is(in.RetKey) || is(in.RetLock)) {
+		return true
+	}
 	for _, a := range in.Args {
 		if is(a) {
 			return true
@@ -289,6 +309,9 @@ func readsReg(in *ir.Inst, reg ir.Reg) bool {
 	}
 	for _, sh := range in.Shadow {
 		if is(sh.Base) || is(sh.Bound) {
+			return true
+		}
+		if sh.Temporal && (is(sh.Key) || is(sh.Lock)) {
 			return true
 		}
 	}

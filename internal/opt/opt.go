@@ -293,12 +293,27 @@ func deadCodeElim(f *ir.Func, removeMetaLoads bool) (removed, removedMetaLoads i
 			markVal(in.RetBound)
 			markVal(in.MemcpyLen)
 			markVal(in.MemSize)
+			// Temporal operands are live only under the TMeta/Temporal
+			// flags: ungated, the zero ir.Value would mark register 0 as
+			// used in every spatial-only module.
+			if in.TMeta {
+				markVal(in.Key)
+				markVal(in.Lock)
+				markVal(in.SrcKey)
+				markVal(in.SrcLock)
+				markVal(in.RetKey)
+				markVal(in.RetLock)
+			}
 			for _, a := range in.Args {
 				markVal(a)
 			}
 			for _, s := range in.Shadow {
 				markVal(s.Base)
 				markVal(s.Bound)
+				if s.Temporal {
+					markVal(s.Key)
+					markVal(s.Lock)
+				}
 			}
 		}
 	}
@@ -311,6 +326,9 @@ func deadCodeElim(f *ir.Func, removeMetaLoads bool) (removed, removedMetaLoads i
 			return in.Dst != ir.NoReg && regUsed(in.Dst)
 		case ir.KMetaLoad:
 			if removeMetaLoads {
+				if in.TMeta && (regUsed(in.DstKeyR) || regUsed(in.DstLockR)) {
+					return true
+				}
 				return regUsed(in.DstBaseR) || regUsed(in.DstBndR)
 			}
 		}
@@ -340,14 +358,26 @@ type checkKey struct {
 	a, b, c ir.Value
 	size    int64
 	kind    ir.CheckKind
+	// Temporal checks additionally key on their (key, lock) operands;
+	// tmeta keeps the zero ir.Value of spatial checks from aliasing
+	// register 0.
+	tmeta     bool
+	key, lock ir.Value
 }
 
 func keyOf(in *ir.Inst) checkKey {
-	return checkKey{in.A, in.Base, in.Bound, in.AccessSize, in.CheckK}
+	k := checkKey{a: in.A, b: in.Base, c: in.Bound, size: in.AccessSize, kind: in.CheckK}
+	if in.TMeta {
+		k.tmeta, k.key, k.lock = true, in.Key, in.Lock
+	}
+	return k
 }
 
 func (k checkKey) mentions(r ir.Reg) bool {
-	return mentionsReg(k.a, r) || mentionsReg(k.b, r) || mentionsReg(k.c, r)
+	if mentionsReg(k.a, r) || mentionsReg(k.b, r) || mentionsReg(k.c, r) {
+		return true
+	}
+	return k.tmeta && (mentionsReg(k.key, r) || mentionsReg(k.lock, r))
 }
 
 // EliminateRedundantChecks removes a KCheck identical to an earlier check
@@ -378,6 +408,17 @@ func EliminateRedundantChecks(f *ir.Func) int {
 				seen = make(map[checkKey]bool)
 				out = append(out, in)
 				continue
+			}
+			// A temporal check's outcome depends on the lock table, which
+			// any call can change (a callee may free or realloc the
+			// allocation): calls kill temporal keys. Spatial keys are
+			// pure functions of their registers and survive.
+			if in.Kind == ir.KCall {
+				for k := range seen {
+					if k.tmeta {
+						delete(seen, k)
+					}
+				}
 			}
 			// Any write to a register invalidates keys mentioning it.
 			writtenRegs(&in, func(dst ir.Reg) {
@@ -415,9 +456,17 @@ func writtenRegs(in *ir.Inst, fn func(ir.Reg)) {
 		if in.DstBound != ir.NoReg {
 			fn(in.DstBound)
 		}
+		if in.TMeta && in.DstBase != ir.NoReg {
+			fn(in.DstKey)
+			fn(in.DstLock)
+		}
 	case ir.KMetaLoad:
 		fn(in.DstBaseR)
 		fn(in.DstBndR)
+		if in.TMeta {
+			fn(in.DstKeyR)
+			fn(in.DstLockR)
+		}
 	}
 }
 
@@ -458,6 +507,18 @@ func CSEMetaLoads(f *ir.Func) int {
 			in := blk.Insts[i]
 			switch in.Kind {
 			case ir.KMetaLoad:
+				if in.TMeta {
+					// A temporal metaload defines four registers; merging
+					// it would need four ordered moves and the cache knows
+					// nothing of its key/lock destinations. Keep the load
+					// and evict everything it redefines.
+					evict(in.DstBaseR)
+					evict(in.DstBndR)
+					evict(in.DstKeyR)
+					evict(in.DstLockR)
+					out = append(out, in)
+					continue
+				}
 				c, hit := avail[in.A]
 				replaced := false
 				if hit {

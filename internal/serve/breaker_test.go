@@ -12,7 +12,9 @@ func TestTripsBreakerClassification(t *testing.T) {
 		vm.TrapPanic:     true,
 		vm.TrapStepLimit: true,
 		vm.TrapSpatial:   false, // detections are the service working
+		vm.TrapTemporal:  false, // a caught use-after-free is a detection too
 		vm.TrapBaseline:  false,
+		vm.TrapMemFault:  false, // deterministic program bug, replays identically
 		vm.TrapDeadline:  false, // bounded by construction
 		vm.TrapOOM:       false,
 		vm.TrapWildJump:  false, // deterministic program bug, replays identically

@@ -149,11 +149,11 @@ type Response struct {
 	// Program is the source's hex SHA-256 (the breaker/cache identity).
 	Program string `json:"program"`
 	// Config is "baseline" or "<scheme>-<mode>", as in BENCH.json.
-	Config   string                `json:"config"`
-	ExitCode int64                 `json:"exit_code"`
-	Output   string                `json:"output"`
-	TrapCode string                `json:"trap_code,omitempty"`
-	Error    string                `json:"error,omitempty"`
+	Config   string `json:"config"`
+	ExitCode int64  `json:"exit_code"`
+	Output   string `json:"output"`
+	TrapCode string `json:"trap_code,omitempty"`
+	Error    string `json:"error,omitempty"`
 	// Violation carries the SoftBound detection message when the trap is
 	// a spatial violation.
 	Violation string                `json:"violation,omitempty"`

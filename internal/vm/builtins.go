@@ -46,15 +46,47 @@ func (v *VM) callBuiltin(name string, f *frame, in *ir.Inst, args []uint64, meta
 		p := arg(i)
 		v.stats.Checks++
 		v.stats.SimInsts += v.cfg.CheckCost
-		if p < m.Base || p+size > m.Bound {
-			k := ir.CheckLoad
-			if isWrite {
-				k = ir.CheckStore
+		k := ir.CheckLoad
+		if isWrite {
+			k = ir.CheckStore
+		}
+		if v.cfg.Temporal {
+			// Library wrappers verify the lock-and-key before the spatial
+			// compare, like instrumented dereferences do.
+			v.stats.TemporalChecks++
+			v.stats.SimInsts += costTemporalCheck
+			if !v.lockLive(m.Key, m.Lock) {
+				return &TemporalViolation{Kind: k, Ptr: p, Key: m.Key,
+					Lock: m.Lock, Func: name}
 			}
+		}
+		if p < m.Base || p+size > m.Bound {
 			return &SpatialViolation{Kind: k, Ptr: p, Base: m.Base,
 				Bound: m.Bound, Size: size, Func: name}
 		}
 		return nil
+	}
+
+	// heapEntry builds the returned metadata for a fresh heap block of
+	// [p, p+size): under the temporal runtime the block gets a fresh
+	// (key, lock), revoked when free/realloc retires the block.
+	heapEntry := func(p, size uint64) meta.Entry {
+		e := meta.Entry{Base: p, Bound: p + size}
+		if v.cfg.Temporal {
+			key, lock := v.issueLock()
+			v.heapLocks[p] = lock
+			e.Key, e.Lock = key, lock
+		}
+		return e
+	}
+	// revokeHeap kills the temporal lock of a retiring heap block.
+	revokeHeap := func(p uint64) {
+		if v.cfg.Temporal {
+			if lock, ok := v.heapLocks[p]; ok {
+				v.revokeLock(lock)
+				delete(v.heapLocks, p)
+			}
+		}
 	}
 
 	switch name {
@@ -78,7 +110,7 @@ func (v *VM) callBuiltin(name string, f *frame, in *ir.Inst, args []uint64, meta
 			v.fac.Clear(p, size)
 		}
 		// ptr_base = ptr; ptr_bound = ptr+size (paper §3.1).
-		return p, meta.Entry{Base: p, Bound: p + size}, nil
+		return p, heapEntry(p, size), nil
 
 	case "calloc":
 		n, esz := arg(0), arg(1)
@@ -103,7 +135,7 @@ func (v *VM) callBuiltin(name string, f *frame, in *ir.Inst, args []uint64, meta
 		if instrumented {
 			v.fac.Clear(p, size)
 		}
-		return p, meta.Entry{Base: p, Bound: p + size}, nil
+		return p, heapEntry(p, size), nil
 
 	case "realloc":
 		old, size := arg(0), arg(1)
@@ -120,7 +152,18 @@ func (v *VM) callBuiltin(name string, f *frame, in *ir.Inst, args []uint64, meta
 			if p != 0 && instrumented {
 				v.fac.Clear(p, size)
 			}
-			return p, meta.Entry{Base: p, Bound: p + size}, nil
+			return p, heapEntry(p, size), nil
+		}
+		// Temporal pre-check on the old pointer: realloc of a block whose
+		// lock is already revoked (freed, or realloc'd before) is a
+		// temporal violation, just like free of one.
+		if v.cfg.Temporal && instrumented && len(metas) > 0 && metas[0] != (meta.Entry{}) {
+			v.stats.TemporalChecks++
+			v.stats.SimInsts += costTemporalCheck
+			if !v.lockLive(metas[0].Key, metas[0].Lock) {
+				return 0, meta.Entry{}, &TemporalViolation{Kind: ir.CheckStore,
+					Ptr: old, Key: metas[0].Key, Lock: metas[0].Lock, Func: name}
+			}
 		}
 		oldSize := v.alloc.size(old)
 		p, err := v.allocate(size)
@@ -134,8 +177,18 @@ func (v *VM) callBuiltin(name string, f *frame, in *ir.Inst, args []uint64, meta
 		if size < n {
 			n = size
 		}
-		if src, err := v.mem.ReadBytes(old, n); err == nil {
-			_ = v.mem.WriteBytes(p, src)
+		// Propagate copy faults instead of silently returning a
+		// half-initialized block with full bounds: a realloc that cannot
+		// read the old contents (or write the new block) is a memory
+		// fault, surfaced as a typed trap.
+		if n > 0 {
+			src, err := v.mem.ReadBytes(old, n)
+			if err != nil {
+				return 0, meta.Entry{}, err
+			}
+			if err := v.mem.WriteBytes(p, src); err != nil {
+				return 0, meta.Entry{}, err
+			}
 		}
 		if instrumented {
 			v.fac.Clear(p, size)
@@ -143,11 +196,14 @@ func (v *VM) callBuiltin(name string, f *frame, in *ir.Inst, args []uint64, meta
 			v.fac.Clear(old, oldSize)
 		}
 		v.alloc.release(old)
+		// Realloc-of-old revokes the old block's lock: every retained
+		// alias of the old pointer fails its next temporal check.
+		revokeHeap(old)
 		if v.cfg.Checker != nil {
 			v.cfg.Checker.OnFree(old)
 			v.cfg.Checker.OnAlloc(p, size, "heap")
 		}
-		return p, meta.Entry{Base: p, Bound: p + size}, nil
+		return p, heapEntry(p, size), nil
 
 	case "free":
 		p := arg(0)
@@ -156,10 +212,28 @@ func (v *VM) callBuiltin(name string, f *frame, in *ir.Inst, args []uint64, meta
 		if p == 0 {
 			return 0, meta.Entry{}, nil
 		}
+		// Temporal pre-check: freeing through a pointer whose lock is
+		// already revoked is a double free — a temporal violation, caught
+		// before the allocator is consulted (the address may have been
+		// recycled to a *live* block by then).
+		if v.cfg.Temporal && instrumented && len(metas) > 0 && metas[0] != (meta.Entry{}) {
+			v.stats.TemporalChecks++
+			v.stats.SimInsts += costTemporalCheck
+			if !v.lockLive(metas[0].Key, metas[0].Lock) {
+				return 0, meta.Entry{}, &TemporalViolation{Kind: ir.CheckStore,
+					Ptr: p, Key: metas[0].Key, Lock: metas[0].Lock, Func: name}
+			}
+		}
 		size := v.alloc.size(p)
 		if !v.alloc.release(p) {
-			return 0, meta.Entry{}, &RuntimeError{Msg: fmt.Sprintf("free of invalid pointer 0x%x", p)}
+			// Free of a pointer that is not a live allocation (double
+			// free, interior pointer, stack/global address): a typed
+			// memory-fault trap — non-retryable and breaker-neutral —
+			// instead of an unclassified runtime error.
+			return 0, meta.Entry{}, &Trap{Code: TrapMemFault, Cause: &RuntimeError{
+				Msg: fmt.Sprintf("free of invalid pointer 0x%x", p)}}
 		}
+		revokeHeap(p)
 		if v.cfg.Checker != nil {
 			v.cfg.Checker.OnFree(p)
 		}
@@ -372,9 +446,18 @@ func (v *VM) callBuiltin(name string, f *frame, in *ir.Inst, args []uint64, meta
 	case "setbound":
 		// SoftBound extension (paper §3.1/§5.2): programmer-supplied
 		// bounds, e.g. for custom allocators. Returns its pointer
-		// argument with bounds [ptr, ptr+size).
+		// argument with bounds [ptr, ptr+size). setbound is spatial: the
+		// temporal identity is preserved when the argument carried one,
+		// and defaults to the never-revoked global lock otherwise.
 		p, size := arg(0), arg(1)
-		return p, meta.Entry{Base: p, Bound: p + size}, nil
+		e := meta.Entry{Base: p, Bound: p + size}
+		if v.cfg.Temporal {
+			e.Key, e.Lock = globalKey, globalLock
+			if len(metas) > 0 && metas[0].Key != 0 {
+				e.Key, e.Lock = metas[0].Key, metas[0].Lock
+			}
+		}
+		return p, e, nil
 
 	// ----------------------------------------------------------- math
 	case "sqrt":

@@ -127,6 +127,15 @@ type dinst struct {
 	size, off int64    // GEP scale and constant offset; alloca size
 	asize     uint64   // check access size
 
+	// Temporal (CETS) operands, meaningful only under the flags: tmeta
+	// gates key/lock (the check's lock-and-key pair, or a metastore's
+	// source identity), and dst3 != NoReg gates the metaload key/lock
+	// destinations. The flags are required — a zero dOperand or zero Reg
+	// would otherwise read register 0, which is a valid register.
+	tmeta      bool
+	key, lock  dOperand
+	dst3, dst4 ir.Reg
+
 	target, elseT int32 // branch targets as flat indices (post-patch)
 
 	callee *dfunc     // direct user-function call target
@@ -138,10 +147,13 @@ type dinst struct {
 }
 
 // dshadow is a pre-resolved shadow-stack slot of a call: the (base,
-// bound) operands destined for window slot 1+arg.
+// bound) operands destined for window slot 1+arg, plus — under temporal
+// instrumentation (tmeta) — the slot's (key, lock) operands.
 type dshadow struct {
 	arg       int32
 	base, bnd dOperand
+	tmeta     bool
+	key, lock dOperand
 }
 
 // dfunc is a decoded function body.
@@ -384,6 +396,14 @@ func (dec *decoder) decodeInst(in *ir.Inst, bi, ii int) dinst {
 		} else {
 			d.op = dCheck
 			d.asize = uint64(in.AccessSize)
+			if in.TMeta {
+				key, okK := dec.operand(in.Key)
+				lock, okL := dec.operand(in.Lock)
+				if !okK || !okL {
+					return bad()
+				}
+				d.tmeta, d.key, d.lock = true, key, lock
+			}
 		}
 
 	case ir.KMetaLoad:
@@ -393,6 +413,10 @@ func (dec *decoder) decodeInst(in *ir.Inst, bi, ii int) dinst {
 		}
 		d.op, d.a = dMetaLoad, a
 		d.dst, d.dst2 = in.DstBaseR, in.DstBndR
+		d.dst3, d.dst4 = ir.NoReg, ir.NoReg
+		if in.TMeta {
+			d.dst3, d.dst4 = in.DstKeyR, in.DstLockR
+		}
 
 	case ir.KMetaStore:
 		a, okA := dec.operand(in.A)
@@ -402,6 +426,14 @@ func (dec *decoder) decodeInst(in *ir.Inst, bi, ii int) dinst {
 			return bad()
 		}
 		d.op, d.a, d.base, d.bnd = dMetaStore, a, base, bnd
+		if in.TMeta {
+			key, okK := dec.operand(in.SrcKey)
+			lock, okL := dec.operand(in.SrcLock)
+			if !okK || !okL {
+				return bad()
+			}
+			d.tmeta, d.key, d.lock = true, key, lock
+		}
 
 	case ir.KMetaClear:
 		a, okA := dec.operand(in.A)
@@ -444,7 +476,16 @@ func (dec *decoder) decodeInst(in *ir.Inst, bi, ii int) dinst {
 				if !okB || !okE {
 					return bad()
 				}
-				d.shadow[i] = dshadow{arg: int32(s.Arg), base: base, bnd: bnd}
+				ds := dshadow{arg: int32(s.Arg), base: base, bnd: bnd}
+				if s.Temporal {
+					key, okK := dec.operand(s.Key)
+					lock, okL := dec.operand(s.Lock)
+					if !okK || !okL {
+						return bad()
+					}
+					ds.tmeta, ds.key, ds.lock = true, key, lock
+				}
+				d.shadow[i] = ds
 			}
 		}
 		switch in.Callee.Kind {
@@ -489,6 +530,14 @@ func (dec *decoder) fuseGEPCheckAccess(gep, chk, acc *ir.Inst, bi, ii int) (dins
 		base: base, bnd: bnd, asize: uint64(chk.AccessSize), checkK: chk.CheckK,
 		mem: acc.Mem,
 	}
+	if chk.TMeta {
+		key, okK := dec.operand(chk.Key)
+		lock, okL := dec.operand(chk.Lock)
+		if !okK || !okL {
+			return dinst{}, false
+		}
+		d.tmeta, d.key, d.lock = true, key, lock
+	}
 	if acc.Kind == ir.KLoad {
 		d.op = dGEPCheckLoad
 		d.dst2 = acc.Dst
@@ -512,11 +561,24 @@ func (dec *decoder) fuseCheckMetaLoad(chk, ml *ir.Inst, bi, ii int) (dinst, bool
 	if !okA || !okB || !okC || !okD {
 		return dinst{}, false
 	}
-	return dinst{
+	d := dinst{
 		op: dCheckMetaLoad, nsteps: 2,
 		src: chk, blk: int32(bi), ip: int32(ii),
 		a: a, base: base, bnd: bnd, asize: uint64(chk.AccessSize), checkK: chk.CheckK,
 		b:   addr,
 		dst: ml.DstBaseR, dst2: ml.DstBndR,
-	}, true
+		dst3: ir.NoReg, dst4: ir.NoReg,
+	}
+	if chk.TMeta {
+		key, okK := dec.operand(chk.Key)
+		lock, okL := dec.operand(chk.Lock)
+		if !okK || !okL {
+			return dinst{}, false
+		}
+		d.tmeta, d.key, d.lock = true, key, lock
+	}
+	if ml.TMeta {
+		d.dst3, d.dst4 = ml.DstKeyR, ml.DstLockR
+	}
+	return d, true
 }

@@ -18,6 +18,10 @@ const (
 	costCall   = 3
 	costRet    = 3
 	costCheck  = 3
+	// costTemporalCheck models the CETS lock-and-key sequence a checked
+	// dereference adds: load the lock word, compare against the key,
+	// branch. Charged only for checks carrying temporal operands.
+	costTemporalCheck = 3
 )
 
 // eval resolves an operand against the current frame. A malformed
@@ -180,17 +184,13 @@ func (v *VM) step() error {
 		ptr := v.eval(f, in.A)
 		base := v.eval(f, in.Base)
 		bound := v.eval(f, in.Bound)
-		v.stats.Checks++
-		v.stats.SimInsts += v.cfg.CheckCost
-		switch in.CheckK {
-		case ir.CheckLoad:
-			v.stats.LoadChecks++
-		case ir.CheckStore:
-			v.stats.StoreChecks++
-		case ir.CheckCall:
+		if in.CheckK == ir.CheckCall {
+			v.stats.Checks++
+			v.stats.SimInsts += v.cfg.CheckCost
 			v.stats.CallChecks++
 			// Function pointers use the base==ptr==bound encoding
-			// (paper §5.2 "function pointers").
+			// (paper §5.2 "function pointers"); they carry no temporal
+			// operands — functions are never deallocated.
 			if base != ptr || bound != ptr || v.funcByAddr(ptr) == nil {
 				return &SpatialViolation{Kind: in.CheckK, Ptr: ptr, Base: base,
 					Bound: bound, Func: f.fn.Name}
@@ -198,10 +198,14 @@ func (v *VM) step() error {
 			f.ip++
 			return nil
 		}
-		size := uint64(in.AccessSize)
-		if ptr < base || ptr+size > bound {
-			return &SpatialViolation{Kind: in.CheckK, Ptr: ptr, Base: base,
-				Bound: bound, Size: size, Func: f.fn.Name}
+		var key, lock uint64
+		if in.TMeta {
+			key = v.eval(f, in.Key)
+			lock = v.eval(f, in.Lock)
+		}
+		if err := v.checkAccess(f.fn.Name, in.CheckK, ptr, base, bound,
+			uint64(in.AccessSize), in.TMeta, key, lock); err != nil {
+			return err
 		}
 
 	case ir.KMetaLoad:
@@ -209,15 +213,24 @@ func (v *VM) step() error {
 		e := v.fac.Lookup(addr)
 		f.regs[in.DstBaseR] = e.Base
 		f.regs[in.DstBndR] = e.Bound
+		if in.TMeta {
+			f.regs[in.DstKeyR] = e.Key
+			f.regs[in.DstLockR] = e.Lock
+		}
 		v.stats.MetaLoads++
 		v.stats.SimInsts += uint64(v.fac.Costs().Lookup)
 
 	case ir.KMetaStore:
 		addr := v.eval(f, in.A)
-		v.fac.Update(addr, meta.Entry{
+		ent := meta.Entry{
 			Base:  v.eval(f, in.SrcBase),
 			Bound: v.eval(f, in.SrcBound),
-		})
+		}
+		if in.TMeta {
+			ent.Key = v.eval(f, in.SrcKey)
+			ent.Lock = v.eval(f, in.SrcLock)
+		}
+		v.fac.Update(addr, ent)
 		v.stats.MetaStores++
 		v.stats.SimInsts += uint64(v.fac.Costs().Update)
 
@@ -257,6 +270,37 @@ func (v *VM) step() error {
 		return &RuntimeError{Msg: fmt.Sprintf("unknown instruction kind %v", in.Kind)}
 	}
 	f.ip++
+	return nil
+}
+
+// checkAccess is the dereference check both engines share for load and
+// store checks (CheckCall keeps its own encoding check): count and charge
+// the spatial check, then — for temporal checks — verify the lock-and-key
+// BEFORE the spatial compare, so a revoked allocation traps as
+// temporal-violation even when its stale bounds still bracket the access.
+// Keeping one implementation is what holds the engine-differential gates
+// to bit-identical traps and statistics.
+func (v *VM) checkAccess(fname string, kind ir.CheckKind, ptr, base, bound, size uint64,
+	tmeta bool, key, lock uint64) error {
+	v.stats.Checks++
+	v.stats.SimInsts += v.cfg.CheckCost
+	switch kind {
+	case ir.CheckLoad:
+		v.stats.LoadChecks++
+	case ir.CheckStore:
+		v.stats.StoreChecks++
+	}
+	if tmeta {
+		v.stats.TemporalChecks++
+		v.stats.SimInsts += costTemporalCheck
+		if !v.lockLive(key, lock) {
+			return &TemporalViolation{Kind: kind, Ptr: ptr, Key: key, Lock: lock, Func: fname}
+		}
+	}
+	if ptr < base || ptr+size > bound {
+		return &SpatialViolation{Kind: kind, Ptr: ptr, Base: base,
+			Bound: bound, Size: size, Func: fname}
+	}
 	return nil
 }
 
@@ -527,6 +571,10 @@ func execConv(a uint64, in *ir.Inst) uint64 {
 func (v *VM) execCall(f *frame, in *ir.Inst) error {
 	v.stats.Calls++
 	v.stats.SimInsts += costCall + uint64(len(in.Args)) + 2*uint64(len(in.Shadow))
+	if in.TMeta {
+		// Temporal calls push key and lock alongside each slot's bounds.
+		v.stats.SimInsts += 2 * uint64(len(in.Shadow))
+	}
 
 	args := make([]uint64, len(in.Args))
 	for i, a := range in.Args {
@@ -565,10 +613,15 @@ func (v *VM) execCall(f *frame, in *ir.Inst) error {
 	wbase := v.pushShadow(len(in.Args))
 	for _, s := range in.Shadow {
 		if s.Arg >= 0 && s.Arg < len(in.Args) {
-			v.shadow[wbase+1+s.Arg] = meta.Entry{
+			e := meta.Entry{
 				Base:  v.eval(f, s.Base),
 				Bound: v.eval(f, s.Bound),
 			}
+			if s.Temporal {
+				e.Key = v.eval(f, s.Key)
+				e.Lock = v.eval(f, s.Lock)
+			}
+			v.shadow[wbase+1+s.Arg] = e
 		}
 	}
 
@@ -587,6 +640,10 @@ func (v *VM) execCall(f *frame, in *ir.Inst) error {
 		if in.DstBase != ir.NoReg {
 			f.regs[in.DstBase] = retMeta.Base
 			f.regs[in.DstBound] = retMeta.Bound
+			if in.TMeta {
+				f.regs[in.DstKey] = retMeta.Key
+				f.regs[in.DstLock] = retMeta.Lock
+			}
 		}
 		v.shadow = v.shadow[:wbase]
 		f.ip++
@@ -611,7 +668,11 @@ func (v *VM) execCall(f *frame, in *ir.Inst) error {
 		callArgs = callArgs[:callee.OrigParams]
 	}
 	f.ip++ // resume after the call upon return
-	if err := v.pushFrame(callee, callArgs, in.Dst, in.DstBase, in.DstBound); err != nil {
+	retKey, retLock := ir.NoReg, ir.NoReg
+	if in.TMeta && in.DstBase != ir.NoReg {
+		retKey, retLock = in.DstKey, in.DstLock
+	}
+	if err := v.pushFrame(callee, callArgs, in.Dst, in.DstBase, in.DstBound, retKey, retLock); err != nil {
 		return err
 	}
 	top := &v.stack[len(v.stack)-1]
@@ -632,11 +693,19 @@ func (v *VM) execRet(f *frame, in *ir.Inst) error {
 		// Return metadata travels through slot 0 of the returning
 		// frame's shadow window, never inline (paper §3.3).
 		v.stats.SimInsts += 2
+		if in.TMeta {
+			v.stats.SimInsts += 2
+		}
 		if f.shadowBase < len(v.shadow) {
-			v.shadow[f.shadowBase] = meta.Entry{
+			e := meta.Entry{
 				Base:  v.eval(f, in.RetBase),
 				Bound: v.eval(f, in.RetBound),
 			}
+			if in.TMeta {
+				e.Key = v.eval(f, in.RetKey)
+				e.Lock = v.eval(f, in.RetLock)
+			}
+			v.shadow[f.shadowBase] = e
 		}
 	}
 	popped, err := v.popFrame()
@@ -671,6 +740,10 @@ func (v *VM) execRet(f *frame, in *ir.Inst) error {
 		}
 		caller.regs[popped.retBase] = e.Base
 		caller.regs[popped.retBound] = e.Bound
+		if popped.retKey != ir.NoReg {
+			caller.regs[popped.retKey] = e.Key
+			caller.regs[popped.retLock] = e.Lock
+		}
 	}
 	v.shadow = v.shadow[:popped.shadowBase]
 	return nil

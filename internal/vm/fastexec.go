@@ -51,22 +51,17 @@ func wrapFastErr(f *frame, d *dinst, err error) error {
 		f.fn.Name, d.blk, d.ip, d.src.String(), err)
 }
 
-// fastCheck performs a non-call spatial check with reference-order
-// statistics (the check is counted even when it fails).
-func (v *VM) fastCheck(fname string, d *dinst, ptr, base, bound uint64) error {
-	v.stats.Checks++
-	v.stats.SimInsts += v.cfg.CheckCost
-	switch d.checkK {
-	case ir.CheckLoad:
-		v.stats.LoadChecks++
-	case ir.CheckStore:
-		v.stats.StoreChecks++
+// fastCheck performs a non-call dereference check with reference-order
+// statistics (the check is counted even when it fails). It resolves the
+// decoded temporal operands, if any, and defers to the checkAccess
+// implementation both engines share, so a temporal violation fires
+// before the spatial compare exactly as in the reference loop.
+func (v *VM) fastCheck(fname string, d *dinst, ptr, base, bound uint64, regs []uint64) error {
+	var key, lock uint64
+	if d.tmeta {
+		key, lock = d.key.get(regs), d.lock.get(regs)
 	}
-	if ptr < base || ptr+d.asize > bound {
-		return &SpatialViolation{Kind: d.checkK, Ptr: ptr, Base: base,
-			Bound: bound, Size: d.asize, Func: fname}
-	}
-	return nil
+	return v.checkAccess(fname, d.checkK, ptr, base, bound, d.asize, d.tmeta, key, lock)
 }
 
 // loopFast runs the decoded program until the outermost frame returns,
@@ -234,7 +229,7 @@ func (v *VM) loopFast() (err error) {
 			case dCheck:
 				st.insts++
 				if err := v.fastCheck(f.fn.Name, d,
-					d.a.get(regs), d.base.get(regs), d.bnd.get(regs)); err != nil {
+					d.a.get(regs), d.base.get(regs), d.bnd.get(regs), regs); err != nil {
 					f.fip = fip
 					v.flushFast(&st)
 					return wrapFastErr(f, d, err)
@@ -268,6 +263,10 @@ func (v *VM) loopFast() (err error) {
 				}
 				regs[d.dst] = e.Base
 				regs[d.dst2] = e.Bound
+				if d.dst3 != ir.NoReg {
+					regs[d.dst3] = e.Key
+					regs[d.dst4] = e.Lock
+				}
 				v.stats.MetaLoads++
 				st.sim += v.lookupCost
 				fip++
@@ -276,6 +275,9 @@ func (v *VM) loopFast() (err error) {
 				st.insts++
 				addr := d.a.get(regs)
 				e := meta.Entry{Base: d.base.get(regs), Bound: d.bnd.get(regs)}
+				if d.tmeta {
+					e.Key, e.Lock = d.key.get(regs), d.lock.get(regs)
+				}
 				if v.mcache != nil {
 					v.mcache.Update(addr, e)
 				} else {
@@ -336,7 +338,7 @@ func (v *VM) loopFast() (err error) {
 
 				st.insts++
 				if err := v.fastCheck(f.fn.Name, d,
-					t, d.base.get(regs), d.bnd.get(regs)); err != nil {
+					t, d.base.get(regs), d.bnd.get(regs), regs); err != nil {
 					f.fip = fip
 					v.flushFast(&st)
 					return wrapFastErr(f, d, err)
@@ -372,7 +374,7 @@ func (v *VM) loopFast() (err error) {
 
 				st.insts++
 				if err := v.fastCheck(f.fn.Name, d,
-					t, d.base.get(regs), d.bnd.get(regs)); err != nil {
+					t, d.base.get(regs), d.bnd.get(regs), regs); err != nil {
 					f.fip = fip
 					v.flushFast(&st)
 					return wrapFastErr(f, d, err)
@@ -407,7 +409,7 @@ func (v *VM) loopFast() (err error) {
 			case dCheckMetaLoad:
 				st.insts++
 				if err := v.fastCheck(f.fn.Name, d,
-					d.a.get(regs), d.base.get(regs), d.bnd.get(regs)); err != nil {
+					d.a.get(regs), d.base.get(regs), d.bnd.get(regs), regs); err != nil {
 					f.fip = fip
 					v.flushFast(&st)
 					return wrapFastErr(f, d, err)
@@ -423,6 +425,10 @@ func (v *VM) loopFast() (err error) {
 				}
 				regs[d.dst] = e.Base
 				regs[d.dst2] = e.Bound
+				if d.dst3 != ir.NoReg {
+					regs[d.dst3] = e.Key
+					regs[d.dst4] = e.Lock
+				}
 				v.stats.MetaLoads++
 				st.sim += v.lookupCost
 				fip++
@@ -502,14 +508,14 @@ func (v *VM) stepLimited(f *frame, d *dinst, st *fastState) error {
 		}
 		st.budget--
 		st.insts++
-		if err := v.fastCheck(f.fn.Name, d, t, d.base.get(regs), d.bnd.get(regs)); err != nil {
+		if err := v.fastCheck(f.fn.Name, d, t, d.base.get(regs), d.bnd.get(regs), regs); err != nil {
 			return err
 		}
 	case dCheckMetaLoad:
 		st.budget--
 		st.insts++
 		if err := v.fastCheck(f.fn.Name, d,
-			d.a.get(regs), d.base.get(regs), d.bnd.get(regs)); err != nil {
+			d.a.get(regs), d.base.get(regs), d.bnd.get(regs), regs); err != nil {
 			return err
 		}
 	}
@@ -528,6 +534,10 @@ func (v *VM) execCallFast(f *frame, d *dinst, st *fastState) error {
 	in := d.src
 	st.insts++
 	st.sim += costCall + uint64(len(in.Args)) + 2*uint64(len(d.shadow))
+	if in.TMeta {
+		// Temporal calls push key and lock alongside each slot's bounds.
+		st.sim += 2 * uint64(len(d.shadow))
+	}
 	v.stats.Calls++
 
 	var callee *dfunc
@@ -571,10 +581,15 @@ func (v *VM) execCallFast(f *frame, d *dinst, st *fastState) error {
 		regs := f.regs
 		for _, s := range d.shadow {
 			if int(s.arg) < len(in.Args) {
-				v.shadow[wbase+1+int(s.arg)] = meta.Entry{
+				e := meta.Entry{
 					Base:  s.base.get(regs),
 					Bound: s.bnd.get(regs),
 				}
+				if s.tmeta {
+					e.Key = s.key.get(regs)
+					e.Lock = s.lock.get(regs)
+				}
+				v.shadow[wbase+1+int(s.arg)] = e
 			}
 		}
 		metas := v.shadow[wbase+1 : wbase+1+len(args)]
@@ -592,6 +607,10 @@ func (v *VM) execCallFast(f *frame, d *dinst, st *fastState) error {
 		if in.DstBase != ir.NoReg {
 			f.regs[in.DstBase] = retMeta.Base
 			f.regs[in.DstBound] = retMeta.Bound
+			if in.TMeta {
+				f.regs[in.DstKey] = retMeta.Key
+				f.regs[in.DstLock] = retMeta.Lock
+			}
 		}
 		v.shadow = v.shadow[:wbase]
 		f.fip++
@@ -608,17 +627,26 @@ func (v *VM) execCallFast(f *frame, d *dinst, st *fastState) error {
 		regs := f.regs
 		for _, s := range d.shadow {
 			if int(s.arg) < nargs {
-				v.shadow[wbase+1+int(s.arg)] = meta.Entry{
+				e := meta.Entry{
 					Base:  s.base.get(regs),
 					Bound: s.bnd.get(regs),
 				}
+				if s.tmeta {
+					e.Key = s.key.get(regs)
+					e.Lock = s.lock.get(regs)
+				}
+				v.shadow[wbase+1+int(s.arg)] = e
 			}
 		}
 	}
 
 	ci := len(v.stack) - 1
 	f.fip++ // resume after the call upon return
-	if err := v.pushFrame(fn, nil, in.Dst, in.DstBase, in.DstBound); err != nil {
+	retKey, retLock := ir.NoReg, ir.NoReg
+	if in.TMeta && in.DstBase != ir.NoReg {
+		retKey, retLock = in.DstKey, in.DstLock
+	}
+	if err := v.pushFrame(fn, nil, in.Dst, in.DstBase, in.DstBound, retKey, retLock); err != nil {
 		return err
 	}
 	// pushFrame may have grown the stack's backing array.

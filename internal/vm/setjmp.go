@@ -52,6 +52,14 @@ func (v *VM) doLongjmp(f *frame, args []uint64) error {
 	}
 	v.stats.SimInsts += 10
 	if cp, ok := v.jmpPoints[tok]; ok && cp.depth <= len(v.stack) {
+		// Frames abandoned by the longjmp bypass popFrame; revoke their
+		// temporal locks here so pointers into them die with them.
+		for i := cp.depth; i < len(v.stack); i++ {
+			if l := v.stack[i].lock; l != 0 {
+				v.revokeLock(l)
+				v.stack[i].lock = 0
+			}
+		}
 		v.stack = v.stack[:cp.depth]
 		v.sp = v.jmpSPs[tok]
 		// Unwind the shadow stack with the frames: every window pushed
@@ -73,7 +81,7 @@ func (v *VM) doLongjmp(f *frame, args []uint64) error {
 		// The hijacked target runs with a fresh, empty shadow window.
 		v.Hijacks = append(v.Hijacks, ControlHijack{Via: "longjmp", Target: target.Name})
 		wbase := v.pushShadow(0)
-		if err := v.pushFrame(target, nil, ir.NoReg, ir.NoReg, ir.NoReg); err != nil {
+		if err := v.pushFrame(target, nil, ir.NoReg, ir.NoReg, ir.NoReg, ir.NoReg, ir.NoReg); err != nil {
 			return err
 		}
 		v.stack[len(v.stack)-1].shadowBase = wbase

@@ -13,6 +13,12 @@ type TrapCode string
 const (
 	// TrapSpatial is a SoftBound bounds-check failure (SpatialViolation).
 	TrapSpatial TrapCode = "spatial-violation"
+	// TrapTemporal is a CETS lock-and-key check failure: the access went
+	// through a pointer whose allocation has been freed (heap), popped
+	// (stack frame), or superseded (realloc) — or whose temporal metadata
+	// is absent, which fails closed (TemporalViolation). Non-retryable
+	// like all detections, and like them it never trips serve breakers.
+	TrapTemporal TrapCode = "temporal-violation"
 	// TrapBaseline is a detection by a baseline Checker (BaselineViolation).
 	TrapBaseline TrapCode = "baseline-violation"
 	// TrapMemFault is an access to unmapped simulated memory (FaultError).
@@ -78,6 +84,10 @@ func Classify(err error) error {
 }
 
 func codeFor(err error) TrapCode {
+	var tv *TemporalViolation
+	if errors.As(err, &tv) {
+		return TrapTemporal
+	}
 	var sv *SpatialViolation
 	if errors.As(err, &sv) {
 		return TrapSpatial

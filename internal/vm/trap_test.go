@@ -25,6 +25,7 @@ func TestTrapClassify(t *testing.T) {
 		code TrapCode
 	}{
 		{"spatial", &SpatialViolation{Kind: ir.CheckLoad}, TrapSpatial},
+		{"temporal", &TemporalViolation{Kind: ir.CheckStore}, TrapTemporal},
 		{"baseline", &BaselineViolation{Tool: "bounds", Msg: "oob"}, TrapBaseline},
 		{"fault", &FaultError{Addr: 0x10}, TrapMemFault},
 		{"runtime", &RuntimeError{Msg: "division by zero"}, TrapRuntime},

@@ -96,6 +96,15 @@ type Config struct {
 	// (malloc returns NULL).
 	AllocFault func(size uint64) bool
 
+	// Temporal enables the CETS lock-and-key runtime: the VM issues a
+	// fresh key per allocation (heap and stack frames; statics share the
+	// constant global key), revokes locks on free/frame-pop/realloc, and
+	// checked dereferences verify the key against the lock table before
+	// the spatial compare. The driver sets it iff the selected metadata
+	// scheme is a -cets kind, matching the core lowering's
+	// Options.Temporal.
+	Temporal bool
+
 	// Interp selects the execution engine (default InterpFast).
 	Interp InterpKind
 	// DisableMetaCache turns off the metadata lookup cache under the fast
@@ -119,6 +128,24 @@ type SpatialViolation struct {
 func (e *SpatialViolation) Error() string {
 	return fmt.Sprintf("softbound: spatial violation (%s) in %s: ptr=0x%x size=%d not within [0x%x,0x%x)",
 		e.Kind, e.Func, e.Ptr, e.Size, e.Base, e.Bound)
+}
+
+// TemporalViolation is a CETS lock-and-key check failure (use-after-free,
+// use-after-realloc, use-after-return, double-free): the pointer's key no
+// longer matches its lock — the allocation it named is gone. Zero
+// key/lock (no temporal metadata recorded for the slot) also fails, so
+// the check is fail-closed.
+type TemporalViolation struct {
+	Kind ir.CheckKind
+	Ptr  uint64
+	Key  uint64
+	Lock uint64
+	Func string
+}
+
+func (e *TemporalViolation) Error() string {
+	return fmt.Sprintf("softbound: temporal violation (%s) in %s: ptr=0x%x key=%d lock=%d no longer names a live allocation",
+		e.Kind, e.Func, e.Ptr, e.Key, e.Lock)
 }
 
 // BaselineViolation is a violation reported by a baseline Checker.
@@ -174,7 +201,13 @@ type frame struct {
 	// retDst is the caller register receiving the return value.
 	retDst            ir.Reg
 	retBase, retBound ir.Reg
+	retKey, retLock   ir.Reg // temporal return-metadata registers (NoReg if none)
 	token             uint64 // the return token written at call time
+
+	// lock is this frame's temporal lock index (0 = none issued); the VM
+	// revokes it on every exit path, so pointers into the frame die with
+	// the frame.
+	lock uint64
 
 	// shadowBase indexes this frame's metadata window on the VM shadow
 	// stack: slot shadowBase receives the return metadata, slot
@@ -258,6 +291,17 @@ type VM struct {
 	sp      uint64
 	nextTok uint64
 
+	// Temporal (CETS) lock table: locks[i] holds the key of the live
+	// allocation owning lock i, or 0 once revoked. Index 0 is never used
+	// (a zero lock fails closed); index 1 is the global lock (key 1),
+	// never revoked. freeLocks recycles revoked indices — the analogue of
+	// CETS reusing lock locations — and heapLocks maps live heap block
+	// addresses to their lock index so free/realloc can revoke.
+	locks     []uint64
+	freeLocks []uint64
+	nextKey   uint64
+	heapLocks map[uint64]uint64
+
 	jmpPoints map[uint64]*jmpCheckpoint
 	jmpSPs    map[uint64]uint64
 	nextJmp   uint64
@@ -313,6 +357,11 @@ func New(mod *ir.Module, cfg Config) (*VM, error) {
 	v.maxDepth = cfg.MaxStackDepth
 	if v.maxDepth == 0 {
 		v.maxDepth = DefaultMaxStackDepth
+	}
+	if cfg.Temporal {
+		v.locks = []uint64{0, 1} // slot 0 invalid; slot 1 = global lock, key 1
+		v.nextKey = 2
+		v.heapLocks = make(map[uint64]uint64)
 	}
 
 	// Lay out globals and function addresses. The layout is a pure,
@@ -379,8 +428,13 @@ func New(mod *ir.Module, cfg Config) (*VM, error) {
 			}
 			// Seed metadata for statically initialized pointers
 			// (paper §5.2 "global variables": SoftBound emits
-			// constructor code to do this).
-			v.fac.Update(addr+uint64(pi.Offset), meta.Entry{Base: base, Bound: bound})
+			// constructor code to do this). Statics carry the global
+			// key/lock, which is never revoked.
+			e := meta.Entry{Base: base, Bound: bound}
+			if cfg.Temporal {
+				e.Key, e.Lock = globalKey, globalLock
+			}
+			v.fac.Update(addr+uint64(pi.Offset), e)
 		}
 	}
 	return v, nil
@@ -414,6 +468,49 @@ func (v *VM) FuncAddr(name string) uint64 { return v.funcAddrs[name] }
 
 // ExitCode returns the program's exit status after Run.
 func (v *VM) ExitCode() int64 { return v.exitCode }
+
+// The global temporal identity: statics and functions share key 1 under
+// lock 1, which New seeds live and nothing ever revokes.
+const (
+	globalKey  = 1
+	globalLock = 1
+)
+
+// issueLock mints a fresh (key, lock) pair for a new allocation,
+// recycling revoked lock indices like CETS reuses lock locations — a
+// recycled index holds a *different* key, so stale pointers into the old
+// allocation still mismatch.
+func (v *VM) issueLock() (key, lock uint64) {
+	key = v.nextKey
+	v.nextKey++
+	if n := len(v.freeLocks); n > 0 {
+		lock = v.freeLocks[n-1]
+		v.freeLocks = v.freeLocks[:n-1]
+	} else {
+		lock = uint64(len(v.locks))
+		v.locks = append(v.locks, 0)
+	}
+	v.locks[lock] = key
+	return key, lock
+}
+
+// revokeLock kills a lock: every pointer still carrying its key fails the
+// temporal check from now on. The global lock is never revoked.
+func (v *VM) revokeLock(lock uint64) {
+	if lock <= globalLock || lock >= uint64(len(v.locks)) {
+		return
+	}
+	if v.locks[lock] != 0 {
+		v.locks[lock] = 0
+		v.freeLocks = append(v.freeLocks, lock)
+	}
+}
+
+// lockLive reports whether (key, lock) still names a live allocation.
+// Zero key or lock — no temporal metadata recorded — fails closed.
+func (v *VM) lockLive(key, lock uint64) bool {
+	return key != 0 && lock != 0 && lock < uint64(len(v.locks)) && v.locks[lock] == key
+}
 
 // funcByAddr resolves a function-segment address.
 func (v *VM) funcByAddr(addr uint64) *ir.Func {
@@ -467,11 +564,19 @@ func (v *VM) run(ctx context.Context) (int64, error) {
 		if err := v.mem.WriteU64(argvAddr+uint64(8*i), sAddr); err != nil {
 			return -1, err
 		}
-		v.fac.Update(argvAddr+uint64(8*i), meta.Entry{Base: sAddr, Bound: sAddr + uint64(len(a)+1)})
+		se := meta.Entry{Base: sAddr, Bound: sAddr + uint64(len(a)+1)}
+		if v.cfg.Temporal {
+			// argv strings live for the whole program: global identity.
+			se.Key, se.Lock = globalKey, globalLock
+		}
+		v.fac.Update(argvAddr+uint64(8*i), se)
 	}
 
 	callArgs := []uint64{uint64(len(args)), argvAddr}
 	callMeta := []meta.Entry{{}, {Base: argvAddr, Bound: argvAddr + uint64(8*len(args))}}
+	if v.cfg.Temporal {
+		callMeta[1].Key, callMeta[1].Lock = globalKey, globalLock
+	}
 	if mainFn.OrigParams < len(callArgs) {
 		callArgs = callArgs[:mainFn.OrigParams]
 		callMeta = callMeta[:mainFn.OrigParams]
@@ -482,7 +587,7 @@ func (v *VM) run(ctx context.Context) (int64, error) {
 	for i := range callArgs {
 		v.shadow[wbase+1+i] = callMeta[i]
 	}
-	if err := v.pushFrame(mainFn, callArgs, ir.NoReg, ir.NoReg, ir.NoReg); err != nil {
+	if err := v.pushFrame(mainFn, callArgs, ir.NoReg, ir.NoReg, ir.NoReg, ir.NoReg, ir.NoReg); err != nil {
 		return -1, err
 	}
 	nf := &v.stack[len(v.stack)-1]
@@ -523,7 +628,7 @@ func (v *VM) CallFunctionContext(ctx context.Context, name string, args ...uint6
 		return -1, Classify(&RuntimeError{Msg: "vm: no function " + name})
 	}
 	wbase := v.pushShadow(len(args))
-	if err := v.pushFrame(fn, args, ir.NoReg, ir.NoReg, ir.NoReg); err != nil {
+	if err := v.pushFrame(fn, args, ir.NoReg, ir.NoReg, ir.NoReg, ir.NoReg, ir.NoReg); err != nil {
 		return -1, Classify(err)
 	}
 	nf := &v.stack[len(v.stack)-1]
@@ -602,6 +707,18 @@ func (v *VM) seedShadowParams(nf *frame, nargs int) {
 			nf.regs[fn.ParamRegs[pos]] = e.Bound
 		}
 		pos++
+		if fn.Temporal {
+			// Temporal callees pop four metadata registers per pointer
+			// parameter (base, bound, key, lock).
+			if pos < len(fn.ParamRegs) {
+				nf.regs[fn.ParamRegs[pos]] = e.Key
+			}
+			pos++
+			if pos < len(fn.ParamRegs) {
+				nf.regs[fn.ParamRegs[pos]] = e.Lock
+			}
+			pos++
+		}
 	}
 }
 
@@ -611,7 +728,7 @@ func (v *VM) seedShadowParams(nf *frame, nargs int) {
 // their register files are reused (the backing array keeps them), so the
 // steady-state call path allocates nothing once the deepest frame and
 // widest register file have been seen.
-func (v *VM) pushFrame(fn *ir.Func, args []uint64, retDst, retBase, retBound ir.Reg) error {
+func (v *VM) pushFrame(fn *ir.Func, args []uint64, retDst, retBase, retBound, retKey, retLock ir.Reg) error {
 	if len(v.stack) >= v.maxDepth {
 		return &Trap{Code: TrapStackOverflow, Cause: &RuntimeError{Msg: fmt.Sprintf(
 			"stack depth limit (%d frames) exceeded in %s", v.maxDepth, fn.Name)}}
@@ -662,6 +779,8 @@ func (v *VM) pushFrame(fn *ir.Func, args []uint64, retDst, retBase, retBound ir.
 		retDst:   retDst,
 		retBase:  retBase,
 		retBound: retBound,
+		retKey:   retKey,
+		retLock:  retLock,
 		token:    tok,
 	}
 	if v.prog != nil {
@@ -671,6 +790,15 @@ func (v *VM) pushFrame(fn *ir.Func, args []uint64, retDst, retBase, retBound ir.
 		if i < len(args) {
 			regs[r] = args[i]
 		}
+	}
+	if v.cfg.Temporal && fn.Temporal && len(fn.Allocas) > 0 {
+		// Issue the frame lock: every alloca'd pointer in this frame
+		// carries it, and popFrame revokes it — use-after-return dies at
+		// the first dereference. Frames without allocas need no lock.
+		key, lock := v.issueLock()
+		nf.lock = lock
+		regs[fn.FrameKeyReg] = key
+		regs[fn.FrameLockReg] = lock
 	}
 	return nil
 }
@@ -682,6 +810,13 @@ func (v *VM) pushFrame(fn *ir.Func, args []uint64, retDst, retBase, retBound ir.
 // will look for its own return slot (two-stage frame-pointer attack).
 func (v *VM) popFrame() (*frame, error) {
 	f := &v.stack[len(v.stack)-1]
+	// Revoke the frame's temporal lock on every exit path — including
+	// the hijack path below, where the victim frame is simply discarded:
+	// pointers into this frame must never outlive it.
+	if f.lock != 0 {
+		v.revokeLock(f.lock)
+		f.lock = 0
+	}
 	tokAddr := f.fpEff + uint64(f.fn.FrameSize) + 8
 	tok, err := v.mem.ReadU64(tokAddr)
 	if err != nil {
@@ -707,7 +842,7 @@ func (v *VM) popFrame() (*frame, error) {
 			v.sp += frameBytes
 			v.shadow = v.shadow[:wbase]
 			hb := v.pushShadow(0)
-			if err := v.pushFrame(target, nil, ir.NoReg, ir.NoReg, ir.NoReg); err != nil {
+			if err := v.pushFrame(target, nil, ir.NoReg, ir.NoReg, ir.NoReg, ir.NoReg, ir.NoReg); err != nil {
 				return nil, err
 			}
 			v.stack[len(v.stack)-1].shadowBase = hb
