@@ -1,0 +1,229 @@
+// Command sbload is the serving-path load generator: it drives an
+// sbrouter (or a bare sbserve) with closed-loop concurrent mixed
+// traffic — clean programs, guaranteed spatial violations, optionally a
+// step-limit poison — and emits a BENCH_SERVE.json report (p50/p99
+// latency, shed rate, unstructured-response count, restart count read
+// from the target's /statz) so the serving trajectory is tracked across
+// PRs like the interpreter one is via BENCH.json.
+//
+// Usage:
+//
+//	sbload [-addr http://127.0.0.1:8400] [-duration 5s] [-concurrency 8]
+//	       [-json BENCH_SERVE.json] [-include-poison]
+//	       [-fail-on-unstructured=true]
+//
+// Exit status: 0 on a clean run; 1 when any unstructured response was
+// observed and -fail-on-unstructured is set (the chaos gate), or the
+// target was unreachable.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"sort"
+	"strconv"
+	"sync"
+	"time"
+)
+
+const (
+	okSrc       = `int main() { printf("hi\n"); return 7; }`
+	overflowSrc = `int main() { int a[4]; int i; for (i = 0; i <= 4; i = i + 1) a[i] = i; return a[0]; }`
+	spinSrc     = `int main() { int i; i = 0; while (1) { i = i + 1; } return i; }`
+)
+
+// Report is the BENCH_SERVE.json document (schema v1). All latencies
+// are nanoseconds; by_status keys are decimal status codes.
+type Report struct {
+	Schema      int    `json:"schema"`
+	Target      string `json:"target"`
+	Concurrency int    `json:"concurrency"`
+
+	Total          int            `json:"total"`
+	ByStatus       map[string]int `json:"by_status"`
+	OK             int            `json:"ok"`
+	Shed           int            `json:"shed"` // 429 + 503
+	ShedRate       float64        `json:"shed_rate"`
+	Unstructured   int            `json:"unstructured"` // transport errors + non-JSON bodies
+	TransportError int            `json:"transport_errors"`
+
+	DurationNanos int64   `json:"duration_nanos"`
+	ThroughputRPS float64 `json:"throughput_rps"`
+	P50Nanos      int64   `json:"p50_nanos"`
+	P90Nanos      int64   `json:"p90_nanos"`
+	P99Nanos      int64   `json:"p99_nanos"`
+	MaxNanos      int64   `json:"max_nanos"`
+
+	// RestartsObserved sums backend restarts from the target's /statz
+	// (router targets only; 0 for a bare sbserve or when unreadable).
+	RestartsObserved uint64 `json:"restarts_observed"`
+}
+
+type sample struct {
+	status  int
+	latency time.Duration
+	broken  bool // transport error or non-JSON body
+	trans   bool // transport error specifically
+}
+
+func main() {
+	addr := flag.String("addr", "http://127.0.0.1:8400", "target base URL (sbrouter or sbserve)")
+	duration := flag.Duration("duration", 5*time.Second, "load duration")
+	concurrency := flag.Int("concurrency", 8, "closed-loop worker count")
+	jsonPath := flag.String("json", "BENCH_SERVE.json", "report path (\"\" = stdout only)")
+	includePoison := flag.Bool("include-poison", false, "mix in a step-limit poison program (exercises breakers)")
+	failOnUnstructured := flag.Bool("fail-on-unstructured", true, "exit 1 if any response was malformed or connection-level")
+	flag.Parse()
+
+	mix := []map[string]any{
+		{"source": okSrc},
+		{"source": overflowSrc},
+		{"source": okSrc, "mode": "store-only"},
+	}
+	if *includePoison {
+		mix = append(mix, map[string]any{"source": spinSrc, "steps": 2000})
+	}
+	bodies := make([][]byte, len(mix))
+	for i, m := range mix {
+		bodies[i], _ = json.Marshal(m)
+	}
+
+	client := &http.Client{Timeout: 30 * time.Second}
+	var (
+		mu      sync.Mutex
+		samples []sample
+	)
+	start := time.Now()
+	stop := start.Add(*duration)
+	var wg sync.WaitGroup
+	for w := 0; w < *concurrency; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; time.Now().Before(stop); i++ {
+				s := oneRequest(client, *addr, bodies[(w+i)%len(bodies)])
+				mu.Lock()
+				samples = append(samples, s)
+				mu.Unlock()
+			}
+		}(w)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	if len(samples) == 0 {
+		fmt.Fprintln(os.Stderr, "sbload: no requests completed (target unreachable?)")
+		os.Exit(1)
+	}
+
+	rep := summarize(*addr, *concurrency, elapsed, samples)
+	rep.RestartsObserved = restartsFromStatz(client, *addr)
+
+	blob, _ := json.MarshalIndent(rep, "", "  ")
+	if *jsonPath != "" {
+		if err := os.WriteFile(*jsonPath, append(blob, '\n'), 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "sbload: write %s: %v\n", *jsonPath, err)
+			os.Exit(1)
+		}
+	}
+	fmt.Printf("sbload: %d reqs in %v (%.0f rps)  ok=%d shed=%d (%.1f%%)  p50=%v p99=%v  unstructured=%d restarts=%d\n",
+		rep.Total, elapsed.Round(time.Millisecond), rep.ThroughputRPS,
+		rep.OK, rep.Shed, rep.ShedRate*100,
+		time.Duration(rep.P50Nanos).Round(time.Microsecond),
+		time.Duration(rep.P99Nanos).Round(time.Microsecond),
+		rep.Unstructured, rep.RestartsObserved)
+	if *jsonPath == "" {
+		fmt.Println(string(blob))
+	}
+
+	if *failOnUnstructured && rep.Unstructured > 0 {
+		fmt.Fprintf(os.Stderr, "sbload: %d unstructured responses (chaos gate)\n", rep.Unstructured)
+		os.Exit(1)
+	}
+}
+
+// oneRequest fires one POST /run and classifies the answer. Anything
+// that is not an HTTP response with a valid JSON body is unstructured —
+// exactly what the fabric promises never to produce.
+func oneRequest(client *http.Client, addr string, body []byte) sample {
+	t0 := time.Now()
+	resp, err := client.Post(addr+"/run", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return sample{latency: time.Since(t0), broken: true, trans: true}
+	}
+	blob, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	lat := time.Since(t0)
+	if err != nil || !json.Valid(blob) {
+		return sample{status: resp.StatusCode, latency: lat, broken: true, trans: err != nil}
+	}
+	return sample{status: resp.StatusCode, latency: lat}
+}
+
+func summarize(target string, concurrency int, elapsed time.Duration, samples []sample) Report {
+	rep := Report{
+		Schema:        1,
+		Target:        target,
+		Concurrency:   concurrency,
+		Total:         len(samples),
+		ByStatus:      map[string]int{},
+		DurationNanos: elapsed.Nanoseconds(),
+	}
+	lats := make([]time.Duration, 0, len(samples))
+	for _, s := range samples {
+		lats = append(lats, s.latency)
+		if s.broken {
+			rep.Unstructured++
+			if s.trans {
+				rep.TransportError++
+			}
+			continue
+		}
+		rep.ByStatus[strconv.Itoa(s.status)]++
+		switch s.status {
+		case http.StatusOK:
+			rep.OK++
+		case http.StatusTooManyRequests, http.StatusServiceUnavailable:
+			rep.Shed++
+		}
+	}
+	rep.ShedRate = float64(rep.Shed) / float64(rep.Total)
+	rep.ThroughputRPS = float64(rep.Total) / elapsed.Seconds()
+	sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+	pct := func(q float64) int64 {
+		return lats[int(q*float64(len(lats)-1))].Nanoseconds()
+	}
+	rep.P50Nanos = pct(0.50)
+	rep.P90Nanos = pct(0.90)
+	rep.P99Nanos = pct(0.99)
+	rep.MaxNanos = lats[len(lats)-1].Nanoseconds()
+	return rep
+}
+
+// restartsFromStatz sums backend restarts from a router /statz; a bare
+// sbserve (no backends array) or an unreachable statz reports 0.
+func restartsFromStatz(client *http.Client, addr string) uint64 {
+	resp, err := client.Get(addr + "/statz")
+	if err != nil {
+		return 0
+	}
+	defer resp.Body.Close()
+	var doc struct {
+		Backends []struct {
+			Restarts uint64 `json:"restarts"`
+		} `json:"backends"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&doc); err != nil {
+		return 0
+	}
+	var n uint64
+	for _, b := range doc.Backends {
+		n += b.Restarts
+	}
+	return n
+}

@@ -1,0 +1,140 @@
+// Command sbrouter is the self-healing sharded execution fabric's front
+// router: it spawns and supervises N sbserve backend worker processes
+// (each with its own port and crash-bundle spool), rendezvous-hashes
+// every /run request by program hash onto a backend so compile caches
+// and circuit-breaker state shard naturally, and keeps answering
+// structured responses while backends crash and are restarted.
+//
+// Usage:
+//
+//	sbrouter [-addr :8400] [-backends 3] [-sbserve PATH]
+//	         [-backend-args "FLAGS"] [-spool DIR] [-inflight N]
+//	         [-probe-interval 250ms] [-probe-timeout 1s] [-eject-after 3]
+//	         [-restart-attempts 8] [-restart-base 100ms]
+//	         [-restart-max 2s] [-restart-budget 10s]
+//	         [-drain-timeout 30s]
+//
+// Degradation is explicit and ordered: healthy shard → one cross-shard
+// retry (connection-level failures only; VM traps and detections are
+// answers) → 503 + Retry-After. On SIGTERM/SIGINT the router drains
+// first (readyz flips, in-flight requests finish), then the backends
+// are SIGTERMed so they drain their own pools; the process exits 0.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/exec"
+	"os/signal"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"time"
+
+	"softbound/internal/fabric"
+	"softbound/internal/retry"
+	"softbound/internal/serve"
+)
+
+func main() {
+	addr := flag.String("addr", ":8400", "router listen address")
+	backends := flag.Int("backends", 3, "backend sbserve worker processes")
+	sbservePath := flag.String("sbserve", "", "sbserve binary (default: $PATH, then next to sbrouter)")
+	backendArgs := flag.String("backend-args", "", "extra sbserve flags, space separated (e.g. \"-workers 4 -queue 16\")")
+	spool := flag.String("spool", "fabric-spool", "base crash-bundle directory; each backend spools under <dir>/<name> (\"\" disables)")
+	inflight := flag.Int("inflight", 32, "max concurrently proxied requests per backend; a saturated shard sheds 503")
+	probeInterval := flag.Duration("probe-interval", 250*time.Millisecond, "backend /healthz poll period")
+	probeTimeout := flag.Duration("probe-timeout", time.Second, "one health probe's budget")
+	ejectAfter := flag.Int("eject-after", 3, "consecutive probe failures that eject a backend")
+	restartAttempts := flag.Int("restart-attempts", 8, "respawn attempts per restart cycle before a backend is marked failed")
+	restartBase := flag.Duration("restart-base", 100*time.Millisecond, "restart backoff before the second respawn (doubles per attempt)")
+	restartMax := flag.Duration("restart-max", 2*time.Second, "restart backoff cap")
+	restartBudget := flag.Duration("restart-budget", 10*time.Second, "cumulative restart backoff budget per cycle (retry.Policy.Budget)")
+	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "graceful shutdown budget after SIGTERM")
+	flag.Parse()
+
+	bin, err := resolveSbserve(*sbservePath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "sbrouter: %v\n", err)
+		os.Exit(1)
+	}
+
+	f, err := fabric.New(fabric.Options{
+		Backends:      *backends,
+		Command:       fabric.SbserveCommand(bin, strings.Fields(*backendArgs)...),
+		SpoolDir:      *spool,
+		ProbeInterval: *probeInterval,
+		ProbeTimeout:  *probeTimeout,
+		EjectAfter:    *ejectAfter,
+		Restart: retry.Policy{
+			MaxAttempts: *restartAttempts,
+			BaseDelay:   *restartBase,
+			MaxDelay:    *restartMax,
+			Budget:      *restartBudget,
+		},
+		InflightPerBackend:  *inflight,
+		BackendDrainTimeout: *drainTimeout,
+		Log:                 os.Stderr,
+		BackendOutput:       os.Stderr,
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "sbrouter: %v\n", err)
+		os.Exit(1)
+	}
+	f.Start()
+
+	httpSrv := serve.NewHTTPServer(*addr, f.Handler())
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGTERM, syscall.SIGINT)
+	defer stop()
+
+	errCh := make(chan error, 1)
+	go func() { errCh <- httpSrv.ListenAndServe() }()
+	fmt.Fprintf(os.Stderr, "sbrouter: listening on %s, supervising %d × %s\n", *addr, *backends, bin)
+
+	select {
+	case err := <-errCh:
+		fmt.Fprintf(os.Stderr, "sbrouter: %v\n", err)
+		f.Close()
+		os.Exit(1)
+	case <-ctx.Done():
+	}
+
+	// Drain router first, then backends: readiness flips, in-flight
+	// proxied requests finish, the HTTP server closes out connections,
+	// and only then are the backends SIGTERMed to drain their pools.
+	fmt.Fprintln(os.Stderr, "sbrouter: signal received, draining")
+	f.BeginDrain()
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	if err := httpSrv.Shutdown(shutdownCtx); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		fmt.Fprintf(os.Stderr, "sbrouter: shutdown: %v\n", err)
+	}
+	f.Close()
+	fmt.Fprintln(os.Stderr, "sbrouter: drained, exiting")
+}
+
+// resolveSbserve finds the backend binary: an explicit path wins, then
+// $PATH, then the router's own directory.
+func resolveSbserve(path string) (string, error) {
+	if path != "" {
+		if strings.ContainsRune(path, os.PathSeparator) {
+			return path, nil
+		}
+		return exec.LookPath(path)
+	}
+	if p, err := exec.LookPath("sbserve"); err == nil {
+		return p, nil
+	}
+	self, err := os.Executable()
+	if err == nil {
+		sibling := filepath.Join(filepath.Dir(self), "sbserve")
+		if _, statErr := os.Stat(sibling); statErr == nil {
+			return sibling, nil
+		}
+	}
+	return "", errors.New("sbserve binary not found (use -sbserve)")
+}

@@ -25,6 +25,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"net"
 	"net/http"
 	"os"
 	"os/signal"
@@ -53,6 +54,10 @@ func main() {
 		"total attempts for contained non-deterministic crashes (1 = no retry); deterministic traps never retry")
 	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "graceful shutdown budget after SIGTERM")
 	replay := flag.String("replay", "", "replay a spooled crash bundle instead of serving")
+	restarts := flag.Uint64("restarts", 0,
+		"supervisor-reported respawn count, surfaced as /statz restarts_observed (sbrouter sets this)")
+	addrFile := flag.String("addr-file", "",
+		"write the bound listen address to this file once listening (for supervisors using -addr with port 0)")
 	flag.Parse()
 
 	if *replay != "" {
@@ -70,16 +75,32 @@ func main() {
 		CacheEntries:   *cache,
 		Breaker:        serve.BreakerConfig{Threshold: *brThreshold, Cooldown: *brCooldown},
 		Retry:          retry.Policy{MaxAttempts: *retries, BaseDelay: 50 * time.Millisecond, MaxDelay: time.Second},
+		Restarts:       *restarts,
 		Log:            os.Stderr,
 	})
-	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
+	// Hardened listener: header/read deadlines and an idle cap, so slow
+	// clients cannot pin connections (see serve.NewHTTPServer).
+	httpSrv := serve.NewHTTPServer(*addr, srv.Handler())
 
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGTERM, syscall.SIGINT)
 	defer stop()
 
+	// Listen explicitly so -addr may use port 0 and a supervisor can
+	// learn the bound address through -addr-file.
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "sbserve: %v\n", err)
+		os.Exit(1)
+	}
+	if *addrFile != "" {
+		if err := writeAddrFile(*addrFile, ln.Addr().String()); err != nil {
+			fmt.Fprintf(os.Stderr, "sbserve: %v\n", err)
+			os.Exit(1)
+		}
+	}
 	errCh := make(chan error, 1)
-	go func() { errCh <- httpSrv.ListenAndServe() }()
-	fmt.Fprintf(os.Stderr, "sbserve: listening on %s\n", *addr)
+	go func() { errCh <- httpSrv.Serve(ln) }()
+	fmt.Fprintf(os.Stderr, "sbserve: listening on %s\n", ln.Addr())
 
 	select {
 	case err := <-errCh:
@@ -101,6 +122,17 @@ func main() {
 		os.Exit(1)
 	}
 	fmt.Fprintln(os.Stderr, "sbserve: drained, exiting")
+}
+
+// writeAddrFile publishes the bound address atomically (write-to-temp +
+// rename), so a supervisor polling the file never reads a half-written
+// address.
+func writeAddrFile(path, addr string) error {
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, []byte(addr+"\n"), 0o644); err != nil {
+		return err
+	}
+	return os.Rename(tmp, path)
 }
 
 // runReplay re-executes one spooled bundle and compares trap codes.

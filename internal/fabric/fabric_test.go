@@ -1,0 +1,207 @@
+package fabric
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os/exec"
+	"testing"
+
+	"softbound/internal/serve"
+)
+
+func hashOf(s string) string {
+	sum := sha256.Sum256([]byte(s))
+	return hex.EncodeToString(sum[:])
+}
+
+func TestRendezvousRankingProperties(t *testing.T) {
+	names := []string{"backend-0", "backend-1", "backend-2"}
+	const keys = 3000
+
+	// Deterministic: the same key always ranks identically.
+	for i := 0; i < 5; i++ {
+		h := hashOf(fmt.Sprintf("prog-%d", i))
+		a, b := rankNames(names, h), rankNames(names, h)
+		for j := range a {
+			if a[j] != b[j] {
+				t.Fatalf("ranking for %s not deterministic: %v vs %v", h, a, b)
+			}
+		}
+	}
+
+	// Balanced: each backend owns a reasonable share of primaries.
+	primaries := map[string]int{}
+	for i := 0; i < keys; i++ {
+		h := hashOf(fmt.Sprintf("prog-%d", i))
+		primaries[rankNames(names, h)[0]]++
+	}
+	for _, n := range names {
+		if primaries[n] < keys/6 {
+			t.Fatalf("rendezvous is unbalanced: %v", primaries)
+		}
+	}
+
+	// Minimal disruption: removing backend-1 must remap ONLY its keys;
+	// every other key keeps its primary (this is what keeps compile
+	// caches warm and breaker state local through a single crash).
+	reduced := []string{"backend-0", "backend-2"}
+	for i := 0; i < keys; i++ {
+		h := hashOf(fmt.Sprintf("prog-%d", i))
+		before := rankNames(names, h)[0]
+		after := rankNames(reduced, h)[0]
+		if before != "backend-1" && after != before {
+			t.Fatalf("key %s moved from %s to %s though its shard never died", h[:12], before, after)
+		}
+		if before == "backend-1" && after != rankNames(names, h)[1] {
+			t.Fatalf("failover for %s went to %s, not the next-ranked backend", h[:12], after)
+		}
+	}
+}
+
+// newIdleFabric builds a fabric whose supervisors are never started:
+// request validation and no-backend degradation must work without any
+// live process.
+func newIdleFabric(t *testing.T, opts Options) (*Fabric, *httptest.Server) {
+	t.Helper()
+	if opts.Command == nil {
+		opts.Command = func(BackendParams) *exec.Cmd { return exec.Command("false") }
+	}
+	f, err := New(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(f.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		f.Close()
+	})
+	return f, ts
+}
+
+func postRaw(t *testing.T, url string, body []byte) (int, http.Header, []byte) {
+	t.Helper()
+	resp, err := http.Post(url+"/run", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatalf("POST /run: %v", err)
+	}
+	defer resp.Body.Close()
+	blob, _ := io.ReadAll(resp.Body)
+	return resp.StatusCode, resp.Header, blob
+}
+
+func TestRouterValidatesBeforeRouting(t *testing.T) {
+	_, ts := newIdleFabric(t, Options{MaxBodyBytes: 4096})
+
+	status, _, body := postRaw(t, ts.URL, []byte("{not json"))
+	if status != http.StatusBadRequest {
+		t.Fatalf("bad JSON: status %d (%s)", status, body)
+	}
+	var eb serve.ErrorBody
+	if err := json.Unmarshal(body, &eb); err != nil || eb.Error == "" {
+		t.Fatalf("bad JSON rejection unstructured: %s", body)
+	}
+
+	status, _, body = postRaw(t, ts.URL, []byte(`{"source":""}`))
+	if status != http.StatusBadRequest {
+		t.Fatalf("empty source: status %d (%s)", status, body)
+	}
+
+	huge := append([]byte(`{"source":"`), bytes.Repeat([]byte("x"), 32*1024)...)
+	huge = append(huge, '"', '}')
+	status, _, body = postRaw(t, ts.URL, huge)
+	if status != http.StatusRequestEntityTooLarge {
+		t.Fatalf("oversized body: status %d (%s)", status, body)
+	}
+	if err := json.Unmarshal(body, &eb); err != nil || eb.Error == "" {
+		t.Fatalf("413 unstructured: %s", body)
+	}
+
+	resp, err := http.Get(ts.URL + "/run")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("GET /run: status %d", resp.StatusCode)
+	}
+}
+
+func TestNoBackendShedsWithRetryAfter(t *testing.T) {
+	f, ts := newIdleFabric(t, Options{})
+	status, hdr, body := postRaw(t, ts.URL, []byte(`{"source":"int main() { return 0; }"}`))
+	if status != http.StatusServiceUnavailable {
+		t.Fatalf("no-backend request: status %d (%s)", status, body)
+	}
+	if hdr.Get("Retry-After") == "" {
+		t.Error("shed response missing Retry-After")
+	}
+	var eb serve.ErrorBody
+	if err := json.Unmarshal(body, &eb); err != nil || eb.RetryAfterMillis == 0 {
+		t.Fatalf("shed body unstructured: %s", body)
+	}
+	if f.Counters().Get("fabric.shed") == 0 || f.Counters().Get("fabric.no_backend") == 0 {
+		t.Errorf("shed counters never moved: %v", f.Counters().Snapshot())
+	}
+
+	// readyz mirrors the no-backend state; healthz stays alive.
+	resp, _ := http.Get(ts.URL + "/readyz")
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Errorf("readyz %d with zero routable backends, want 503", resp.StatusCode)
+	}
+	resp, _ = http.Get(ts.URL + "/healthz")
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("healthz %d, want 200", resp.StatusCode)
+	}
+}
+
+func TestRouterDrainRejectsStructured(t *testing.T) {
+	f, ts := newIdleFabric(t, Options{})
+	f.BeginDrain()
+	status, _, body := postRaw(t, ts.URL, []byte(`{"source":"int main() { return 0; }"}`))
+	if status != http.StatusServiceUnavailable {
+		t.Fatalf("draining router: status %d (%s)", status, body)
+	}
+	var eb serve.ErrorBody
+	if err := json.Unmarshal(body, &eb); err != nil || eb.Error == "" {
+		t.Fatalf("drain rejection unstructured: %s", body)
+	}
+	resp, _ := http.Get(ts.URL + "/readyz")
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Error("readyz still ready while draining")
+	}
+}
+
+func TestStatzListsEveryBackend(t *testing.T) {
+	_, ts := newIdleFabric(t, Options{Backends: 4})
+	resp, err := http.Get(ts.URL + "/statz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var z RouterStatz
+	if err := json.NewDecoder(resp.Body).Decode(&z); err != nil {
+		t.Fatal(err)
+	}
+	if len(z.Backends) != 4 {
+		t.Fatalf("statz lists %d backends, want 4", len(z.Backends))
+	}
+	seen := map[string]bool{}
+	for _, b := range z.Backends {
+		if b.Name == "" || b.State == "" {
+			t.Fatalf("statz backend row incomplete: %+v", b)
+		}
+		seen[b.Name] = true
+	}
+	if len(seen) != 4 {
+		t.Fatalf("backend names not unique: %+v", z.Backends)
+	}
+}

@@ -1,0 +1,69 @@
+package fabric
+
+import "hash/fnv"
+
+// Rendezvous (highest-random-weight) hashing routes a program hash onto
+// a backend: every (backend name, program hash) pair gets a score, and
+// the request goes to the highest-scoring backend that is currently
+// routable. The properties the fabric leans on:
+//
+//   - Stability: a program's ranking depends only on the backend NAMES,
+//     which are stable across restarts (ports are not), so a backend
+//     that dies and comes back resumes serving exactly its old keys —
+//     its compile cache is warm for them and its breaker state is still
+//     the right breaker state.
+//   - Minimal disruption: removing one backend remaps only the keys it
+//     owned; every other key keeps its primary, so a single crash never
+//     reshuffles the whole fleet's cache/breaker locality.
+//   - Built-in failover order: the cross-shard retry is simply "next
+//     name in this key's ranking, excluding the failed one" — no
+//     separate ring walk.
+
+// rendezvousScore scores one (backend, program) pair. FNV-1a over
+// "name\x00hash" plus a splitmix64 finalizer: FNV alone correlates
+// scores of sibling names ("backend-0" vs "backend-1"), the avalanche
+// step makes the per-key rankings effectively independent.
+func rendezvousScore(backendName, programHash string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(backendName))
+	h.Write([]byte{0})
+	h.Write([]byte(programHash))
+	return mix64(h.Sum64())
+}
+
+// mix64 is the splitmix64 finalization step (the same mixer the faults
+// injector and retry jitter use).
+func mix64(z uint64) uint64 {
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// rankNames orders backend names by descending rendezvous score for a
+// program hash (ties broken by name for determinism).
+func rankNames(names []string, programHash string) []string {
+	type scored struct {
+		name  string
+		score uint64
+	}
+	ranked := make([]scored, 0, len(names))
+	for _, n := range names {
+		ranked = append(ranked, scored{n, rendezvousScore(n, programHash)})
+	}
+	// Insertion sort: N is the backend count (single digits).
+	for i := 1; i < len(ranked); i++ {
+		for j := i; j > 0; j-- {
+			a, b := ranked[j-1], ranked[j]
+			if b.score > a.score || (b.score == a.score && b.name < a.name) {
+				ranked[j-1], ranked[j] = b, a
+			} else {
+				break
+			}
+		}
+	}
+	out := make([]string, len(ranked))
+	for i, s := range ranked {
+		out[i] = s.name
+	}
+	return out
+}

@@ -1,0 +1,97 @@
+package fabric
+
+// The fabric's job is supervising real OS processes, so its tests run
+// against the real sbserve binary: TestMain builds it once into a temp
+// dir and the process-level tests (chaos, drain) spawn it. When the go
+// toolchain is unavailable the build fails soft and those tests skip;
+// the pure-logic tests (hashing, routing, validation) never need it.
+
+import (
+	"bufio"
+	"fmt"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+var sbserveBin string
+
+func TestMain(m *testing.M) {
+	dir, err := os.MkdirTemp("", "sbfabric-bin-")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "fabric test: temp dir: %v\n", err)
+		os.Exit(1)
+	}
+	bin := filepath.Join(dir, "sbserve")
+	build := exec.Command("go", "build", "-o", bin, "softbound/cmd/sbserve")
+	build.Stderr = os.Stderr
+	if err := build.Run(); err != nil {
+		fmt.Fprintf(os.Stderr, "fabric test: building sbserve failed (%v); process tests will skip\n", err)
+	} else {
+		sbserveBin = bin
+	}
+	code := m.Run()
+	_ = os.RemoveAll(dir)
+	os.Exit(code)
+}
+
+// requireSbserve skips tests that need the real backend binary.
+func requireSbserve(t *testing.T) string {
+	t.Helper()
+	if sbserveBin == "" {
+		t.Skip("sbserve binary unavailable (go build failed in TestMain)")
+	}
+	return sbserveBin
+}
+
+// startSbserve launches one standalone sbserve process (outside any
+// fabric) and waits until it is healthy; used by the drain tests and as
+// the chaos test's bit-identical reference.
+func startSbserve(t *testing.T, args ...string) (addr string, cmd *exec.Cmd) {
+	t.Helper()
+	bin := requireSbserve(t)
+	addrFile := filepath.Join(t.TempDir(), "addr")
+	full := append([]string{"-addr", "127.0.0.1:0", "-addr-file", addrFile, "-spool", ""}, args...)
+	cmd = exec.Command(bin, full...)
+	stderr, err := cmd.StderrPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cmd.Start(); err != nil {
+		t.Fatalf("start sbserve: %v", err)
+	}
+	// Drain stderr so the child never blocks on a full pipe.
+	go func() {
+		sc := bufio.NewScanner(stderr)
+		for sc.Scan() {
+		}
+	}()
+	t.Cleanup(func() {
+		if cmd.Process != nil {
+			_ = cmd.Process.Kill()
+		}
+		_ = cmd.Wait()
+	})
+	deadline := time.Now().Add(20 * time.Second)
+	for time.Now().Before(deadline) {
+		blob, err := os.ReadFile(addrFile)
+		if err == nil {
+			if a := strings.TrimSpace(string(blob)); a != "" {
+				resp, err := http.Get("http://" + a + "/healthz")
+				if err == nil {
+					resp.Body.Close()
+					if resp.StatusCode == http.StatusOK {
+						return a, cmd
+					}
+				}
+			}
+		}
+		time.Sleep(25 * time.Millisecond)
+	}
+	t.Fatal("standalone sbserve never became healthy")
+	return "", nil
+}

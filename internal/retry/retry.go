@@ -31,25 +31,35 @@ type Policy struct {
 	BaseDelay time.Duration
 	// MaxDelay caps the exponential growth (0 = uncapped).
 	MaxDelay time.Duration
+	// Budget caps the CUMULATIVE backoff across one Do call (or one
+	// Schedule): each sleep is truncated to the remaining budget, and
+	// once it is spent no further retries are allowed. It bounds how
+	// long a call site can spend sleeping in total — a supervision
+	// restart loop with a Budget cannot sleep unboundedly no matter how
+	// many attempts its policy nominally grants. 0 = unbudgeted. A
+	// Budget only meters actual backoff: with BaseDelay 0 nothing is
+	// ever charged against it.
+	Budget time.Duration
 	// Seed selects the jitter stream; equal seeds jitter identically.
 	Seed uint64
 }
 
 // Do invokes fn with attempt = 1, 2, ... until fn reports its failure is
-// not retryable, MaxAttempts is reached, or ctx is cancelled during a
-// backoff sleep. It returns the number of attempts made. fn returning
-// false means "done" — either success or a failure that must stand.
+// not retryable, the Schedule is exhausted (MaxAttempts reached or
+// Budget spent), or ctx is cancelled during a backoff sleep. It returns
+// the number of attempts made. fn returning false means "done" — either
+// success or a failure that must stand.
 func (p Policy) Do(ctx context.Context, fn func(attempt int) (retryable bool)) int {
-	max := p.MaxAttempts
-	if max < 1 {
-		max = 1
-	}
-	rng := rngState(p.Seed)
+	sched := p.Schedule()
 	for attempt := 1; ; attempt++ {
-		if !fn(attempt) || attempt == max {
+		if !fn(attempt) {
 			return attempt
 		}
-		if d := p.backoff(attempt, &rng); d > 0 {
+		d, ok := sched.Next()
+		if !ok {
+			return attempt
+		}
+		if d > 0 {
 			t := time.NewTimer(d)
 			select {
 			case <-ctx.Done():
@@ -61,6 +71,54 @@ func (p Policy) Do(ctx context.Context, fn func(attempt int) (retryable bool)) i
 			return attempt
 		}
 	}
+}
+
+// Schedule is the stateful view of a Policy's backoff sequence: each
+// Next call yields the sleep before one more retry, with the Budget
+// truncation applied. Long-running supervisors that cannot phrase their
+// loop as a single Do call (a process restart loop, say) walk a
+// Schedule directly and build a fresh one once the supervised thing has
+// proven healthy again. Equal (Policy, Seed) values yield equal
+// schedules.
+type Schedule struct {
+	p       Policy
+	rng     uint64
+	attempt int
+	slept   time.Duration
+}
+
+// Schedule returns the policy's backoff sequence from the top.
+func (p Policy) Schedule() *Schedule {
+	return &Schedule{p: p, rng: rngState(p.Seed), attempt: 1}
+}
+
+// Next returns the backoff to sleep before the next retry, and whether
+// that retry is allowed at all. It reports false once MaxAttempts are
+// used up or the cumulative backoff Budget is spent; a sleep that would
+// overrun the budget is truncated to exactly the remainder (so the
+// schedule's total sleep never exceeds Budget) and the retry after it
+// is the last.
+func (s *Schedule) Next() (time.Duration, bool) {
+	max := s.p.MaxAttempts
+	if max < 1 {
+		max = 1
+	}
+	if s.attempt >= max {
+		return 0, false
+	}
+	d := s.p.backoff(s.attempt, &s.rng)
+	s.attempt++
+	if s.p.Budget > 0 && d > 0 {
+		remaining := s.p.Budget - s.slept
+		if remaining <= 0 {
+			return 0, false
+		}
+		if d > remaining {
+			d = remaining
+		}
+	}
+	s.slept += d
+	return d, true
 }
 
 // backoff returns the sleep before attempt+1: BaseDelay doubled per prior

@@ -96,6 +96,79 @@ func TestBackoffDeterministicPerSeed(t *testing.T) {
 	}
 }
 
+func TestBudgetTruncatesScheduleDeterministically(t *testing.T) {
+	// Nominal (unjittered) sleeps are 40, 80, 160, ... ms; even the
+	// jittered lower bounds (20, 40, 80) overrun a 100ms budget well
+	// before the 10 attempts are used, so the schedule must end early
+	// with its last sleep truncated to exactly the remainder.
+	p := Policy{MaxAttempts: 10, BaseDelay: 40 * time.Millisecond, Budget: 100 * time.Millisecond, Seed: 3}
+	walk := func() []time.Duration {
+		var out []time.Duration
+		sched := p.Schedule()
+		for {
+			d, ok := sched.Next()
+			if !ok {
+				return out
+			}
+			out = append(out, d)
+		}
+	}
+	sleeps := walk()
+	var total time.Duration
+	for _, d := range sleeps {
+		total += d
+	}
+	if total != p.Budget {
+		t.Fatalf("truncated schedule sleeps %v ns in total, want exactly the %v budget (sleeps %v)",
+			total, p.Budget, sleeps)
+	}
+	if len(sleeps) >= p.MaxAttempts-1 {
+		t.Fatalf("schedule ran all %d retries despite the budget: %v", len(sleeps), sleeps)
+	}
+	// Deterministic: an equal (Policy, Seed) walks the identical schedule.
+	again := walk()
+	if len(again) != len(sleeps) {
+		t.Fatalf("schedule length diverged: %v vs %v", again, sleeps)
+	}
+	for i := range sleeps {
+		if again[i] != sleeps[i] {
+			t.Fatalf("schedule diverged at %d: %v vs %v", i, again, sleeps)
+		}
+	}
+}
+
+func TestDoStopsWhenBudgetSpent(t *testing.T) {
+	p := Policy{MaxAttempts: 100, BaseDelay: 2 * time.Millisecond, Budget: 6 * time.Millisecond, Seed: 1}
+	// The schedule itself says how many retries the budget affords.
+	want := 1
+	sched := p.Schedule()
+	for {
+		if _, ok := sched.Next(); !ok {
+			break
+		}
+		want++
+	}
+	if want >= 100 {
+		t.Fatalf("budget did not bound the schedule: %d attempts", want)
+	}
+	var calls int
+	attempts := p.Do(context.Background(), func(int) bool {
+		calls++
+		return true // always retryable: only the budget can stop us
+	})
+	if attempts != want || calls != want {
+		t.Fatalf("attempts=%d calls=%d, want %d (budget-bounded)", attempts, calls, want)
+	}
+}
+
+func TestZeroBudgetIsUnbudgeted(t *testing.T) {
+	p := Policy{MaxAttempts: 4, BaseDelay: time.Microsecond}
+	var calls int
+	if attempts := p.Do(context.Background(), func(int) bool { calls++; return true }); attempts != 4 || calls != 4 {
+		t.Fatalf("attempts=%d calls=%d, want 4/4 with no budget", attempts, calls)
+	}
+}
+
 func TestDoHonorsContextDuringBackoff(t *testing.T) {
 	ctx, cancel := context.WithCancel(context.Background())
 	p := Policy{MaxAttempts: 10, BaseDelay: time.Hour}

@@ -41,6 +41,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"os"
 	"runtime"
 	"strconv"
 	"sync"
@@ -85,6 +86,12 @@ type Options struct {
 	// Retry is the policy for contained non-deterministic crashes
 	// (zero value = 2 attempts, 50ms base backoff, 1s cap).
 	Retry retry.Policy
+	// Restarts is the supervisor-reported restart generation of this
+	// process (how many times a supervisor has respawned this backend).
+	// It is surfaced verbatim as /statz restarts_observed so a router —
+	// or a human tailing /statz — can detect silent backend flaps even
+	// though each incarnation starts from a fresh process.
+	Restarts uint64
 	// Log receives one line per completed run and service event (nil =
 	// silent).
 	Log io.Writer
@@ -223,6 +230,7 @@ type Server struct {
 
 	bundleSeq atomic.Uint64
 	logMu     sync.Mutex
+	started   time.Time
 }
 
 // New builds a Server and starts its worker pool.
@@ -234,12 +242,31 @@ func New(opts Options) *Server {
 		counters: metrics.NewCounterSet(),
 		cache:    newCompileCache(o.CacheEntries),
 		breakers: newBreakerSet(o.Breaker),
+		started:  time.Now(),
 	}
 	for i := 0; i < o.Workers; i++ {
 		s.workers.Add(1)
 		go s.worker()
 	}
 	return s
+}
+
+// NewHTTPServer wraps a handler in an http.Server hardened against slow
+// clients: a header deadline (slow-loris headers), a read deadline (a
+// request body trickling in one byte at a time cannot pin a connection
+// for ever), and an idle keep-alive cap. WriteTimeout is deliberately
+// left unset — /run responses legitimately take as long as the
+// server-side VM budget allows, and that budget is already enforced per
+// request; a write deadline would turn slow-but-legal executions into
+// torn responses. Both sbserve and sbrouter listen through this.
+func NewHTTPServer(addr string, h http.Handler) *http.Server {
+	return &http.Server{
+		Addr:              addr,
+		Handler:           h,
+		ReadHeaderTimeout: 5 * time.Second,
+		ReadTimeout:       30 * time.Second,
+		IdleTimeout:       60 * time.Second,
+	}
 }
 
 // Handler returns the service mux.
@@ -324,18 +351,29 @@ type Statz struct {
 	// Breakers lists every non-closed breaker: program hash → state.
 	Breakers map[string]string `json:"breakers,omitempty"`
 	Draining bool              `json:"draining"`
+	// UptimeSeconds and PID identify this incarnation of the process;
+	// RestartsObserved is the supervisor-reported respawn count
+	// (Options.Restarts). Together they make silent flaps visible: a
+	// backend whose uptime keeps resetting while restarts_observed
+	// climbs is crash-looping even if every individual poll looks fine.
+	UptimeSeconds    float64 `json:"uptime_seconds"`
+	PID              int     `json:"pid"`
+	RestartsObserved uint64  `json:"restarts_observed"`
 }
 
 func (s *Server) handleStatz(w http.ResponseWriter, r *http.Request) {
 	s.counters.Inc("http.statz")
 	writeJSON(w, http.StatusOK, Statz{
-		Counters:   s.counters.Snapshot(),
-		Workers:    s.opts.Workers,
-		QueueDepth: len(s.jobs),
-		QueueCap:   cap(s.jobs),
-		Cache:      s.cache.stats(),
-		Breakers:   s.breakers.Snapshot(),
-		Draining:   s.draining.Load(),
+		Counters:         s.counters.Snapshot(),
+		Workers:          s.opts.Workers,
+		QueueDepth:       len(s.jobs),
+		QueueCap:         cap(s.jobs),
+		Cache:            s.cache.stats(),
+		Breakers:         s.breakers.Snapshot(),
+		Draining:         s.draining.Load(),
+		UptimeSeconds:    time.Since(s.started).Seconds(),
+		PID:              os.Getpid(),
+		RestartsObserved: s.opts.Restarts,
 	})
 }
 
@@ -346,9 +384,18 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	var req Request
-	body := io.LimitReader(r.Body, s.opts.MaxSourceBytes+4096)
+	// MaxBytesReader (not a bare LimitReader) closes the connection once
+	// the cap is hit, so a hostile slow body can neither pin the
+	// connection nor be silently truncated into a confusing parse error.
+	body := http.MaxBytesReader(w, r.Body, s.opts.MaxSourceBytes+4096)
 	if err := json.NewDecoder(body).Decode(&req); err != nil {
 		s.counters.Inc("run.bad_request")
+		var mbe *http.MaxBytesError
+		if errors.As(err, &mbe) {
+			writeJSON(w, http.StatusRequestEntityTooLarge,
+				ErrorBody{Error: fmt.Sprintf("request body exceeds %d bytes", mbe.Limit)})
+			return
+		}
 		writeJSON(w, http.StatusBadRequest, ErrorBody{Error: "bad request body: " + err.Error()})
 		return
 	}

@@ -6,6 +6,7 @@ import (
 	"io"
 	"net/http"
 	"net/http/httptest"
+	"os"
 	"testing"
 	"time"
 
@@ -324,6 +325,67 @@ func TestBreakerOpensFastFailsAndRecovers(t *testing.T) {
 	sum := decodeRun(t, body).Program
 	if st := s.BreakerState(sum); st != "closed" {
 		t.Errorf("breaker %q after successful probe, want closed", st)
+	}
+}
+
+// An oversized request body must be a structured 413, whether the limit
+// is hit while streaming the body (MaxBytesReader) or by the decoded
+// source field — and in neither case may it wedge or kill the server.
+func TestOversizedBodyIsStructured413(t *testing.T) {
+	_, ts := newTestServer(t, Options{MaxSourceBytes: 1024})
+
+	// A body far beyond the cap: the reader trips while the decoder is
+	// still streaming the source string.
+	huge := append([]byte(`{"source":"`), bytes.Repeat([]byte("x"), 64*1024)...)
+	huge = append(huge, '"', '}')
+	resp, err := http.Post(ts.URL+"/run", "application/json", bytes.NewReader(huge))
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Fatalf("oversized raw body: status %d, want 413 (%s)", resp.StatusCode, body)
+	}
+	var eb ErrorBody
+	if err := json.Unmarshal(body, &eb); err != nil || eb.Error == "" {
+		t.Fatalf("413 body not structured: %s (%v)", body, err)
+	}
+
+	// Valid JSON whose source field alone exceeds the cap.
+	big := Request{Source: "int main() { /*" + string(bytes.Repeat([]byte("y"), 2048)) + "*/ return 0; }"}
+	if status, body := post(t, ts, big); status != http.StatusRequestEntityTooLarge {
+		t.Fatalf("oversized source: status %d, want 413 (%s)", status, body)
+	}
+
+	// The connection-level rejection must not have hurt the server.
+	if status, _ := post(t, ts, Request{Source: okSrc}); status != http.StatusOK {
+		t.Fatal("server unhealthy after oversized body")
+	}
+}
+
+// /statz identifies the process incarnation: pid, uptime, and the
+// supervisor-reported restart generation (the fabric router feeds
+// Options.Restarts so flap detection survives process replacement).
+func TestStatzReportsProcessIdentity(t *testing.T) {
+	_, ts := newTestServer(t, Options{Restarts: 7})
+	resp, err := http.Get(ts.URL + "/statz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var z Statz
+	if err := json.NewDecoder(resp.Body).Decode(&z); err != nil {
+		t.Fatal(err)
+	}
+	if z.PID != os.Getpid() {
+		t.Errorf("statz pid %d, want %d", z.PID, os.Getpid())
+	}
+	if z.UptimeSeconds < 0 || z.UptimeSeconds > 300 {
+		t.Errorf("implausible uptime_seconds %v", z.UptimeSeconds)
+	}
+	if z.RestartsObserved != 7 {
+		t.Errorf("restarts_observed %d, want 7", z.RestartsObserved)
 	}
 }
 
