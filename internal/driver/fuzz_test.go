@@ -15,17 +15,27 @@ import (
 
 	"softbound/internal/cparser"
 	"softbound/internal/driver"
+	"softbound/internal/gen"
 	"softbound/internal/progs"
 	"softbound/internal/sema"
 )
 
 // fuzzSeeds are the corpus: real benchmark programs (the largest valid
-// inputs we have), plus malformed fragments around the constructs most
-// likely to hide index/nil bugs — unterminated tokens, deep nesting,
-// stray punctuation, truncated declarations.
+// inputs we have), generated-corpus cells at fixed seeds (clean and
+// planted — structurally dense valid programs the mutator can bend),
+// plus malformed fragments around the constructs most likely to hide
+// index/nil bugs — unterminated tokens, deep nesting, stray
+// punctuation, truncated declarations.
 func fuzzSeeds(f *testing.F) {
 	for _, b := range progs.All() {
 		f.Add(b.Source(1))
+	}
+	for seed := uint64(1); seed <= 8; seed++ {
+		prog := gen.Generate(seed)
+		f.Add(prog.Source())
+		if plants := prog.Plants(); len(plants) > 0 {
+			f.Add(prog.PlantedSource(plants[int(seed)%len(plants)]))
+		}
 	}
 	for _, s := range []string{
 		"",

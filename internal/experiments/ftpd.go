@@ -1,11 +1,25 @@
 package experiments
 
+import (
+	"fmt"
+	"strings"
+)
+
 // The second §6.4 daemon: an FTP-style command interpreter (the paper's
 // tinyftp-0.2 counterpart). A session state machine processes a scripted
 // command stream — USER/PASS authentication, CWD path normalization with
 // ".." handling, LIST over an in-memory directory tree, RETR/STOR byte
 // accounting — exercising the string handling and buffer management an
 // FTP server actually does.
+//
+// The daemon exists in two forms built from the same fragments:
+//
+//   - The three-unit compat experiment (fs.c / session.c / ftpd.c with a
+//     fixed script), exercising separate compilation.
+//   - FtpdSession: a single-unit request program with a caller-supplied
+//     command script, the request-driven workload the session soak
+//     POSTs through sbserve (each distinct script is one cacheable
+//     program; the live server ages across thousands of them).
 
 // ftpdFsC: the in-memory filesystem module.
 const ftpdFsC = `
@@ -55,8 +69,9 @@ struct fsnode* fs_build_root(void) {
     return root;
 }`
 
-// ftpdSessionC: the session/state-machine module.
-const ftpdSessionC = `
+// ftpdSessionHdrC repeats the fsnode shape and the fs_find prototype, as
+// a header would supply them to a separately-compiled session.c.
+const ftpdSessionHdrC = `
 /* session.c: one control-connection state machine.
    (struct fsnode repeats here as a header would supply it.) */
 struct fsnode {
@@ -67,7 +82,11 @@ struct fsnode {
     struct fsnode* sibling;
 };
 struct fsnode* fs_find(struct fsnode* dir, char* name);
+`
 
+// ftpdSessionBodyC: the session state machine proper, composable into a
+// unit that already defines struct fsnode.
+const ftpdSessionBodyC = `
 struct session {
     int authed;
     char user[16];
@@ -146,8 +165,12 @@ int cmd_stor(struct session* s, char* arg, int size) {
     return 226;
 }`
 
-// ftpdMainC: the command-stream driver module.
-const ftpdMainC = `
+// ftpdSessionC: the session/state-machine module (separate-compilation
+// form).
+const ftpdSessionC = ftpdSessionHdrC + ftpdSessionBodyC
+
+// ftpdMainHdrC re-declares the shapes ftpd.c needs from the other units.
+const ftpdMainHdrC = `
 /* ftpd.c: parse and dispatch a scripted command stream. */
 struct fsnode;
 struct fsnode* fs_build_root(void);
@@ -167,26 +190,11 @@ int cmd_pass(struct session* s, char* arg);
 int cmd_cwd(struct session* s, char* arg);
 int cmd_retr(struct session* s, char* arg);
 int cmd_stor(struct session* s, char* arg, int size);
+`
 
-char* script[14];
-
-void load_script(void) {
-    script[0]  = "USER anonymous";
-    script[1]  = "PASS guest@";
-    script[2]  = "CWD pub";
-    script[3]  = "RETR paper.pdf";
-    script[4]  = "RETR data.tar";
-    script[5]  = "CWD ..";
-    script[6]  = "CWD docs";
-    script[7]  = "RETR readme.txt";
-    script[8]  = "RETR missing.bin";
-    script[9]  = "STOR upload.log";
-    script[10] = "CWD /";
-    script[11] = "RETR welcome.msg";
-    script[12] = "CWD nosuchdir";
-    script[13] = "QUIT";
-}
-
+// ftpdDispatchC: split a command line and route it, shared by both
+// forms of the daemon.
+const ftpdDispatchC = `
 int dispatch(struct session* s, char* line) {
     char cmd[8];
     char arg[32];
@@ -211,6 +219,29 @@ int dispatch(struct session* s, char* line) {
     if (strcmp(cmd, "QUIT") == 0) return 221;
     return 500;
 }
+`
+
+// ftpdFixedScriptC: the compat experiment's fixed 14-command script and
+// driver loop.
+const ftpdFixedScriptC = `
+char* script[14];
+
+void load_script(void) {
+    script[0]  = "USER anonymous";
+    script[1]  = "PASS guest@";
+    script[2]  = "CWD pub";
+    script[3]  = "RETR paper.pdf";
+    script[4]  = "RETR data.tar";
+    script[5]  = "CWD ..";
+    script[6]  = "CWD docs";
+    script[7]  = "RETR readme.txt";
+    script[8]  = "RETR missing.bin";
+    script[9]  = "STOR upload.log";
+    script[10] = "CWD /";
+    script[11] = "RETR welcome.msg";
+    script[12] = "CWD nosuchdir";
+    script[13] = "QUIT";
+}
 
 int main(void) {
     struct session sess;
@@ -225,3 +256,55 @@ int main(void) {
     printf("ftpd codes %ld out %ld in %ld\n", codes, sess.bytes_out, sess.bytes_in);
     return 0;
 }`
+
+// ftpdMainC: the command-stream driver module (separate-compilation
+// form).
+const ftpdMainC = ftpdMainHdrC + ftpdDispatchC + ftpdFixedScriptC
+
+// FtpdSession renders the FTP daemon as one self-contained translation
+// unit that processes the given command script `sessions` times and
+// prints the usual "ftpd codes ..." accounting line. This is the
+// request-driven form: a soak client renders one program per generated
+// script and POSTs it to a live sbserve, so the server's compile cache,
+// metadata tables, and lookaside age across an arbitrarily long stream
+// of distinct-but-similar requests.
+//
+// Commands must fit dispatch's fixed fields: ≤7 command chars and ≤31
+// argument chars. Quotes and backslashes are escaped into the C string
+// literal; control characters are not supported.
+func FtpdSession(script []string, sessions int) string {
+	if sessions < 1 {
+		sessions = 1
+	}
+	var b strings.Builder
+	b.WriteString(ftpdFsC)
+	b.WriteString(ftpdSessionBodyC)
+	b.WriteString(ftpdDispatchC)
+	fmt.Fprintf(&b, "\nchar* script[%d];\n\nvoid load_script(void) {\n", len(script))
+	for i, cmd := range script {
+		fmt.Fprintf(&b, "    script[%d] = \"%s\";\n", i, escapeC(cmd))
+	}
+	b.WriteString("}\n")
+	fmt.Fprintf(&b, `
+int main(void) {
+    struct session sess;
+    long codes = 0;
+    int i;
+    int sessions;
+    load_script();
+    for (sessions = 0; sessions < %d; sessions = sessions + 1) {
+        sess_init(&sess, fs_build_root());
+        for (i = 0; i < %d; i = i + 1)
+            codes += dispatch(&sess, script[i]);
+    }
+    printf("ftpd codes %%ld out %%ld in %%ld\\n", codes, sess.bytes_out, sess.bytes_in);
+    return 0;
+}
+`, sessions, len(script))
+	return b.String()
+}
+
+func escapeC(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	return strings.ReplaceAll(s, `"`, `\"`)
+}

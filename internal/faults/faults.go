@@ -84,11 +84,21 @@ func (p Plan) String() string {
 // "seed=7,flip=200,drop=500,corrupt=300,oom=4,stale=100". Keys: seed,
 // flip, drop, corrupt, oom, stale; omitted keys stay zero, the empty
 // string is the zero Plan.
+//
+// The parser is strict so a typo cannot silently turn a fault arm into a
+// no-op control arm: unknown keys, negative values, and repeated keys
+// are all hard errors (a repeated key would otherwise last-win, hiding
+// the earlier value).
 func ParsePlan(spec string) (Plan, error) {
 	var p Plan
 	if strings.TrimSpace(spec) == "" {
 		return p, nil
 	}
+	fields := map[string]*uint64{
+		"seed": &p.Seed, "flip": &p.FlipEvery, "drop": &p.DropEvery,
+		"corrupt": &p.CorruptEvery, "oom": &p.OOMAt, "stale": &p.StaleEvery,
+	}
+	seen := map[string]bool{}
 	for _, field := range strings.Split(spec, ",") {
 		field = strings.TrimSpace(field)
 		if field == "" {
@@ -98,29 +108,30 @@ func ParsePlan(spec string) (Plan, error) {
 		if !ok {
 			return Plan{}, fmt.Errorf("faults: bad plan field %q (want key=value)", field)
 		}
-		v, err := strconv.ParseUint(strings.TrimSpace(vs), 10, 64)
-		if err != nil {
-			return Plan{}, fmt.Errorf("faults: bad value in %q: %v", field, err)
-		}
-		switch strings.TrimSpace(k) {
-		case "seed":
-			p.Seed = v
-		case "flip":
-			p.FlipEvery = v
-		case "drop":
-			p.DropEvery = v
-		case "corrupt":
-			p.CorruptEvery = v
-		case "oom":
-			p.OOMAt = v
-		case "stale":
-			p.StaleEvery = v
-		default:
-			keys := []string{"seed", "flip", "drop", "corrupt", "oom", "stale"}
+		k = strings.TrimSpace(k)
+		dst, known := fields[k]
+		if !known {
+			keys := make([]string, 0, len(fields))
+			for key := range fields {
+				keys = append(keys, key)
+			}
 			sort.Strings(keys)
 			return Plan{}, fmt.Errorf("faults: unknown plan key %q (have %s)",
 				k, strings.Join(keys, ", "))
 		}
+		if seen[k] {
+			return Plan{}, fmt.Errorf("faults: duplicate plan key %q", k)
+		}
+		seen[k] = true
+		vs = strings.TrimSpace(vs)
+		if strings.HasPrefix(vs, "-") {
+			return Plan{}, fmt.Errorf("faults: negative value in %q (event gaps and counts must be >= 0)", field)
+		}
+		v, err := strconv.ParseUint(vs, 10, 64)
+		if err != nil {
+			return Plan{}, fmt.Errorf("faults: bad value in %q: %v", field, err)
+		}
+		*dst = v
 	}
 	return p, nil
 }

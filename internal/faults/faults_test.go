@@ -1,6 +1,7 @@
 package faults
 
 import (
+	"strings"
 	"testing"
 
 	"softbound/internal/meta"
@@ -34,6 +35,50 @@ func TestParsePlanEmptyAndErrors(t *testing.T) {
 	for _, bad := range []string{"flip", "flip=x", "bogus=1", "seed=-3"} {
 		if _, err := ParsePlan(bad); err == nil {
 			t.Errorf("ParsePlan(%q): expected error", bad)
+		}
+	}
+}
+
+// TestParsePlanRejectsUnknownKeys pins the failure mode the soak relies
+// on: a typo'd key must be a hard error, never a silently-ignored no-op
+// control arm. The unknown-key diagnostic must name the key even when
+// the value would not parse either.
+func TestParsePlanRejectsUnknownKeys(t *testing.T) {
+	for _, spec := range []string{"flp=10", "seed=1,dorp=5", "oom=2,extra=1", "bogus=x"} {
+		_, err := ParsePlan(spec)
+		if err == nil {
+			t.Fatalf("ParsePlan(%q): expected unknown-key error", spec)
+		}
+		if !strings.Contains(err.Error(), "unknown plan key") {
+			t.Errorf("ParsePlan(%q): error %v does not identify the unknown key", spec, err)
+		}
+	}
+}
+
+// TestParsePlanRejectsNegativeValues pins the explicit negative-value
+// diagnostic (not just a generic uint parse failure).
+func TestParsePlanRejectsNegativeValues(t *testing.T) {
+	for _, spec := range []string{"flip=-1", "seed=5,drop=-200", "oom=-0"} {
+		_, err := ParsePlan(spec)
+		if err == nil {
+			t.Fatalf("ParsePlan(%q): expected negative-value error", spec)
+		}
+		if !strings.Contains(err.Error(), "negative value") {
+			t.Errorf("ParsePlan(%q): error %v does not call out the negative value", spec, err)
+		}
+	}
+}
+
+// TestParsePlanRejectsDuplicateKeys: a repeated key would last-win and
+// silently hide the earlier value, so it is a hard error too.
+func TestParsePlanRejectsDuplicateKeys(t *testing.T) {
+	for _, spec := range []string{"flip=1,flip=2", "seed=1,drop=2,seed=3"} {
+		_, err := ParsePlan(spec)
+		if err == nil {
+			t.Fatalf("ParsePlan(%q): expected duplicate-key error", spec)
+		}
+		if !strings.Contains(err.Error(), "duplicate plan key") {
+			t.Errorf("ParsePlan(%q): error %v does not identify the duplicate", spec, err)
 		}
 	}
 }
@@ -148,7 +193,10 @@ func (r *recorder) Clear(addr, size uint64) {
 func (r *recorder) CopyRange(dst, src, size uint64) {}
 func (r *recorder) Costs() meta.Costs               { return meta.Costs{} }
 func (r *recorder) Footprint() int64                { return 0 }
-func (r *recorder) Name() string                    { return "recorder" }
+func (r *recorder) Occupancy() meta.Occupancy {
+	return meta.Occupancy{Live: int64(len(r.entries))}
+}
+func (r *recorder) Name() string { return "recorder" }
 
 func TestWrapFacilityDropAndCorrupt(t *testing.T) {
 	base := &recorder{entries: map[uint64]meta.Entry{}}

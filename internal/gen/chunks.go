@@ -1,0 +1,337 @@
+package gen
+
+import "fmt"
+
+// buildChunk draws a template and its parameters for chunk i. Every
+// template follows the same contract:
+//
+//   - The clean rendering is in-bounds and lock-live by construction:
+//     loop bounds are derived from the declared sizes, string traffic
+//     fits its buffers, and no pointer is used after free.
+//   - Plant targets live inside sentinel-padded structs or on mapped
+//     heap slack, so a configuration that does NOT detect the planted
+//     violation corrupts only scratch memory that is never read again
+//     (or reads deterministic bytes), keeping non-detecting runs
+//     bit-comparable across schemes and engines.
+//   - All identifiers are prefixed c<i>_ so chunks compose into one
+//     translation unit in any subset the shrinker picks.
+func buildChunk(r *rng, i int) *chunk {
+	switch r.intn(6) {
+	case 0:
+		return genArrayWalk(r, i)
+	case 1:
+		return genNestedStruct(r, i)
+	case 2:
+		return genHeapLife(r, i)
+	case 3:
+		return genFuncPtr(r, i)
+	case 4:
+		return genStrings(r, i)
+	default:
+		return genPtrArray(r, i)
+	}
+}
+
+// genArrayWalk: fill a struct-embedded long array through a decayed
+// pointer, then walk it with strided pointer arithmetic.
+func genArrayWalk(r *rng, i int) *chunk {
+	n := r.rangeInt(8, 24)
+	m := r.rangeInt(1, 9)
+	k := r.rangeInt(1, 3)
+	cst := r.rangeInt(0, 99)
+
+	decls := fmt.Sprintf(
+		"struct c%d_box { long a[%d]; long pad[4]; };\nstruct c%d_box c%d_g;\n", i, n, i, i)
+	body := func(plant string) string {
+		return fmt.Sprintf(`void c%d_run(void) {
+    long* p = c%d_g.a;
+    long j;
+    for (j = 0; j < %d; j = j + 1)
+        p[j] = j * %d + %d;
+    for (j = 0; j + %d <= %d; j = j + %d)
+        sb_sum = sb_sum + *(p + j);
+%s}
+
+`, i, i, n, m, cst, k, n, k, plant)
+	}
+	return &chunk{
+		decls: decls,
+		funcs: body(""),
+		planted: []string{
+			body(fmt.Sprintf("    p[%d] = %d;\n", n, cst)),
+			body(fmt.Sprintf("    sb_sum = sb_sum + p[%d];\n", n)),
+		},
+		plants: []Plant{
+			{Chunk: i, Index: 0, Kind: PlantSpatial, Store: true,
+				Site: fmt.Sprintf("c%d arraywalk: store a[%d], one past a %d-long field", i, n, n)},
+			{Chunk: i, Index: 1, Kind: PlantSpatial, Store: false,
+				Site: fmt.Sprintf("c%d arraywalk: load a[%d], one past a %d-long field", i, n, n)},
+		},
+		call: fmt.Sprintf("c%d_run();", i),
+	}
+}
+
+// genNestedStruct: accesses through a pointer to a nested struct, with
+// sub-object plants overflowing an inner char array into its sibling.
+func genNestedStruct(r *rng, i int) *chunk {
+	m := 8 * r.rangeInt(1, 2) // name size, multiple of 8 so vals is adjacent
+	k := r.rangeInt(4, 10)
+	rep := r.rangeInt(2, 5)
+	lbl := fmt.Sprintf("g%dx", i)
+
+	decls := fmt.Sprintf(`struct c%d_in { char name[%d]; long vals[%d]; };
+struct c%d_out { struct c%d_in inner; long tail; };
+struct c%d_out c%d_g;
+`, i, m, k, i, i, i, i)
+	body := func(plant string) string {
+		return fmt.Sprintf(`void c%d_run(void) {
+    struct c%d_out* p = &c%d_g;
+    long* v = p->inner.vals;
+    long j;
+    long r;
+    for (r = 0; r < %d; r = r + 1) {
+        for (j = 0; j < %d; j = j + 1)
+            v[j] = v[j] + r + j * %d;
+        p->tail = p->tail + v[r %% %d];
+    }
+    strcpy(p->inner.name, "%s");
+    sb_sum = sb_sum + strlen(p->inner.name) + p->tail + v[%d];
+%s}
+
+`, i, i, i, rep, k, m, k, lbl, k-1, plant)
+	}
+	return &chunk{
+		decls: decls,
+		funcs: body(""),
+		planted: []string{
+			body(fmt.Sprintf("    p->inner.name[%d] = 65;\n", m)),
+			body(fmt.Sprintf("    sb_sum = sb_sum + p->inner.name[%d];\n", m)),
+		},
+		plants: []Plant{
+			{Chunk: i, Index: 0, Kind: PlantSpatial, Store: true,
+				Site: fmt.Sprintf("c%d nestedstruct: store name[%d], overflowing the inner field into vals", i, m)},
+			{Chunk: i, Index: 1, Kind: PlantSpatial, Store: false,
+				Site: fmt.Sprintf("c%d nestedstruct: load name[%d], reading past the inner field", i, m)},
+		},
+		call: fmt.Sprintf("c%d_run();", i),
+	}
+}
+
+// genHeapLife: a malloc → fill → sum → (realloc) → free lifetime, with
+// one-past spatial plants before free and use-after-free plants after.
+func genHeapLife(r *rng, i int) *chunk {
+	n := r.rangeInt(8, 32)
+	cst := r.rangeInt(1, 99)
+	doRealloc := r.intn(2) == 1
+	n2 := n * 2
+	if r.intn(2) == 1 {
+		n2 = n/2 + 1
+	}
+	nn := n // size of the live block right before free
+	if doRealloc {
+		nn = n2
+	}
+	nmin := n
+	if n2 < n {
+		nmin = n2
+	}
+
+	reallocPart := ""
+	if doRealloc {
+		reallocPart = fmt.Sprintf(`    q = (long*)realloc(p, %d * 8);
+    if (q == 0) { free(p); return; }
+    p = q;
+    for (j = 0; j < %d; j = j + 1)
+        sb_sum = sb_sum + p[j];
+`, n2, nmin)
+	}
+	body := func(preFree, postFree string) string {
+		return fmt.Sprintf(`void c%d_run(void) {
+    long* p = (long*)malloc(%d * 8);
+    long* q;
+    long j;
+    if (p == 0) { sb_sum = sb_sum - 1; return; }
+    for (j = 0; j < %d; j = j + 1)
+        p[j] = j + %d;
+    for (j = 0; j < %d; j = j + 1)
+        sb_sum = sb_sum + p[j];
+%s%s    free(p);
+%s}
+
+`, i, n, n, cst, n, reallocPart, preFree, postFree)
+	}
+	return &chunk{
+		decls: "",
+		funcs: body("", ""),
+		planted: []string{
+			body(fmt.Sprintf("    p[%d] = %d;\n", nn, cst), ""),
+			body("", fmt.Sprintf("    p[0] = %d;\n", cst)),
+			body("", "    sb_sum = sb_sum + p[1];\n"),
+		},
+		plants: []Plant{
+			{Chunk: i, Index: 0, Kind: PlantSpatial, Store: true,
+				Site: fmt.Sprintf("c%d heaplife: store p[%d], one past a %d-long heap block", i, nn, nn)},
+			{Chunk: i, Index: 1, Kind: PlantTemporal, Store: true,
+				Site: fmt.Sprintf("c%d heaplife: store p[0] after free (use-after-free)", i)},
+			{Chunk: i, Index: 2, Kind: PlantTemporal, Store: false,
+				Site: fmt.Sprintf("c%d heaplife: load p[1] after free (use-after-free)", i)},
+		},
+		call: fmt.Sprintf("c%d_run();", i),
+	}
+}
+
+// genFuncPtr: indirect calls through a function-pointer table, passing
+// pointer arguments and returning a pointer — metadata flows both ways
+// through the shadow-stack ABI.
+func genFuncPtr(r *rng, i int) *chunk {
+	n := r.rangeInt(8, 16)
+	m := r.rangeInt(1, 9)
+	cst := r.rangeInt(0, 49)
+
+	decls := fmt.Sprintf(`typedef long (*c%d_fn)(long*, long);
+struct c%d_box { long a[%d]; long pad[4]; };
+struct c%d_box c%d_g;
+`, i, i, n, i, i)
+	helpers := fmt.Sprintf(`long c%d_fill(long* p, long n) {
+    long j;
+    for (j = 0; j < n; j = j + 1)
+        p[j] = j * %d + %d;
+    return n;
+}
+
+long c%d_sum(long* p, long n) {
+    long s = 0;
+    long j;
+    for (j = 0; j < n; j = j + 1)
+        s = s + p[j];
+    return s;
+}
+
+long* c%d_pick(long* p, long n) { return p + (n - 1); }
+
+`, i, m, cst, i, i)
+	body := func(plant string) string {
+		return helpers + fmt.Sprintf(`void c%d_run(void) {
+    c%d_fn tab[2];
+    long* q;
+    long j;
+    tab[0] = c%d_fill;
+    tab[1] = c%d_sum;
+    sb_sum = sb_sum + tab[0](c%d_g.a, %d);
+    for (j = 0; j < 3; j = j + 1)
+        sb_sum = sb_sum + tab[1](c%d_g.a + j, %d - j);
+    q = c%d_pick(c%d_g.a, %d);
+    sb_sum = sb_sum + *q;
+%s}
+
+`, i, i, i, i, i, n, i, n, i, i, n, plant)
+	}
+	return &chunk{
+		decls: decls,
+		funcs: body(""),
+		planted: []string{
+			// The indirect callee stores one past the field: the argument's
+			// bounds travel through the shadow stack into the check.
+			body(fmt.Sprintf("    sb_sum = sb_sum + tab[0](c%d_g.a + %d, 4);\n", i, n-2)),
+			// The returned interior pointer is advanced past the field and
+			// dereferenced: return metadata travels back the same way.
+			body(fmt.Sprintf("    q = c%d_pick(c%d_g.a + 2, %d);\n    sb_sum = sb_sum + *q;\n", i, i, n)),
+		},
+		plants: []Plant{
+			{Chunk: i, Index: 0, Kind: PlantSpatial, Store: true,
+				Site: fmt.Sprintf("c%d funcptr: indirect callee stores a[%d..%d], past a %d-long field", i, n-2, n+1, n)},
+			{Chunk: i, Index: 1, Kind: PlantSpatial, Store: false,
+				Site: fmt.Sprintf("c%d funcptr: load through returned pointer at a[%d]", i, n+1)},
+		},
+		call: fmt.Sprintf("c%d_run();", i),
+	}
+}
+
+// genStrings: libc string traffic (strcpy/strlen/strcmp) into a
+// padded struct buffer; the store plant overflows inside the
+// recompiled strcpy itself.
+func genStrings(r *rng, i int) *chunk {
+	m := 8 * r.rangeInt(2, 4)
+	cst := r.rangeInt(1, 9)
+
+	decls := fmt.Sprintf(
+		"struct c%d_box { char buf[%d]; char pad[8]; };\nstruct c%d_box c%d_g;\n", i, m, i, i)
+	body := func(tmpSize, fill int, plant string) string {
+		return fmt.Sprintf(`void c%d_run(void) {
+    char tmp[%d];
+    long j;
+    for (j = 0; j < %d; j = j + 1)
+        tmp[j] = 97 + (j %% 26);
+    tmp[%d] = 0;
+    strcpy(c%d_g.buf, tmp);
+    sb_sum = sb_sum + strlen(c%d_g.buf);
+    if (strcmp(c%d_g.buf, tmp) == 0)
+        sb_sum = sb_sum + %d;
+%s}
+
+`, i, tmpSize, fill, fill, i, i, i, cst, plant)
+	}
+	return &chunk{
+		decls: decls,
+		funcs: body(m, m-1, ""),
+		planted: []string{
+			// tmp is 4 bytes longer than buf, so the clean-looking strcpy
+			// overflows buf into pad — detected inside instrumented strcpy.
+			body(m+8, m+3, ""),
+			body(m, m-1, fmt.Sprintf("    sb_sum = sb_sum + c%d_g.buf[%d];\n", i, m+2)),
+		},
+		plants: []Plant{
+			{Chunk: i, Index: 0, Kind: PlantSpatial, Store: true,
+				Site: fmt.Sprintf("c%d strings: strcpy of %d bytes into a %d-char field", i, m+4, m)},
+			{Chunk: i, Index: 1, Kind: PlantSpatial, Store: false,
+				Site: fmt.Sprintf("c%d strings: load buf[%d], past a %d-char field", i, m+2, m)},
+		},
+		call: fmt.Sprintf("c%d_run();", i),
+	}
+}
+
+// genPtrArray: an array of heap pointers stored in global memory, so
+// every dereference reloads metadata from the facility (table churn),
+// freed in a final loop. The temporal plant dereferences a freed
+// pointer loaded back from memory — the facility-mediated CETS path,
+// as opposed to heapLife's register-resident one.
+func genPtrArray(r *rng, i int) *chunk {
+	k := r.rangeInt(4, 8)
+	n := r.rangeInt(4, 12)
+
+	decls := fmt.Sprintf("long* c%d_ptrs[%d];\n", i, k)
+	body := func(mid, post string) string {
+		return fmt.Sprintf(`void c%d_run(void) {
+    long j;
+    long k;
+    for (j = 0; j < %d; j = j + 1) {
+        c%d_ptrs[j] = (long*)malloc(%d * 8);
+        if (c%d_ptrs[j] == 0) return;
+        for (k = 0; k < %d; k = k + 1)
+            c%d_ptrs[j][k] = j * 100 + k;
+    }
+    for (j = 0; j < %d; j = j + 1)
+        for (k = 0; k < %d; k = k + 2)
+            sb_sum = sb_sum + c%d_ptrs[j][k];
+%s    for (j = 0; j < %d; j = j + 1)
+        free(c%d_ptrs[j]);
+%s}
+
+`, i, k, i, n, i, n, i, k, n, i, mid, k, i, post)
+	}
+	return &chunk{
+		decls: decls,
+		funcs: body("", ""),
+		planted: []string{
+			body(fmt.Sprintf("    c%d_ptrs[%d][%d] = 7;\n", i, k-1, n), ""),
+			body("", fmt.Sprintf("    c%d_ptrs[0][0] = 9;\n", i)),
+		},
+		plants: []Plant{
+			{Chunk: i, Index: 0, Kind: PlantSpatial, Store: true,
+				Site: fmt.Sprintf("c%d ptrarray: store ptrs[%d][%d], one past a %d-long heap block", i, k-1, n, n)},
+			{Chunk: i, Index: 1, Kind: PlantTemporal, Store: true,
+				Site: fmt.Sprintf("c%d ptrarray: store through freed ptrs[0] reloaded from memory", i)},
+		},
+		call: fmt.Sprintf("c%d_run();", i),
+	}
+}

@@ -1,0 +1,70 @@
+package gen
+
+import "fmt"
+
+// FTPScript generates a seeded command script for the FtpdSession
+// workload (internal/experiments): mostly-valid traffic — login,
+// directory walks with ".." and "/", retrievals, uploads — salted with
+// misses (absent files, bogus directories), unauthenticated attempts,
+// and junk commands, always ending in QUIT. The generator tracks the
+// daemon's directory tree so hits and misses are chosen deliberately,
+// not by accident.
+//
+// Scripts are pure functions of (seed, n): byte-identical across runs,
+// so a script is a complete request identity for the session soak's
+// compile-cache-friendly request stream.
+func FTPScript(seed uint64, n int) []string {
+	if n < 4 {
+		n = 4
+	}
+	r := newRng(seed ^ 0xf7bd00d5f7bd00d5)
+	// The daemon's tree (experiments.fs_build_root): files per directory.
+	files := map[string][]string{
+		"root": {"welcome.msg"},
+		"pub":  {"paper.pdf", "data.tar"},
+		"docs": {"readme.txt"},
+	}
+	dirs := []string{"pub", "docs"}
+
+	script := make([]string, 0, n)
+	// A slice of sessions forget to log in, exercising the 530 paths.
+	authed := r.intn(10) != 0
+	if authed {
+		script = append(script, "USER anonymous", "PASS guest@")
+	} else {
+		script = append(script, "USER mallory", "PASS letmein")
+	}
+	cwd := "root"
+	depth := 0
+	for len(script) < n-1 {
+		switch r.intn(10) {
+		case 0, 1: // enter a subdirectory (only root has them)
+			d := dirs[r.intn(len(dirs))]
+			script = append(script, "CWD "+d)
+			if authed && cwd == "root" {
+				cwd, depth = d, depth+1
+			}
+		case 2: // walk back up
+			script = append(script, "CWD ..")
+			if authed && depth > 0 {
+				cwd, depth = "root", depth-1
+			}
+		case 3: // jump to root
+			script = append(script, "CWD /")
+			if authed {
+				cwd, depth = "root", 0
+			}
+		case 4, 5, 6: // retrieve a file that exists here
+			fs := files[cwd]
+			script = append(script, "RETR "+fs[r.intn(len(fs))])
+		case 7: // retrieve a miss
+			script = append(script, fmt.Sprintf("RETR no-%d.bin", r.intn(1000)))
+		case 8: // upload
+			script = append(script, fmt.Sprintf("STOR up-%d.log", r.intn(1000)))
+		default: // junk / unsupported commands (550/500 paths)
+			junk := []string{"NOOP", "LIST", "DELE x", "CWD nosuchdir", "SYST"}
+			script = append(script, junk[r.intn(len(junk))])
+		}
+	}
+	return append(script, "QUIT")
+}

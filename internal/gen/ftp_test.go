@@ -1,0 +1,60 @@
+package gen_test
+
+import (
+	"strings"
+	"testing"
+
+	"softbound/internal/driver"
+	"softbound/internal/experiments"
+	"softbound/internal/gen"
+)
+
+// TestFTPScriptDeterminismAndShape: same seed ⇒ identical script; the
+// script fits dispatch's fixed command/argument fields and ends in QUIT.
+func TestFTPScriptDeterminismAndShape(t *testing.T) {
+	for seed := uint64(1); seed <= 40; seed++ {
+		a := gen.FTPScript(seed, 24)
+		b := gen.FTPScript(seed, 24)
+		if len(a) != 24 {
+			t.Fatalf("seed %d: %d commands, want 24", seed, len(a))
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("seed %d: command %d differs: %q vs %q", seed, i, a[i], b[i])
+			}
+			cmd, arg, _ := strings.Cut(a[i], " ")
+			if len(cmd) > 7 || len(arg) > 31 {
+				t.Fatalf("seed %d: %q overflows dispatch's fields", seed, a[i])
+			}
+		}
+		if a[len(a)-1] != "QUIT" {
+			t.Fatalf("seed %d: script does not end in QUIT: %q", seed, a[len(a)-1])
+		}
+	}
+}
+
+// TestFtpdSessionProgramRunsChecked: generated session programs compile
+// and run clean under full checking with output identical to the
+// unchecked baseline — the request-driven workload is safe traffic.
+func TestFtpdSessionProgramRunsChecked(t *testing.T) {
+	for seed := uint64(1); seed <= 6; seed++ {
+		src := experiments.FtpdSession(gen.FTPScript(seed, 20), 2)
+		base, err := driver.RunSource(src, driver.DefaultConfig(driver.ModeNone))
+		if err != nil || base.Trap != nil || base.ExitCode != 0 {
+			t.Fatalf("seed %d baseline: err=%v res=%+v\n%s", seed, err, base, src)
+		}
+		if !strings.Contains(base.Output, "ftpd codes ") {
+			t.Fatalf("seed %d: unexpected output %q", seed, base.Output)
+		}
+		res, err := driver.RunSource(src, driver.DefaultConfig(driver.ModeFull))
+		if err != nil {
+			t.Fatalf("seed %d checked: %v", seed, err)
+		}
+		if res.Detected() || res.Trap != nil {
+			t.Fatalf("seed %d checked: trap=%v err=%v", seed, res.TrapCode(), res.Err)
+		}
+		if res.Output != base.Output {
+			t.Fatalf("seed %d: checked output %q != baseline %q", seed, res.Output, base.Output)
+		}
+	}
+}

@@ -1,0 +1,212 @@
+// Package gen is a deterministic seeded program generator — a
+// csmith-lite for the SoftBound pipeline's C subset. Given a splitmix64
+// seed it emits a well-typed program built from independent "chunks"
+// (nested structs, array walks, pointer arithmetic, heap lifetimes,
+// function-pointer calls through the shadow-stack ABI, libc string
+// traffic) whose semantics are known by construction:
+//
+//   - The clean variant is provably in-bounds and lock-live: every
+//     access stays inside its object and no pointer outlives its
+//     allocation, so under any checked scheme the program must run to a
+//     clean exit with zero violations, and under every scheme × mode ×
+//     engine cell it must produce identical output.
+//   - Each chunk additionally exposes planted variants: the same program
+//     with exactly one spatial or temporal violation inserted at a known
+//     site. Plant targets sit inside sentinel-padded structs (or on
+//     mapped heap slack), so a non-detecting configuration corrupts only
+//     scratch memory and still terminates deterministically — which is
+//     what lets the soak harness compare non-detecting runs bit-for-bit
+//     while asserting the checked configurations trap.
+//
+// Determinism contract: Source()/PlantedSource() are pure functions of
+// (seed, subset mask, plant), byte-identical across runs and processes.
+// The soak shrinker leans on this: a divergence is re-rendered from
+// (seed, kept-chunk mask) rather than shipping mutated source around.
+package gen
+
+import (
+	"fmt"
+	"strings"
+)
+
+// rng is splitmix64, the same generator the fault injector uses, so a
+// seed is a complete description of a generated program.
+type rng struct{ state uint64 }
+
+func newRng(seed uint64) *rng { return &rng{state: seed} }
+
+func (r *rng) next() uint64 {
+	r.state += 0x9e3779b97f4a7c15
+	z := r.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// intn returns a value in [0, n).
+func (r *rng) intn(n int) int { return int(r.next() % uint64(n)) }
+
+// rangeInt returns a value in [lo, hi] inclusive.
+func (r *rng) rangeInt(lo, hi int) int { return lo + r.intn(hi-lo+1) }
+
+// PlantKind classifies a planted violation.
+type PlantKind int
+
+const (
+	// PlantSpatial is an out-of-bounds access (off-by-N past an object
+	// or a sub-object overflow into a sibling field).
+	PlantSpatial PlantKind = iota
+	// PlantTemporal is a use-after-free through a revoked lock.
+	PlantTemporal
+)
+
+func (k PlantKind) String() string {
+	if k == PlantTemporal {
+		return "temporal"
+	}
+	return "spatial"
+}
+
+// Plant identifies one derived fault variant: the chunk it lives in,
+// its index among that chunk's plants, whether the faulting access is a
+// store, and a human-readable site description for reports.
+type Plant struct {
+	Chunk int
+	Index int
+	Kind  PlantKind
+	Store bool
+	Site  string
+}
+
+// Detected reports whether a checked configuration with the given
+// properties must trap on this plant: full-mode configurations check
+// loads and stores, store-only configurations check stores, and
+// temporal plants additionally require a lock-and-key (CETS) scheme.
+// Unchecked (baseline) runs never detect anything.
+func (p Plant) Detected(full, temporal bool) bool {
+	if p.Kind == PlantTemporal && !temporal {
+		return false
+	}
+	return p.Store || full
+}
+
+// chunk is one self-contained program fragment. decls/funcs hold the
+// clean rendering; planted[i] holds the function text with plant i's
+// violation inserted (decls are shared — plants only change code).
+type chunk struct {
+	decls   string
+	funcs   string
+	planted []string
+	plants  []Plant
+	call    string
+}
+
+// Program is a generated program: an ordered set of chunks plus a keep
+// mask (all-true initially) that the shrinker narrows.
+type Program struct {
+	Seed   uint64
+	chunks []*chunk
+	keep   []bool
+}
+
+// Generate builds the program for a seed. Chunk count and per-chunk
+// template/parameters are all drawn from the seed.
+func Generate(seed uint64) *Program {
+	r := newRng(seed)
+	n := r.rangeInt(3, 7)
+	p := &Program{Seed: seed, keep: make([]bool, n)}
+	for i := 0; i < n; i++ {
+		p.keep[i] = true
+		p.chunks = append(p.chunks, buildChunk(r, i))
+	}
+	return p
+}
+
+// NumChunks reports the total chunk count (ignoring the keep mask).
+func (p *Program) NumChunks() int { return len(p.chunks) }
+
+// Kept reports how many chunks the current mask keeps.
+func (p *Program) Kept() int {
+	n := 0
+	for _, k := range p.keep {
+		if k {
+			n++
+		}
+	}
+	return n
+}
+
+// Subset returns a view of the program that renders only the chunks
+// where keep[i] is true. Chunks are shared, not copied.
+func (p *Program) Subset(keep []bool) *Program {
+	if len(keep) != len(p.chunks) {
+		panic("gen: subset mask length mismatch")
+	}
+	mask := make([]bool, len(keep))
+	copy(mask, keep)
+	return &Program{Seed: p.Seed, chunks: p.chunks, keep: mask}
+}
+
+// KeepMask returns a copy of the current keep mask.
+func (p *Program) KeepMask() []bool {
+	mask := make([]bool, len(p.keep))
+	copy(mask, p.keep)
+	return mask
+}
+
+// Plants enumerates every planted variant of the kept chunks.
+func (p *Program) Plants() []Plant {
+	var out []Plant
+	for i, c := range p.chunks {
+		if !p.keep[i] {
+			continue
+		}
+		out = append(out, c.plants...)
+	}
+	return out
+}
+
+// Source renders the clean variant.
+func (p *Program) Source() string { return p.render(-1, -1) }
+
+// PlantedSource renders the program with exactly one violation: plant
+// pl of chunk pl.Chunk. The chunk must be kept.
+func (p *Program) PlantedSource(pl Plant) string {
+	if pl.Chunk < 0 || pl.Chunk >= len(p.chunks) || !p.keep[pl.Chunk] {
+		panic("gen: plant refers to a dropped chunk")
+	}
+	return p.render(pl.Chunk, pl.Index)
+}
+
+func (p *Program) render(plantChunk, plantIdx int) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "/* generated: seed=%d chunks=%d/%d */\n", p.Seed, p.Kept(), len(p.chunks))
+	b.WriteString("long sb_sum = 0;\n\n")
+	for i, c := range p.chunks {
+		if !p.keep[i] {
+			continue
+		}
+		b.WriteString(c.decls)
+	}
+	b.WriteString("\n")
+	for i, c := range p.chunks {
+		if !p.keep[i] {
+			continue
+		}
+		if i == plantChunk {
+			b.WriteString(c.planted[plantIdx])
+		} else {
+			b.WriteString(c.funcs)
+		}
+	}
+	b.WriteString("int main(void) {\n")
+	for i, c := range p.chunks {
+		if !p.keep[i] {
+			continue
+		}
+		b.WriteString("    " + c.call + "\n")
+	}
+	b.WriteString("    printf(\"sum %ld\\n\", sb_sum);\n")
+	b.WriteString("    return 0;\n}\n")
+	return b.String()
+}

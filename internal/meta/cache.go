@@ -122,6 +122,9 @@ func (c *LookupCache) Costs() Costs { return c.inner.Costs() }
 // carries no simulated memory overhead.
 func (c *LookupCache) Footprint() int64 { return c.inner.Footprint() }
 
+// Occupancy delegates: the cache holds copies, not additional entries.
+func (c *LookupCache) Occupancy() Occupancy { return c.inner.Occupancy() }
+
 // Name delegates so scheme-keyed reporting is unchanged.
 func (c *LookupCache) Name() string { return c.inner.Name() }
 

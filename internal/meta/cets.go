@@ -25,6 +25,7 @@ type HashTableCETS struct {
 	locks  []uint64
 	mask   uint64
 	used   int
+	live   int64 // slots with any nonzero metadata word
 
 	// Probes counts total probe steps, exposing collision behaviour to
 	// tests and benchmarks.
@@ -89,8 +90,10 @@ func (h *HashTableCETS) Update(addr uint64, e Entry) {
 		h.Probes++
 		tag := h.tags[i]
 		if tag == key {
+			wasLive := h.bases[i] != 0 || h.bounds[i] != 0 || h.keys[i] != 0 || h.locks[i] != 0
 			h.bases[i], h.bounds[i] = e.Base, e.Bound
 			h.keys[i], h.locks[i] = e.Key, e.Lock
+			h.accountLive(wasLive, e.live())
 			return
 		}
 		if tag == 0 {
@@ -98,6 +101,7 @@ func (h *HashTableCETS) Update(addr uint64, e Entry) {
 			h.bases[i], h.bounds[i] = e.Base, e.Bound
 			h.keys[i], h.locks[i] = e.Key, e.Lock
 			h.used++
+			h.accountLive(false, e.live())
 			return
 		}
 		i = (i + 1) & h.mask
@@ -113,6 +117,7 @@ func (h *HashTableCETS) grow() {
 	h.locks = make([]uint64, len(old.locks)*2)
 	h.mask = uint64(len(h.tags) - 1)
 	h.used = 0
+	h.live = 0 // Update re-accounts every reinserted entry below
 	for i, tag := range old.tags {
 		// Rehashing drops cleared tombstones, as in the spatial table;
 		// an entry is live if any of its four metadata words is nonzero.
@@ -137,6 +142,8 @@ func (h *HashTableCETS) Clear(addr, size uint64) {
 		for {
 			tag := h.tags[i]
 			if tag == key {
+				h.accountLive(h.bases[i] != 0 || h.bounds[i] != 0 ||
+					h.keys[i] != 0 || h.locks[i] != 0, false)
 				h.bases[i], h.bounds[i] = 0, 0
 				h.keys[i], h.locks[i] = 0, 0
 				break
@@ -163,9 +170,24 @@ func (h *HashTableCETS) CopyRange(dst, src, size uint64) {
 	})
 }
 
+// accountLive adjusts the live-entry counter for one slot's liveness
+// transition.
+func (h *HashTableCETS) accountLive(was, is bool) {
+	if is && !was {
+		h.live++
+	} else if was && !is {
+		h.live--
+	}
+}
+
 // Costs reports the ~13-instruction lookup: the spatial table's 9 plus
 // two loads (key, lock) and the lock-table load + compare.
 func (h *HashTableCETS) Costs() Costs { return Costs{Lookup: 13, Update: 13} }
+
+// Occupancy reports live (non-tombstone) entries and table bytes.
+func (h *HashTableCETS) Occupancy() Occupancy {
+	return Occupancy{Live: h.live, Bytes: h.Footprint()}
+}
 
 // Footprint reports table bytes (40 per entry).
 func (h *HashTableCETS) Footprint() int64 { return int64(len(h.tags)) * 40 }
@@ -177,6 +199,7 @@ func (h *HashTableCETS) Name() string { return "hashtable-cets" }
 // words per pointer slot (base, bound, key, lock).
 type ShadowCETS struct {
 	pages map[uint64]*shadowCETSPage
+	live  int64 // slots with any nonzero metadata word
 }
 
 type shadowCETSPage struct {
@@ -214,6 +237,12 @@ func (s *ShadowCETS) Update(addr uint64, e Entry) {
 		p = new(shadowCETSPage)
 		s.pages[pn] = p
 	}
+	was := p.base[idx] != 0 || p.bound[idx] != 0 || p.key[idx] != 0 || p.lock[idx] != 0
+	if is := e.live(); is && !was {
+		s.live++
+	} else if was && !is {
+		s.live--
+	}
 	p.base[idx] = e.Base
 	p.bound[idx] = e.Bound
 	p.key[idx] = e.Key
@@ -229,6 +258,9 @@ func (s *ShadowCETS) Clear(addr, size uint64) {
 	for a := start; a < addr+size; a += 8 {
 		pn, idx := s.slot(a)
 		if p := s.pages[pn]; p != nil {
+			if p.base[idx] != 0 || p.bound[idx] != 0 || p.key[idx] != 0 || p.lock[idx] != 0 {
+				s.live--
+			}
 			p.base[idx] = 0
 			p.bound[idx] = 0
 			p.key[idx] = 0
@@ -256,6 +288,11 @@ func (s *ShadowCETS) Costs() Costs { return Costs{Lookup: 9, Update: 9} }
 // Footprint reports bytes of materialized shadow pages (32 per slot).
 func (s *ShadowCETS) Footprint() int64 {
 	return int64(len(s.pages)) * shadowPageSlots * 32
+}
+
+// Occupancy reports live slots and materialized shadow bytes.
+func (s *ShadowCETS) Occupancy() Occupancy {
+	return Occupancy{Live: s.live, Bytes: s.Footprint()}
 }
 
 // Name identifies the scheme.

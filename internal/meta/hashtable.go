@@ -13,6 +13,7 @@ type HashTable struct {
 	bounds []uint64
 	mask   uint64
 	used   int
+	live   int64 // slots with nonzero base/bound (tombstones excluded)
 
 	// Probes counts total probe steps, exposing collision behaviour to
 	// tests and benchmarks.
@@ -82,13 +83,16 @@ func (h *HashTable) Update(addr uint64, e Entry) {
 		h.Probes++
 		tag := h.tags[i]
 		if tag == key {
+			wasLive := h.bases[i] != 0 || h.bounds[i] != 0
 			h.bases[i], h.bounds[i] = e.Base, e.Bound
+			h.accountLive(wasLive, e.Base != 0 || e.Bound != 0)
 			return
 		}
 		if tag == 0 {
 			h.tags[i] = key
 			h.bases[i], h.bounds[i] = e.Base, e.Bound
 			h.used++
+			h.accountLive(false, e.Base != 0 || e.Bound != 0)
 			return
 		}
 		i = (i + 1) & h.mask
@@ -102,6 +106,7 @@ func (h *HashTable) grow() {
 	h.bounds = make([]uint64, len(old.bounds)*2)
 	h.mask = uint64(len(h.tags) - 1)
 	h.used = 0
+	h.live = 0 // Update re-accounts every reinserted entry below
 	for i, tag := range old.tags {
 		// Cleared entries keep their tag (Clear zeroes only base/bound —
 		// open addressing cannot break probe chains), but rehashing is
@@ -127,6 +132,7 @@ func (h *HashTable) Clear(addr, size uint64) {
 		for {
 			tag := h.tags[i]
 			if tag == key {
+				h.accountLive(h.bases[i] != 0 || h.bounds[i] != 0, false)
 				h.bases[i], h.bounds[i] = 0, 0
 				break
 			}
@@ -152,8 +158,23 @@ func (h *HashTable) CopyRange(dst, src, size uint64) {
 	})
 }
 
+// accountLive adjusts the live-entry counter for one slot's liveness
+// transition (shared shape across all four backends).
+func (h *HashTable) accountLive(was, is bool) {
+	if is && !was {
+		h.live++
+	} else if was && !is {
+		h.live--
+	}
+}
+
 // Costs reports the paper's ~9-instruction lookup for the hash scheme.
 func (h *HashTable) Costs() Costs { return Costs{Lookup: 9, Update: 9} }
+
+// Occupancy reports live (non-tombstone) entries and table bytes.
+func (h *HashTable) Occupancy() Occupancy {
+	return Occupancy{Live: h.live, Bytes: h.Footprint()}
+}
 
 // Footprint reports table bytes (24 per entry).
 func (h *HashTable) Footprint() int64 { return int64(len(h.tags)) * 24 }

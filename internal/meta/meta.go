@@ -39,6 +39,24 @@ type Costs struct {
 	Update int
 }
 
+// Occupancy is a facility's current population: Live counts pointer
+// slots whose entry carries any nonzero metadata word, Bytes is the
+// table's memory footprint. Long-running services watch this pair to
+// see metadata growth (leaks, churn, shadow-page spread) rather than
+// the one-shot Footprint number alone.
+type Occupancy struct {
+	Live  int64
+	Bytes int64
+}
+
+// live reports whether an entry holds any metadata at all — the shared
+// liveness predicate used by the occupancy accounting in every backend
+// (cleared hashtable slots keep their tag but zero all four words, so
+// tag presence is not liveness).
+func (e Entry) live() bool {
+	return e.Base != 0 || e.Bound != 0 || e.Key != 0 || e.Lock != 0
+}
+
 // Facility maps addresses of in-memory pointers to metadata.
 type Facility interface {
 	// Lookup returns the metadata for the pointer stored at addr.
@@ -56,6 +74,10 @@ type Facility interface {
 	Costs() Costs
 	// Footprint returns the facility's current memory overhead in bytes.
 	Footprint() int64
+	// Occupancy reports live entry count and table bytes in O(1); the
+	// backends maintain the live counter by transition accounting in
+	// Update/Clear.
+	Occupancy() Occupancy
 	// Name identifies the scheme ("hashtable" or "shadowspace").
 	Name() string
 }

@@ -12,7 +12,7 @@ package meta
 // slots, just like resident set size would.
 type ShadowSpace struct {
 	pages map[uint64]*shadowPage
-	// touched counts materialized pages for Footprint.
+	live  int64 // slots with nonzero base/bound
 }
 
 const (
@@ -53,6 +53,13 @@ func (s *ShadowSpace) Update(addr uint64, e Entry) {
 		p = new(shadowPage)
 		s.pages[pn] = p
 	}
+	was := p.base[idx] != 0 || p.bound[idx] != 0
+	is := e.Base != 0 || e.Bound != 0
+	if is && !was {
+		s.live++
+	} else if was && !is {
+		s.live--
+	}
 	p.base[idx] = e.Base
 	p.bound[idx] = e.Bound
 }
@@ -66,6 +73,9 @@ func (s *ShadowSpace) Clear(addr, size uint64) {
 	for a := start; a < addr+size; a += 8 {
 		pn, idx := s.slot(a)
 		if p := s.pages[pn]; p != nil {
+			if p.base[idx] != 0 || p.bound[idx] != 0 {
+				s.live--
+			}
 			p.base[idx] = 0
 			p.bound[idx] = 0
 		}
@@ -92,6 +102,11 @@ func (s *ShadowSpace) Costs() Costs { return Costs{Lookup: 5, Update: 5} }
 // Footprint reports bytes of materialized shadow pages.
 func (s *ShadowSpace) Footprint() int64 {
 	return int64(len(s.pages)) * shadowPageSlots * 16
+}
+
+// Occupancy reports live slots and materialized shadow bytes.
+func (s *ShadowSpace) Occupancy() Occupancy {
+	return Occupancy{Live: s.live, Bytes: s.Footprint()}
 }
 
 // Name identifies the scheme.

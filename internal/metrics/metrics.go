@@ -40,6 +40,7 @@ type Stats struct {
 	HeapBytes uint64
 	MaxHeap   uint64
 	MetaBytes int64 // metadata facility footprint at exit
+	MetaLive  int64 // live metadata entries at exit (facility occupancy)
 	// CheckElims is the total number of spatial checks the optimizer
 	// removed at compile time (local + global passes); Opt has the
 	// per-pass breakdown.

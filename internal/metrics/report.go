@@ -28,7 +28,11 @@ type Report struct {
 	HeapBytes      uint64 `json:"heap_bytes"`
 	MaxHeap        uint64 `json:"max_heap"`
 	MetaBytes      int64  `json:"meta_bytes"`
-	CheckElims     uint64 `json:"check_elims"`
+	// MetaLive is the facility's live entry count at exit (an additive
+	// schema-v1 extension; the soak and session harnesses watch it for
+	// unbounded metadata growth).
+	MetaLive   int64  `json:"meta_live,omitempty"`
+	CheckElims uint64 `json:"check_elims"`
 
 	// Metadata-lookup-cache counters (additive schema-v1 extension;
 	// zero/omitted under the reference engine or with the cache disabled).
@@ -74,6 +78,7 @@ func (s *Stats) Report() Report {
 		HeapBytes:         s.HeapBytes,
 		MaxHeap:           s.MaxHeap,
 		MetaBytes:         s.MetaBytes,
+		MetaLive:          s.MetaLive,
 		CheckElims:        s.CheckElims,
 		MetaCacheHits:     s.MetaCacheHits,
 		MetaCacheMisses:   s.MetaCacheMisses,

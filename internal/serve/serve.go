@@ -231,6 +231,38 @@ type Server struct {
 	bundleSeq atomic.Uint64
 	logMu     sync.Mutex
 	started   time.Time
+
+	// Metadata-facility telemetry aggregated across runs for /statz:
+	// occupancy gauges (last / high-water) and cumulative lookaside
+	// counters. The session soak polls these to watch the runtime age.
+	metaRuns        atomic.Uint64
+	metaLiveLast    atomic.Int64
+	metaLiveMax     atomic.Int64
+	metaBytesLast   atomic.Int64
+	metaBytesMax    atomic.Int64
+	lookasideHits   atomic.Uint64
+	lookasideMisses atomic.Uint64
+}
+
+// observeRunMeta folds one run's end-of-run facility stats into the
+// /statz meta gauges.
+func (s *Server) observeRunMeta(st *metrics.Stats) {
+	s.metaRuns.Add(1)
+	s.metaLiveLast.Store(st.MetaLive)
+	atomicMaxInt64(&s.metaLiveMax, st.MetaLive)
+	s.metaBytesLast.Store(st.MetaBytes)
+	atomicMaxInt64(&s.metaBytesMax, st.MetaBytes)
+	s.lookasideHits.Add(st.MetaCacheHits)
+	s.lookasideMisses.Add(st.MetaCacheMisses)
+}
+
+func atomicMaxInt64(g *atomic.Int64, v int64) {
+	for {
+		cur := g.Load()
+		if v <= cur || g.CompareAndSwap(cur, v) {
+			return
+		}
+	}
 }
 
 // New builds a Server and starts its worker pool.
@@ -359,6 +391,39 @@ type Statz struct {
 	UptimeSeconds    float64 `json:"uptime_seconds"`
 	PID              int     `json:"pid"`
 	RestartsObserved uint64  `json:"restarts_observed"`
+	// Meta reports metadata-facility occupancy and lookaside behaviour
+	// aggregated over every executed run (additive extension).
+	Meta MetaStatz `json:"meta"`
+}
+
+// MetaStatz is the /statz "meta" section: per-run metadata-table
+// occupancy gauges and cumulative lookaside-cache counters, the signals
+// a long session soak asserts bounds on.
+type MetaStatz struct {
+	Runs             uint64  `json:"runs"`
+	LiveLast         int64   `json:"live_entries_last"`
+	LiveMax          int64   `json:"live_entries_max"`
+	TableBytesLast   int64   `json:"table_bytes_last"`
+	TableBytesMax    int64   `json:"table_bytes_max"`
+	LookasideHits    uint64  `json:"lookaside_hits"`
+	LookasideMisses  uint64  `json:"lookaside_misses"`
+	LookasideHitRate float64 `json:"lookaside_hit_rate"`
+}
+
+func (s *Server) metaStatz() MetaStatz {
+	m := MetaStatz{
+		Runs:            s.metaRuns.Load(),
+		LiveLast:        s.metaLiveLast.Load(),
+		LiveMax:         s.metaLiveMax.Load(),
+		TableBytesLast:  s.metaBytesLast.Load(),
+		TableBytesMax:   s.metaBytesMax.Load(),
+		LookasideHits:   s.lookasideHits.Load(),
+		LookasideMisses: s.lookasideMisses.Load(),
+	}
+	if total := m.LookasideHits + m.LookasideMisses; total > 0 {
+		m.LookasideHitRate = float64(m.LookasideHits) / float64(total)
+	}
+	return m
 }
 
 func (s *Server) handleStatz(w http.ResponseWriter, r *http.Request) {
@@ -374,6 +439,7 @@ func (s *Server) handleStatz(w http.ResponseWriter, r *http.Request) {
 		UptimeSeconds:    time.Since(s.started).Seconds(),
 		PID:              os.Getpid(),
 		RestartsObserved: s.opts.Restarts,
+		Meta:             s.metaStatz(),
 	})
 }
 
@@ -571,6 +637,7 @@ func (s *Server) execute(j *job) jobResult {
 		res.Stats.Opt = entry.counters
 		res.Stats.CheckElims = entry.counters.ChecksRemoved()
 		res.Stats.TrapCode = string(code)
+		s.observeRunMeta(res.Stats)
 		rep := res.Stats.Report()
 		resp.Stats = &rep
 	}

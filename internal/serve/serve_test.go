@@ -435,3 +435,44 @@ func TestHealthReadyStatzAndDrain(t *testing.T) {
 	}
 	s.Close() // idempotent with the cleanup Close
 }
+
+// TestStatzMetaSection checks /statz surfaces metadata occupancy and
+// lookaside hit-rate after runs: the session soak's growth signals.
+func TestStatzMetaSection(t *testing.T) {
+	_, ts := newTestServer(t, Options{})
+	// Two runs of a program that dereferences a pointer held in global
+	// memory, so every iteration re-loads its metadata from the facility
+	// and the gauges and cumulative lookaside counters both move.
+	src := `int a[16]; int* p;
+		int main() { int i; p = a;
+		for (i = 0; i < 16; i = i + 1) p[i] = i;
+		printf("%d\n", p[3]); return 0; }`
+	for i := 0; i < 2; i++ {
+		if status, body := post(t, ts, Request{Source: src}); status != http.StatusOK {
+			t.Fatalf("run %d: status %d body %s", i, status, body)
+		}
+	}
+	resp, err := http.Get(ts.URL + "/statz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var z Statz
+	if err := json.NewDecoder(resp.Body).Decode(&z); err != nil {
+		t.Fatal(err)
+	}
+	if z.Meta.Runs != 2 {
+		t.Errorf("meta.runs = %d, want 2", z.Meta.Runs)
+	}
+	if z.Meta.LiveMax <= 0 || z.Meta.TableBytesMax <= 0 {
+		t.Errorf("occupancy gauges did not move: %+v", z.Meta)
+	}
+	if z.Meta.LiveMax < z.Meta.LiveLast {
+		t.Errorf("high-water below last: %+v", z.Meta)
+	}
+	// The default engine is the fast interpreter, so the lookaside served
+	// the loop's repeated metadata lookups.
+	if z.Meta.LookasideHits == 0 || z.Meta.LookasideHitRate <= 0 {
+		t.Errorf("lookaside counters did not move: %+v", z.Meta)
+	}
+}

@@ -1,0 +1,131 @@
+package soak
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+
+	"softbound/internal/gen"
+)
+
+// shrinkDivergence delta-debugs a diverging variant down to a minimal
+// chunk subset: it greedily drops chunks one at a time, keeping a drop
+// only if the same check still fails on the subset, and repeats until a
+// full pass removes nothing (a fixpoint) or the run budget is spent.
+// The plant's chunk is pinned — a planted repro without its violation
+// site reproduces nothing.
+//
+// The generator's determinism contract makes this cheap to ship: the
+// minimal repro is (seed, keep mask, plant), and the bundle re-renders
+// the exact source from those three values.
+func (s *soaker) shrinkDivergence(ctx context.Context, prog *gen.Program, pl *gen.Plant, check string) (*gen.Program, int) {
+	pin := -1
+	if pl != nil {
+		pin = pl.Chunk
+	}
+	evals := 0
+	pred := func(p *gen.Program) bool {
+		if ctx.Err() != nil {
+			return false
+		}
+		evals++
+		divs, _, _ := s.battery(ctx, p, pl)
+		for _, d := range divs {
+			if d.Check == check {
+				return true
+			}
+		}
+		return false
+	}
+	min := shrinkMask(prog, pin, s.cfg.MaxShrinkRuns, pred)
+	return min, evals
+}
+
+// shrinkMask is the mask-narrowing loop, separated from the battery so
+// it can be tested against synthetic predicates. pred must hold on prog
+// itself; the result is the smallest subset found on which pred still
+// holds. pin (-1 for none) names a chunk that is never dropped. budget
+// bounds predicate evaluations.
+func shrinkMask(prog *gen.Program, pin int, budget int, pred func(*gen.Program) bool) *gen.Program {
+	cur := prog
+	mask := prog.KeepMask()
+	for changed := true; changed; {
+		changed = false
+		for i := range mask {
+			if !mask[i] || i == pin || cur.Kept() <= 1 {
+				continue
+			}
+			if budget <= 0 {
+				return cur
+			}
+			budget--
+			mask[i] = false
+			cand := prog.Subset(mask)
+			if pred(cand) {
+				cur = cand
+				changed = true
+			} else {
+				mask[i] = true
+			}
+		}
+	}
+	return cur
+}
+
+// Bundle is the spooled repro: everything needed to replay a divergence
+// without the campaign that found it.
+type Bundle struct {
+	Schema  int        `json:"schema"`
+	Seed    uint64     `json:"seed"`
+	Keep    []bool     `json:"keep"`
+	Variant string     `json:"variant"`
+	Plant   *gen.Plant `json:"plant,omitempty"`
+	Check   string     `json:"check"`
+	Config  string     `json:"config,omitempty"`
+	Detail  string     `json:"detail"`
+	// Source is the shrunk program (planted when Plant is set), inlined
+	// so the bundle replays even if the generator changes.
+	Source string `json:"source"`
+}
+
+// spooler writes repro bundles with unique names under a directory.
+type spooler struct {
+	dir string
+	mu  sync.Mutex
+	n   int
+}
+
+func (sp *spooler) write(prog *gen.Program, pl *gen.Plant, d Divergence) (string, error) {
+	if sp.dir == "" {
+		return "", nil
+	}
+	src := prog.Source()
+	if pl != nil {
+		src = prog.PlantedSource(*pl)
+	}
+	b := Bundle{
+		Schema: 1, Seed: prog.Seed, Keep: prog.KeepMask(),
+		Variant: d.Variant, Plant: pl,
+		Check: d.Check, Config: d.Config, Detail: d.Detail,
+		Source: src,
+	}
+	data, err := json.MarshalIndent(&b, "", "  ")
+	if err != nil {
+		return "", err
+	}
+	sp.mu.Lock()
+	sp.n++
+	n := sp.n
+	sp.mu.Unlock()
+	if err := os.MkdirAll(sp.dir, 0o755); err != nil {
+		return "", err
+	}
+	path := filepath.Join(sp.dir, fmt.Sprintf("soak-%d-%03d-%s.json", prog.Seed, n, d.Check))
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		return "", err
+	}
+	return path, nil
+}

@@ -442,7 +442,9 @@ func New(mod *ir.Module, cfg Config) (*VM, error) {
 
 // Stats returns the accumulated execution statistics.
 func (v *VM) Stats() *metrics.Stats {
-	v.stats.MetaBytes = v.fac.Footprint()
+	occ := v.fac.Occupancy()
+	v.stats.MetaBytes = occ.Bytes
+	v.stats.MetaLive = occ.Live
 	v.stats.MaxHeap = v.alloc.maxInUse
 	if v.mcache != nil {
 		v.stats.MetaCacheHits = v.mcache.Hits()
