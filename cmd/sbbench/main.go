@@ -14,7 +14,7 @@
 //	sbbench -parallel [-json=BENCH.json] [-schemes=hashtable,shadowspace]
 //	        [-progs=go,treeadd,...] [-workers=N] [-scale=N]
 //	        [-timeout=30s] [-steps=N] [-faults=seed=7,flip=200,oom=4]
-//	        [-ref] [-cpuprofile=cpu.pprof] [-memprofile=mem.pprof]
+//	        [-engine=fast|ref|compiled] [-cpuprofile=cpu.pprof] [-memprofile=mem.pprof]
 package main
 
 import (
@@ -31,6 +31,7 @@ import (
 	"softbound/internal/experiments"
 	"softbound/internal/faults"
 	"softbound/internal/meta"
+	"softbound/internal/vm"
 )
 
 func main() {
@@ -60,9 +61,11 @@ func main() {
 	retries := flag.Int("retries", 0,
 		"total attempts per cell for contained non-deterministic crashes (0 = harness default of 2, "+
 			"1 = no retry); deterministic traps such as deadline and step-limit never retry")
+	engine := flag.String("engine", "",
+		"interpreter for matrix cells: fast (default), ref, or compiled "+
+			"(engine A/B/C wall-clock comparison; modeled stats are identical)")
 	refInterp := flag.Bool("ref", false,
-		"run matrix cells on the reference interpreter instead of the fast engine "+
-			"(engine A/B wall-clock comparison; modeled stats are identical)")
+		"deprecated alias for -engine=ref")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memProfile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Parse()
@@ -97,7 +100,7 @@ func main() {
 	// The harness path: any of its flags (or -experiment=bench) selects it.
 	if *parallel || *jsonOut != "" || *workers > 0 || *schemes != "" ||
 		*progList != "" || *timeout != 0 || *steps != 0 || *faultSpec != "" ||
-		*retries != 0 || *refInterp || *exp == "bench" {
+		*retries != 0 || *refInterp || *engine != "" || *exp == "bench" {
 		if err := runBench(benchOptions{
 			scale:     *scale,
 			parallel:  *parallel,
@@ -109,6 +112,7 @@ func main() {
 			steps:     *steps,
 			faults:    *faultSpec,
 			retries:   *retries,
+			engine:    *engine,
 			refInterp: *refInterp,
 		}); err != nil {
 			fmt.Fprintf(os.Stderr, "sbbench: %v\n", err)
@@ -194,7 +198,31 @@ type benchOptions struct {
 	steps     uint64
 	faults    string
 	retries   int
+	engine    string
 	refInterp bool
+}
+
+// parseEngine resolves the -engine flag, honoring the deprecated -ref
+// alias. -engine wins when both are given and agree with -ref=ref; a
+// contradictory combination is an error rather than a silent pick.
+func parseEngine(engine string, refAlias bool) (vm.InterpKind, error) {
+	if refAlias {
+		if engine != "" && engine != "ref" {
+			return 0, fmt.Errorf("-ref conflicts with -engine=%s (use -engine alone)", engine)
+		}
+		fmt.Fprintln(os.Stderr, "sbbench: -ref is deprecated; use -engine=ref")
+		return vm.InterpRef, nil
+	}
+	switch engine {
+	case "", "fast":
+		return vm.InterpFast, nil
+	case "ref":
+		return vm.InterpRef, nil
+	case "compiled":
+		return vm.InterpCompiled, nil
+	default:
+		return 0, fmt.Errorf("unknown -engine %q (want fast, ref, or compiled)", engine)
+	}
 }
 
 // runBench executes the benchmark matrix and writes the human summary to
@@ -218,6 +246,10 @@ func runBench(o benchOptions) error {
 			workers = 1
 		}
 	}
+	interp, err := parseEngine(o.engine, o.refInterp)
+	if err != nil {
+		return err
+	}
 	var plan *faults.Plan
 	if o.faults != "" {
 		p, err := faults.ParsePlan(o.faults)
@@ -239,7 +271,7 @@ func runBench(o benchOptions) error {
 		StepLimit:   o.steps,
 		Faults:      plan,
 		MaxAttempts: o.retries,
-		RefInterp:   o.refInterp,
+		Interp:      interp,
 	})
 	if err != nil {
 		return err

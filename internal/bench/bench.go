@@ -74,9 +74,15 @@ type Config struct {
 	// VM deadline, step limit, detections — are never retried regardless.
 	MaxAttempts int
 
-	// RefInterp runs every cell on the reference interpreter instead of
-	// the fast engine (engine A/B measurements; the modeled statistics are
-	// identical either way, only wall clock moves).
+	// Interp selects the interpreter engine for every cell (engine A/B
+	// measurements; the modeled statistics are identical across engines,
+	// only wall clock moves).
+	Interp vm.InterpKind
+
+	// RefInterp runs every cell on the reference interpreter.
+	//
+	// Deprecated: set Interp to vm.InterpRef instead. When set it wins
+	// over Interp.
 	RefInterp bool
 }
 
@@ -90,6 +96,9 @@ type Run struct {
 	Config string `json:"config"`
 	Mode   string `json:"mode"`
 	Scheme string `json:"scheme,omitempty"`
+	// Engine names the interpreter this cell ran on ("fast", "ref",
+	// "compiled") so mixed-engine result sets stay distinguishable.
+	Engine string `json:"engine"`
 
 	Stats  metrics.Report        `json:"stats"`
 	Phases []metrics.PhaseTiming `json:"phases"`
@@ -150,10 +159,10 @@ type spec struct {
 	scheme meta.Scheme // zero value for the baseline
 
 	// Execution policy, copied from Config by buildMatrix.
-	timeout   time.Duration
-	steps     uint64
-	plan      *faults.Plan
-	refInterp bool
+	timeout time.Duration
+	steps   uint64
+	plan    *faults.Plan
+	interp  vm.InterpKind
 }
 
 func (s spec) configName() string {
@@ -161,6 +170,15 @@ func (s spec) configName() string {
 		return baselineConfig
 	}
 	return s.scheme.Name + "-" + s.mode.String()
+}
+
+// engine resolves the effective interpreter selection, honoring the
+// deprecated RefInterp override.
+func (cfg Config) engine() vm.InterpKind {
+	if cfg.RefInterp {
+		return vm.InterpRef
+	}
+	return cfg.Interp
 }
 
 // DefaultModes returns the paper's two checking modes.
@@ -210,7 +228,7 @@ func buildMatrix(cfg Config) ([]spec, error) {
 	for _, b := range benches {
 		cell := spec{bench: b, scale: cfg.Scale, mode: driver.ModeNone,
 			timeout: cfg.CellTimeout, steps: cfg.StepLimit, plan: cfg.Faults,
-			refInterp: cfg.RefInterp}
+			interp: cfg.engine()}
 		out = append(out, cell)
 		for _, sc := range schemes {
 			for _, m := range modes {
@@ -239,6 +257,7 @@ func newRun(s spec) Run {
 		Scale:   s.scale,
 		Config:  s.configName(),
 		Mode:    s.mode.String(),
+		Engine:  s.interp.String(),
 	}
 	if s.mode != driver.ModeNone {
 		run.Scheme = s.scheme.Name
@@ -268,7 +287,7 @@ func executeRun(s spec) Run {
 	if s.plan != nil {
 		dcfg.Faults = faults.NewInjector(*s.plan)
 	}
-	dcfg.RefInterp = s.refInterp
+	dcfg.Interp = s.interp
 	src := s.bench.Source(s.scale)
 
 	var pt metrics.PhaseTimer
@@ -428,15 +447,11 @@ func Execute(cfg Config) (*Report, error) {
 	close(jobs)
 	wg.Wait()
 
-	engine := vm.InterpFast
-	if cfg.RefInterp {
-		engine = vm.InterpRef
-	}
 	rep := &Report{
 		Schema:       SchemaVersion,
 		Workers:      workers,
 		Scale:        cfg.Scale,
-		Engine:       engine.String(),
+		Engine:       cfg.engine().String(),
 		ElapsedNanos: time.Since(start).Nanoseconds(),
 		Runs:         runs,
 	}

@@ -90,10 +90,17 @@ type Config struct {
 	// corruption by wrapping the facility. One injector serves one run.
 	Faults *faults.Injector
 
-	// RefInterp runs the reference (per-step switch) interpreter instead
-	// of the default pre-decoded fast engine. The differential suite runs
-	// both and requires identical results; exposed so harnesses and serve
-	// clients can do the same.
+	// Interp selects the interpreter engine: the pre-decoded fast engine
+	// (zero value), the reference per-step switch, or the compiled
+	// threaded-code tier. The differential suite runs all three and
+	// requires identical results; exposed so harnesses and serve clients
+	// can do the same.
+	Interp vm.InterpKind
+
+	// RefInterp runs the reference interpreter.
+	//
+	// Deprecated: set Interp to vm.InterpRef instead. Kept as an override
+	// for existing harnesses; when set it wins over Interp.
 	RefInterp bool
 
 	// MetaFacility, when non-nil, constructs the metadata facility
@@ -385,6 +392,7 @@ func ExecuteContext(ctx context.Context, mod *ir.Module, cfg Config) *Result {
 		HeapLimit:     cfg.HeapLimit,
 		MaxStackDepth: cfg.MaxStackDepth,
 	}
+	vmCfg.Interp = cfg.Interp
 	if cfg.RefInterp {
 		vmCfg.Interp = vm.InterpRef
 	}

@@ -145,7 +145,8 @@ type Request struct {
 	// NoOptimize disables the optimizer for this request.
 	NoOptimize bool `json:"no_optimize,omitempty"`
 	// Engine selects the interpreter: "" or "fast" (default) for the
-	// pre-decoded fast engine, "ref" for the reference interpreter.
+	// pre-decoded fast engine, "ref" for the reference interpreter,
+	// "compiled" for the threaded-code compiled tier.
 	Engine string `json:"engine,omitempty"`
 }
 
@@ -502,11 +503,11 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	switch req.Engine {
-	case "", "fast", "ref":
+	case "", "fast", "ref", "compiled":
 	default:
 		s.counters.Inc("run.bad_request")
 		writeJSON(w, http.StatusBadRequest, ErrorBody{Error: fmt.Sprintf(
-			"unknown engine %q (want \"fast\" or \"ref\")", req.Engine)})
+			"unknown engine %q (want \"fast\", \"ref\", or \"compiled\")", req.Engine)})
 		return
 	}
 
@@ -585,6 +586,7 @@ func (s *Server) worker() {
 // replay bundle on trap.
 func (s *Server) execute(j *job) jobResult {
 	cfg := s.driverConfig(j.req)
+	s.counters.Inc("run.engine." + cfg.Interp.String())
 
 	var pt metrics.PhaseTimer
 	var entry *cacheEntry
@@ -736,7 +738,12 @@ func (s *Server) driverConfig(req Request) driver.Config {
 		}
 		_ = applyScheme(&cfg, scheme) // validated at admission
 	}
-	cfg.RefInterp = req.Engine == "ref"
+	switch req.Engine {
+	case "ref":
+		cfg.Interp = vm.InterpRef
+	case "compiled":
+		cfg.Interp = vm.InterpCompiled
+	}
 	timeout := s.opts.DefaultTimeout
 	if req.TimeoutMillis > 0 {
 		timeout = time.Duration(req.TimeoutMillis) * time.Millisecond

@@ -168,12 +168,12 @@ func TestRequestValidation(t *testing.T) {
 	}
 }
 
-// Both interpreter engines are selectable per request and must serve the
-// same observable result from the same cached artifact.
+// All three interpreter engines are selectable per request and must
+// serve the same observable result from the same cached artifact.
 func TestEngineSelection(t *testing.T) {
-	_, ts := newTestServer(t, Options{})
+	srv, ts := newTestServer(t, Options{})
 	var results []Response
-	for _, engine := range []string{"", "fast", "ref"} {
+	for _, engine := range []string{"", "fast", "ref", "compiled"} {
 		status, body := post(t, ts, Request{Source: okSrc, Engine: engine})
 		if status != http.StatusOK {
 			t.Fatalf("engine %q: status %d, body %s", engine, status, body)
@@ -187,9 +187,18 @@ func TestEngineSelection(t *testing.T) {
 			t.Fatalf("engine variant %d diverged: %+v vs %+v", i, r, results[0])
 		}
 	}
-	// Engine choice affects execution only, never the compiled artifact.
-	if !results[2].CacheHit {
-		t.Error("ref-engine request recompiled instead of reusing the cache")
+	// Engine choice affects execution only, never the compiled artifact:
+	// the cache key is engine-independent.
+	if !results[2].CacheHit || !results[3].CacheHit {
+		t.Error("non-default-engine request recompiled instead of reusing the cache")
+	}
+	// /statz accounts runs per engine.
+	counters := srv.Counters().Snapshot()
+	if counters["run.engine.fast"] != 2 || counters["run.engine.ref"] != 1 ||
+		counters["run.engine.compiled"] != 1 {
+		t.Errorf("per-engine run counters off: fast=%d ref=%d compiled=%d",
+			counters["run.engine.fast"], counters["run.engine.ref"],
+			counters["run.engine.compiled"])
 	}
 }
 

@@ -21,9 +21,10 @@ import (
 //   - detection: a planted variant traps exactly in the configurations
 //     its Detected predicate names, with the matching trap code, and a
 //     clean variant never traps.
-//   - engine agreement: fast and ref produce identical exit, output,
-//     trap, and modeled stats (lookaside counters excluded — the ref
-//     engine has no lookaside).
+//   - engine agreement: every engine in a config (ref and compiled
+//     against the fast witness) produces identical exit, output, trap,
+//     and modeled stats (lookaside counters excluded — the ref engine
+//     has no lookaside).
 //   - scheme agreement: schemes of equal temporality are behaviorally
 //     indistinguishable (exit/output/trap; stats differ by facility
 //     cost model).
@@ -75,33 +76,46 @@ func checkRuns(seed uint64, variant string, pl *gen.Plant, cfgs []runCfg, result
 		}
 	}
 
-	// Engine agreement: the matrix interleaves fast/ref per config, so
-	// pair i (fast) with i+1 (ref).
-	for i := 0; i+1 < len(cfgs); i += 2 {
-		fast, ref := results[i], results[i+1]
-		if fast == nil || ref == nil {
+	// Engine agreement: within each config, every engine (ref, compiled)
+	// must match the fast witness.
+	witness := map[string]int{}
+	for i, rc := range cfgs {
+		if rc.interp == vm.InterpFast && results[i] != nil {
+			witness[rc.configName()] = i
+		}
+	}
+	for i, res := range results {
+		rc := cfgs[i]
+		if res == nil || rc.interp == vm.InterpFast {
 			continue
 		}
-		if fast.ExitCode != ref.ExitCode || fast.Output != ref.Output ||
-			fast.TrapCode() != ref.TrapCode() {
-			add(CheckEngine, cfgs[i].configName(), fmt.Sprintf(
-				"fast(exit=%d trap=%q) vs ref(exit=%d trap=%q); output equal=%v",
-				fast.ExitCode, fast.TrapCode(), ref.ExitCode, ref.TrapCode(),
-				fast.Output == ref.Output))
+		wi, ok := witness[rc.configName()]
+		if !ok {
 			continue
 		}
-		if fk, rk := statsKey(fast.Stats), statsKey(ref.Stats); fk != rk {
-			add(CheckEngine, cfgs[i].configName(),
-				fmt.Sprintf("modeled stats diverge:\nfast: %s\nref:  %s", fk, rk))
+		fast, eng := results[wi], rc.interp.String()
+		if fast.ExitCode != res.ExitCode || fast.Output != res.Output ||
+			fast.TrapCode() != res.TrapCode() {
+			add(CheckEngine, rc.String(), fmt.Sprintf(
+				"fast(exit=%d trap=%q) vs %s(exit=%d trap=%q); output equal=%v",
+				fast.ExitCode, fast.TrapCode(), eng, res.ExitCode, res.TrapCode(),
+				fast.Output == res.Output))
+			continue
+		}
+		if fk, rk := statsKey(fast.Stats), statsKey(res.Stats); fk != rk {
+			add(CheckEngine, rc.String(),
+				fmt.Sprintf("modeled stats diverge:\nfast: %s\n%s: %s", fk, eng, rk))
 		}
 	}
 
 	// Baseline and scheme agreement, fast engine as the witness.
-	baseline := pick(cfgs, results, func(rc runCfg) bool { return rc.scheme == nil && !rc.ref })
+	baseline := pick(cfgs, results, func(rc runCfg) bool {
+		return rc.scheme == nil && rc.interp == vm.InterpFast
+	})
 	classes := map[string]int{} // "temporal/mode" -> index of first scheme's run
 	for i, res := range results {
 		rc := cfgs[i]
-		if res == nil || rc.scheme == nil || rc.ref {
+		if res == nil || rc.scheme == nil || rc.interp != vm.InterpFast {
 			continue
 		}
 		if baseline != nil && res.Trap == nil && !res.Detected() {

@@ -142,7 +142,7 @@ type Report struct {
 type runCfg struct {
 	scheme *meta.Scheme
 	mode   driver.Mode
-	ref    bool
+	interp vm.InterpKind
 }
 
 // configName matches the BENCH.json vocabulary: "baseline" or
@@ -155,27 +155,27 @@ func (rc runCfg) configName() string {
 }
 
 func (rc runCfg) String() string {
-	eng := "fast"
-	if rc.ref {
-		eng = "ref"
-	}
-	return rc.configName() + "/" + eng
+	return rc.configName() + "/" + rc.interp.String()
 }
 
 // matrix enumerates baseline × engines plus every registered scheme ×
-// checked mode × engine.
+// checked mode × engine. All three engines cover the baseline and every
+// scheme's full mode; store-only cells run the fast/ref pair (the
+// compiled tier shares the fast engine's decode, so full mode exercises
+// its distinct code paths — the closure chains — under every scheme).
 func matrix() []runCfg {
 	schemes := meta.Schemes()
-	out := make([]runCfg, 0, 2+len(schemes)*4)
-	for _, ref := range []bool{false, true} {
-		out = append(out, runCfg{mode: driver.ModeNone, ref: ref})
+	out := make([]runCfg, 0, 3+len(schemes)*5)
+	for _, eng := range []vm.InterpKind{vm.InterpFast, vm.InterpRef, vm.InterpCompiled} {
+		out = append(out, runCfg{mode: driver.ModeNone, interp: eng})
 	}
 	for i := range schemes {
 		s := &schemes[i]
-		for _, mode := range []driver.Mode{driver.ModeStoreOnly, driver.ModeFull} {
-			for _, ref := range []bool{false, true} {
-				out = append(out, runCfg{scheme: s, mode: mode, ref: ref})
-			}
+		for _, eng := range []vm.InterpKind{vm.InterpFast, vm.InterpRef} {
+			out = append(out, runCfg{scheme: s, mode: driver.ModeStoreOnly, interp: eng})
+		}
+		for _, eng := range []vm.InterpKind{vm.InterpFast, vm.InterpRef, vm.InterpCompiled} {
+			out = append(out, runCfg{scheme: s, mode: driver.ModeFull, interp: eng})
 		}
 	}
 	return out
@@ -202,7 +202,7 @@ func Run(ctx context.Context, cfg Config) (*Report, error) {
 		Seed:          cfg.Seed,
 		Cells:         cfg.Cells,
 		Modes:         []string{driver.ModeStoreOnly.String(), driver.ModeFull.String()},
-		Engines:       []string{"fast", "ref"},
+		Engines:       []string{"fast", "ref", "compiled"},
 		TrapHistogram: map[string]int{},
 	}
 	for _, s := range schemes {
@@ -382,7 +382,7 @@ func (s *soaker) battery(ctx context.Context, prog *gen.Program, pl *gen.Plant) 
 	}
 
 	// Compile once per distinct artifact: modules depend on (mode,
-	// temporality) only, so 18 runs share 5 compiles.
+	// temporality) only, so 23 runs share 5 compiles.
 	type modKey struct {
 		mode     driver.Mode
 		temporal bool
@@ -451,7 +451,7 @@ func (s *soaker) runContained(ctx context.Context, m *compiled, rc runCfg) (res 
 	cfg := driver.DefaultConfig(rc.mode)
 	cfg.Timeout = s.cfg.Timeout
 	cfg.StepLimit = s.cfg.StepLimit
-	cfg.RefInterp = rc.ref
+	cfg.Interp = rc.interp
 	if rc.scheme != nil {
 		cfg.Meta = rc.scheme.Kind
 		sch := rc.scheme

@@ -33,9 +33,9 @@ func TestSoakCampaignClean(t *testing.T) {
 	if rep.Planted.Total == 0 || rep.Planted.Missed != 0 || rep.Planted.Detected != rep.Planted.Total {
 		t.Fatalf("planted summary off: %+v", rep.Planted)
 	}
-	// 18 matrix runs per variant, 1 clean + up to 2 planted variants per
+	// 23 matrix runs per variant, 1 clean + up to 2 planted variants per
 	// cell, no compile failures.
-	if rep.Runs < rep.Cells*18 {
+	if rep.Runs < rep.Cells*23 {
 		t.Fatalf("only %d runs for %d cells", rep.Runs, rep.Cells)
 	}
 	// Planted variants trapped somewhere; the histogram must only ever
@@ -50,7 +50,7 @@ func TestSoakCampaignClean(t *testing.T) {
 	if total == 0 {
 		t.Error("no traps recorded despite planted variants")
 	}
-	if len(rep.Schemes) < 4 || len(rep.Engines) != 2 || len(rep.Modes) != 2 {
+	if len(rep.Schemes) < 4 || len(rep.Engines) != 3 || len(rep.Modes) != 2 {
 		t.Fatalf("matrix description off: %+v", rep)
 	}
 }

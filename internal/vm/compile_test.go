@@ -1,0 +1,199 @@
+package vm
+
+import (
+	"testing"
+
+	"softbound/internal/ir"
+)
+
+// Compiled-engine structural tests: span construction invariants, the
+// module-level compile cache, compile-tier fusion, and the control
+// transfers that re-enter compiled code at dynamic resume points
+// (setjmp/longjmp). Behavioral equivalence rides on the shared 3-way
+// requireEngineAgreement helper (fast_test.go).
+
+// TestCompileSpansPartitionCode holds the span table to its contract:
+// spans start exactly at block entries and after calls, every
+// instruction belongs to exactly one span, and each span's step weight
+// is the sum of its components'.
+func TestCompileSpansPartitionCode(t *testing.T) {
+	for name, mod := range map[string]*ir.Module{
+		"arith": arithLoopModule(),
+		"fused": fusedAccessModule(8),
+	} {
+		prog := decodeModule(mod)
+		cp := compileProgram(prog)
+		for fn, cf := range cp.funcs {
+			df := cf.df
+			if len(cf.spanAt) != len(df.code) {
+				t.Fatalf("%s/%s: span table length %d != code length %d",
+					name, fn.Name, len(cf.spanAt), len(df.code))
+			}
+			covered := 0
+			for i := 0; i < len(df.code); {
+				sp := cf.spanAt[i]
+				if sp == nil {
+					t.Fatalf("%s/%s: no span at expected start %d", name, fn.Name, i)
+				}
+				var steps int64
+				j := i
+				for ; ; j++ {
+					steps += int64(df.code[j].nsteps)
+					if isSpanEnd(df.code[j].op) {
+						break
+					}
+					if cf.spanAt[j+1] != nil && df.code[j].op != dCall {
+						t.Fatalf("%s/%s: span start %d inside straight-line run from %d",
+							name, fn.Name, j+1, i)
+					}
+				}
+				if sp.steps != steps {
+					t.Fatalf("%s/%s: span at %d has steps=%d, components sum to %d",
+						name, fn.Name, i, sp.steps, steps)
+				}
+				covered += j - i + 1
+				i = j + 1
+			}
+			if covered != len(df.code) {
+				t.Fatalf("%s/%s: spans cover %d of %d instructions",
+					name, fn.Name, covered, len(df.code))
+			}
+			for _, s := range df.blockStart {
+				if cf.spanAt[s] == nil {
+					t.Fatalf("%s/%s: block start %d is not a span start", name, fn.Name, s)
+				}
+			}
+			for i := range df.code {
+				if df.code[i].op == dCall && i+1 < len(df.code) && cf.spanAt[i+1] == nil {
+					t.Fatalf("%s/%s: no span at post-call resume point %d", name, fn.Name, i+1)
+				}
+			}
+		}
+	}
+}
+
+// TestCompiledProgramSharedAcrossVMs pins the Module.Compiled cache: two
+// compiled-engine VMs over one module share a single compile, and the
+// compiled form layers on the same decoded program a fast-engine VM
+// uses (one decode serves all engines).
+func TestCompiledProgramSharedAcrossVMs(t *testing.T) {
+	mod := arithLoopModule()
+	v1, err := New(mod, Config{Interp: InterpCompiled})
+	if err != nil {
+		t.Fatal(err)
+	}
+	v2, err := New(mod, Config{Interp: InterpCompiled})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v1.cprog == nil || v1.cprog != v2.cprog {
+		t.Fatal("compiled program not shared via the module cache")
+	}
+	vf, err := New(mod, Config{Interp: InterpFast})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if vf.prog != v1.prog {
+		t.Fatal("fast and compiled engines do not share the decoded program")
+	}
+	if vf.cprog != nil {
+		t.Fatal("fast engine built a compiled program it never runs")
+	}
+}
+
+// TestCompiledCmpBrFusion pins the compile-tier Cmp+CondBr fusion: a
+// span ending with a compare feeding its conditional branch carries both
+// instructions' fixed statistics in one fused terminal (and the fused
+// program still agrees with the other engines — the sweep tests cover
+// the boundary behavior).
+func TestCompiledCmpBrFusion(t *testing.T) {
+	mod := arithLoopModule()
+	prog := decodeModule(mod)
+	cf := compileProgram(prog).funcs[mod.Lookup("main")]
+	df := cf.df
+
+	// Block 1 is exactly {Cmp, CondBr} in the decoded form.
+	var found bool
+	for _, s := range df.blockStart {
+		i := int(s)
+		if df.code[i].op == dCmp && i+1 < len(df.code) && df.code[i+1].op == dCondBr &&
+			df.code[i+1].a.reg == df.code[i].dst {
+			sp := cf.spanAt[i]
+			if sp == nil {
+				t.Fatalf("no span at cmp+condbr block start %d", i)
+			}
+			if sp.fixedInsts != 2 || sp.fixedSim != costALU+costCondBr {
+				t.Fatalf("fused span stats: insts=%d sim=%d, want 2/%d",
+					sp.fixedInsts, sp.fixedSim, costALU+costCondBr)
+			}
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("no cmp+condbr block found to fuse")
+	}
+}
+
+// setjmpModule builds: main setjmps, calls a helper that longjmps back
+// with 42, and returns the second setjmp result. Both the setjmp
+// continuation (re-entry after a builtin call) and the longjmp target
+// (checkpoint fip + 1) are dynamic resume points that must land on span
+// boundaries in the compiled body.
+func setjmpModule() *ir.Module {
+	env := &ir.Global{Name: "env", Size: 16, Align: 8}
+
+	helper := &ir.Func{Name: "helper", HasRet: true, RetClass: ir.ClassInt}
+	h0 := helper.NewReg(ir.ClassInt)
+	helper.Blocks = []*ir.Block{{Insts: []ir.Inst{
+		{Kind: ir.KCall, Callee: ir.FV("longjmp"),
+			Dst: ir.NoReg, DstBase: ir.NoReg, DstBound: ir.NoReg,
+			Args: []ir.Value{ir.GV("env", 0), ir.CI(42)}},
+		{Kind: ir.KConst, Dst: h0, A: ir.CI(0)},
+		{Kind: ir.KRet, HasVal: true, A: ir.R(h0)},
+	}}}
+
+	f := &ir.Func{Name: "main", HasRet: true, RetClass: ir.ClassInt}
+	r0 := f.NewReg(ir.ClassInt) // setjmp result
+	r1 := f.NewReg(ir.ClassInt) // scratch
+	f.Blocks = []*ir.Block{
+		{Insts: []ir.Inst{
+			{Kind: ir.KCall, Callee: ir.FV("setjmp"), Dst: r0,
+				DstBase: ir.NoReg, DstBound: ir.NoReg,
+				Args: []ir.Value{ir.GV("env", 0)}},
+			{Kind: ir.KCondBr, A: ir.R(r0), Target: 2, Else: 1},
+		}},
+		{Insts: []ir.Inst{
+			{Kind: ir.KCall, Callee: ir.FV("helper"), Dst: r1,
+				DstBase: ir.NoReg, DstBound: ir.NoReg},
+			{Kind: ir.KRet, HasVal: true, A: ir.R(r1)},
+		}},
+		{Insts: []ir.Inst{
+			{Kind: ir.KBin, Dst: r0, Op: ir.OpAdd, A: ir.R(r0), B: ir.CI(100)},
+			{Kind: ir.KRet, HasVal: true, A: ir.R(r0)},
+		}},
+	}
+	mod := ir.NewModule("test")
+	mod.AddFunc(f)
+	mod.AddFunc(helper)
+	mod.Globals = []*ir.Global{env}
+	return mod
+}
+
+func TestEngineAgreementSetjmpLongjmp(t *testing.T) {
+	res := requireEngineAgreement(t, setjmpModule(), Config{})
+	if res.err != nil {
+		t.Fatal(res.err)
+	}
+	if res.code != 142 {
+		t.Fatalf("exit = %d, want 142 (longjmp value + 100)", res.code)
+	}
+}
+
+// The step-limit sweep through a setjmp/longjmp weave drives budget
+// exhaustion through builtin dispatch and both non-local resume points.
+func TestEngineAgreementSetjmpStepLimitSweep(t *testing.T) {
+	mod := setjmpModule()
+	for limit := uint64(1); limit <= 40; limit++ {
+		requireEngineAgreement(t, mod, Config{StepLimit: limit})
+	}
+}

@@ -38,29 +38,39 @@ func runEngine(t *testing.T, mod *ir.Module, cfg Config, kind InterpKind) engine
 	return engineResult{code: code, err: rerr, stats: st}
 }
 
+// requireEngineAgreement runs the module on all three engines and holds
+// each non-reference engine to the reference result: exit code, trap
+// classification, violation fields, and every modeled statistic.
 func requireEngineAgreement(t *testing.T, mod *ir.Module, cfg Config) engineResult {
 	t.Helper()
-	fast := runEngine(t, mod, cfg, InterpFast)
 	ref := runEngine(t, mod, cfg, InterpRef)
-	if fast.code != ref.code {
-		t.Fatalf("exit code: fast=%d ref=%d (fast err=%v, ref err=%v)",
-			fast.code, ref.code, fast.err, ref.err)
-	}
-	if CodeOf(fast.err) != CodeOf(ref.err) {
-		t.Fatalf("trap code: fast=%q (%v) ref=%q (%v)",
-			CodeOf(fast.err), fast.err, CodeOf(ref.err), ref.err)
-	}
-	var fv, rv *SpatialViolation
-	errors.As(fast.err, &fv)
-	errors.As(ref.err, &rv)
-	if (fv == nil) != (rv == nil) {
-		t.Fatalf("violation presence: fast=%v ref=%v", fast.err, ref.err)
-	}
-	if fv != nil && *fv != *rv {
-		t.Fatalf("violation fields:\n  fast: %+v\n  ref:  %+v", *fv, *rv)
-	}
-	if fast.stats != ref.stats {
-		t.Fatalf("stats diverged:\n  fast: %+v\n  ref:  %+v", fast.stats, ref.stats)
+	fast := runEngine(t, mod, cfg, InterpFast)
+	compiled := runEngine(t, mod, cfg, InterpCompiled)
+	for _, e := range []struct {
+		kind InterpKind
+		got  engineResult
+	}{{InterpFast, fast}, {InterpCompiled, compiled}} {
+		kind, got := e.kind, e.got
+		if got.code != ref.code {
+			t.Fatalf("exit code: %s=%d ref=%d (%s err=%v, ref err=%v)",
+				kind, got.code, ref.code, kind, got.err, ref.err)
+		}
+		if CodeOf(got.err) != CodeOf(ref.err) {
+			t.Fatalf("trap code: %s=%q (%v) ref=%q (%v)",
+				kind, CodeOf(got.err), got.err, CodeOf(ref.err), ref.err)
+		}
+		var gv, rv *SpatialViolation
+		errors.As(got.err, &gv)
+		errors.As(ref.err, &rv)
+		if (gv == nil) != (rv == nil) {
+			t.Fatalf("violation presence: %s=%v ref=%v", kind, got.err, ref.err)
+		}
+		if gv != nil && *gv != *rv {
+			t.Fatalf("violation fields:\n  %s: %+v\n  ref:  %+v", kind, *gv, *rv)
+		}
+		if got.stats != ref.stats {
+			t.Fatalf("stats diverged:\n  %s: %+v\n  ref:  %+v", kind, got.stats, ref.stats)
+		}
 	}
 	return fast
 }

@@ -48,16 +48,23 @@ type InterpKind int
 // module's pre-decoded form (decode.go) with fused superinstructions,
 // batched step accounting, and a metadata lookup cache. The reference
 // engine is the original per-step switch interpreter, kept as the
-// semantic baseline: the differential suite holds the two engines to
-// identical exit codes, traps, and modeled statistics.
+// semantic baseline: the differential suite holds all engines to
+// identical exit codes, traps, and modeled statistics. The compiled
+// engine (compile.go) lowers the decoded form once more into threaded
+// code — per-span closure chains with no dispatch switch — and
+// reconciles the step/deadline clock at span boundaries.
 const (
 	InterpFast InterpKind = iota
 	InterpRef
+	InterpCompiled
 )
 
 func (k InterpKind) String() string {
-	if k == InterpRef {
+	switch k {
+	case InterpRef:
 		return "ref"
+	case InterpCompiled:
+		return "compiled"
 	}
 	return "fast"
 }
@@ -227,7 +234,10 @@ type frame struct {
 	// Fast-engine state: the decoded body and the flat instruction index
 	// (decode.go). Maintained alongside block/ip so cold paths shared
 	// with the reference engine (hijacks, diagnostics) keep working.
+	// cf is the compiled body (compile.go), set only under the compiled
+	// engine; fip doubles as the span-entry index there.
 	df  *dfunc
+	cf  *cfunc
 	fip int
 }
 
@@ -258,10 +268,13 @@ type VM struct {
 	stats metrics.Stats
 
 	// prog is the module's pre-decoded form (nil under the reference
-	// engine); mcache, when non-nil, is the metadata lookup cache that
-	// v.fac has been replaced with, held concretely so the hot metaload
-	// path probes it without an interface dispatch.
+	// engine); cprog is the threaded-code form lowered from it (nil
+	// unless the compiled engine is selected); mcache, when non-nil, is
+	// the metadata lookup cache that v.fac has been replaced with, held
+	// concretely so the hot metaload path probes it without an interface
+	// dispatch.
 	prog   *program
+	cprog  *cprogram
 	mcache *meta.LookupCache
 
 	// argScratch is a per-VM buffer the fast call path reuses for builtin
@@ -376,13 +389,19 @@ func New(mod *ir.Module, cfg Config) (*VM, error) {
 	v.funcs = append(v.funcs, mod.Funcs...)
 	layoutFuncs(mod, v.funcAddrs)
 
-	// Fast engine: fetch (or build) the module's pre-decoded program and
-	// put the metadata lookup cache in front of the facility. Decode is
-	// module-pure — global and function addresses are a deterministic
-	// function of the module — so the decoded form is shared across all
-	// VMs of this module via the ir-side cache.
-	if cfg.Interp == InterpFast {
+	// Fast and compiled engines: fetch (or build) the module's
+	// pre-decoded program and put the metadata lookup cache in front of
+	// the facility. Decode is module-pure — global and function addresses
+	// are a deterministic function of the module — so the decoded form is
+	// shared across all VMs of this module via the ir-side cache. The
+	// compiled engine layers the threaded-code form on top, cached the
+	// same way (one compile serves every VM of the module, whichever
+	// engine each selects).
+	if cfg.Interp != InterpRef {
 		v.prog = mod.Decoded(func() any { return decodeModule(mod) }).(*program)
+		if cfg.Interp == InterpCompiled {
+			v.cprog = mod.Compiled(func() any { return compileProgram(v.prog) }).(*cprogram)
+		}
 		if !cfg.DisableMetaCache {
 			v.mcache = meta.NewLookupCache(v.fac)
 			v.fac = v.mcache
@@ -603,6 +622,9 @@ func (v *VM) run(ctx context.Context) (int64, error) {
 
 // runLoop dispatches to the configured engine.
 func (v *VM) runLoop() error {
+	if v.cprog != nil {
+		return v.loopCompiled()
+	}
 	if v.prog != nil {
 		return v.loopFast()
 	}
@@ -787,6 +809,9 @@ func (v *VM) pushFrame(fn *ir.Func, args []uint64, retDst, retBase, retBound, re
 	}
 	if v.prog != nil {
 		nf.df = v.prog.funcs[fn]
+	}
+	if v.cprog != nil {
+		nf.cf = v.cprog.funcs[fn]
 	}
 	for i, r := range fn.ParamRegs {
 		if i < len(args) {
